@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints a paper-style table (visible with ``pytest -s`` or in
+the captured output) and attaches the same rows to
+``benchmark.extra_info`` so the numbers survive into pytest-benchmark's
+JSON output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+".join("-" * (w + 2) for w in widths)
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+    print()
+    print(f"== {title} ==")
+    print(fmt(headers))
+    print(line)
+    for row in rows:
+        print(fmt(row))
+
+
+def record(benchmark: Any, key: str, value: Any) -> None:
+    """Attach a result to the pytest-benchmark JSON, if available."""
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is not None:
+        extra[key] = value
+
+
+def percent(x: float) -> str:
+    return f"{100.0 * x:.1f}%"

@@ -1,0 +1,167 @@
+"""Ablation A1: policy lookup-representation tradeoffs.
+
+Three ways to answer "what posture does device D get in state S":
+
+1. **materialized** -- the brute-force table of section 3.2 (state ->
+   assignment dict).  O(1) lookup, O(|S|) memory, O(|S|) build time:
+   exactly what explodes.
+2. **rule scan** -- evaluate the rule list on demand.  Zero build cost,
+   per-lookup cost grows with rule count.
+3. **pruned projection** -- per-device tables over relevant variables
+   (:mod:`repro.policy.pruning`).  Near-O(1) lookup, memory ~ rules.
+
+Reported: build time, stored entries, lookup throughput.  The pruned form
+should match materialized lookup speed at a tiny fraction of its memory,
+which is the design argument for shipping it as the default engine.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from _util import print_table, record
+
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import COMPROMISED, SUSPICIOUS, SystemState
+from repro.policy.posture import block_commands, quarantine
+from repro.policy.pruning import PrunedPolicy
+
+
+def build_policy(n_devices: int):
+    builder = PolicyBuilder()
+    devices = [f"dev{i}" for i in range(n_devices)]
+    for name in devices:
+        builder.device(name)
+    builder.env("occupancy", ("absent", "present"))
+    for i, name in enumerate(devices):
+        builder.when(f"ctx:{name}", COMPROMISED).give(name, quarantine(name), priority=300)
+        builder.when(f"ctx:{devices[(i + 1) % n_devices]}", SUSPICIOUS).give(
+            name, block_commands("on", name=f"g{name}"), priority=200
+        )
+        builder.when(f"ctx:{name}", SUSPICIOUS).also("env:occupancy", "absent").give(
+            name, block_commands("open", name=f"a{name}"), priority=150
+        )
+        builder.when("env:occupancy", "absent").give(
+            name, block_commands("unlock", name=f"e{name}"), priority=100
+        )
+    return builder.build()
+
+
+def random_states(policy, n: int, rng: random.Random) -> list[SystemState]:
+    domains = policy.space.domains
+    states = []
+    for __ in range(n):
+        states.append(
+            SystemState(
+                {d.variable.key: rng.choice(d.values) for d in domains}
+            )
+        )
+    return states
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum of several timing runs (robust to scheduler noise)."""
+    return min(fn() for __ in range(repeats))
+
+
+def run_size(n_devices: int, lookups: int, seed: int) -> dict:
+    policy = build_policy(n_devices)
+    rng = random.Random(seed)
+    states = random_states(policy, lookups, rng)
+    devices = list(policy.devices)
+    result: dict = {"devices": n_devices, "naive_states": policy.state_count()}
+
+    # materialized (only when feasible)
+    if policy.state_count() <= 60_000:
+        start = time.perf_counter()
+        table = policy.materialize()
+        result["mat_build_ms"] = (time.perf_counter() - start) * 1e3
+        result["mat_entries"] = len(table) * len(devices)
+        def time_mat() -> float:
+            start = time.perf_counter()
+            for state in states:
+                table[state][devices[0]]
+            return (time.perf_counter() - start) / lookups * 1e6
+
+        result["mat_lookup_us"] = best_of(time_mat)
+    else:
+        result["mat_build_ms"] = None
+        result["mat_entries"] = None
+        result["mat_lookup_us"] = None
+
+    # rule scan
+    def time_scan() -> float:
+        start = time.perf_counter()
+        for state in states:
+            policy.posture_for(state, devices[0])
+        return (time.perf_counter() - start) / lookups * 1e6
+
+    result["scan_lookup_us"] = best_of(time_scan)
+
+    # pruned projection
+    start = time.perf_counter()
+    pruned = PrunedPolicy(policy)
+    result["pruned_build_ms"] = (time.perf_counter() - start) * 1e3
+    result["pruned_entries"] = pruned.total_entries()
+
+    def time_pruned() -> float:
+        start = time.perf_counter()
+        for state in states:
+            pruned.posture_for(state, devices[0])
+        return (time.perf_counter() - start) / lookups * 1e6
+
+    result["pruned_lookup_us"] = best_of(time_pruned)
+    return result
+
+
+def test_a1_policy_lookup_tradeoffs(scenario_benchmark):
+    sweep = [3, 8, 16, 32]
+    lookups = 2000
+
+    def run_all():
+        return [run_size(n, lookups, seed=i) for i, n in enumerate(sweep)]
+
+    results = scenario_benchmark(run_all)
+
+    def fmt(value, pattern="{:.1f}"):
+        return pattern.format(value) if value is not None else "infeasible"
+
+    print_table(
+        "A1: lookup representation tradeoffs",
+        [
+            "Devices",
+            "naive |S|",
+            "Materialized build (ms) / entries",
+            "Scan lookup (µs)",
+            "Pruned build (ms) / entries",
+            "Pruned lookup (µs)",
+        ],
+        [
+            (
+                r["devices"],
+                f"{r['naive_states']:,}",
+                f"{fmt(r['mat_build_ms'])} / {r['mat_entries'] if r['mat_entries'] is not None else '-'}",
+                fmt(r["scan_lookup_us"]),
+                f"{fmt(r['pruned_build_ms'])} / {r['pruned_entries']}",
+                fmt(r["pruned_lookup_us"]),
+            )
+            for r in results
+        ],
+    )
+    record(scenario_benchmark, "sweep", results)
+
+    largest, smallest = results[-1], results[0]
+    assert largest["mat_build_ms"] is None  # brute force already infeasible
+    assert largest["pruned_entries"] < 1000  # ~14 entries/device, linear
+    # rule-scan lookup cost grows with the rule count; pruned stays ~flat.
+    # Timing assertions carry slack: they document the shape, not a bound.
+    scan_growth = largest["scan_lookup_us"] / smallest["scan_lookup_us"]
+    pruned_growth = largest["pruned_lookup_us"] / smallest["pruned_lookup_us"]
+    assert pruned_growth < scan_growth * 1.25
+    # and at scale the pruned lookup is at least competitive
+    assert largest["pruned_lookup_us"] < largest["scan_lookup_us"] * 1.25
+    # pruned memory is far below any feasible materialization
+    feasible = [r for r in results if r["mat_entries"] is not None]
+    for r in feasible:
+        assert r["pruned_entries"] < r["mat_entries"]

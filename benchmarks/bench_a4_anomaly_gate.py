@@ -1,0 +1,117 @@
+"""Ablation A4: the anomaly gate against signatureless attacks.
+
+Signatures (Table 1 flaws) and context gates (Fig. 5) cover known badness.
+The remaining gap: an attacker holding a *valid stolen session token*,
+issuing commands that are individually legal -- no flaw, no signature, no
+guarded command.  The anomaly gate's context-conditional profile is the
+only element that can catch it (section 3.2's "anomaly detection rules"
+slot in the posture).
+
+Arms: monitor-only posture vs monitor + anomaly gate.  Both see the same
+benign training traffic (hub automation) and the same replay attack.  We
+also measure the benign false-positive count after training.
+"""
+
+from __future__ import annotations
+
+from _util import print_table, record
+
+from repro.core.deployment import SecuredDeployment
+from repro.devices import protocol
+from repro.devices.library import thermostat
+from repro.policy.posture import MboxSpec, Posture
+
+
+def run_arm(with_gate: bool) -> dict:
+    dep = SecuredDeployment.build()
+    thermo = dep.add_device(thermostat, "thermo")
+    attacker = dep.add_attacker()
+    dep.finalize()
+
+    modules = [MboxSpec.make("telemetry_tap"), MboxSpec.make("packet_logger")]
+    if with_gate:
+        modules.append(
+            MboxSpec.make(
+                "anomaly_gate",
+                device="thermo",
+                training_window=60.0,
+                min_training=10,
+                threshold=0.05,
+            )
+        )
+    dep.secure("thermo", Posture.make("baseline", *modules))
+
+    # benign traffic: the hub cycles the thermostat every couple seconds
+    session = next(iter(thermo.sessions))
+    hub = dep.hub
+    benign_sent = 40
+    for i in range(benign_sent):
+        dep.sim.schedule(
+            1.0 + i * 2.0,
+            lambda c=("heat" if i % 2 else "off"): hub.send(
+                protocol.command("hub", "thermo", c, session=session),
+                next(iter(hub.ports)),
+            ),
+        )
+
+    # the attack: a stolen session token replayed from outside at t=120
+    stolen_commands = 5
+    for i in range(stolen_commands):
+        dep.sim.schedule(
+            120.0 + i * 1.0,
+            lambda: attacker.fire_and_forget(
+                protocol.command("attacker", "thermo", "heat", session=session)
+            ),
+        )
+    dep.run(until=180.0)
+
+    attacker_commands_landed = sum(
+        1 for r in thermo.command_log if r.src == "attacker" and r.accepted
+    )
+    benign_landed = sum(
+        1 for r in thermo.command_log if r.src == "hub" and r.accepted
+    )
+    return {
+        "arm": "monitor+anomaly_gate" if with_gate else "monitor only",
+        "attacker_commands_landed": attacker_commands_landed,
+        "benign_landed": benign_landed,
+        "benign_sent": benign_sent,
+        "anomaly_alerts": sum(
+            1 for a in dep.alerts("thermo") if a.kind == "anomalous-command"
+        ),
+        "context": dep.controller.context_of("thermo"),
+    }
+
+
+def test_a4_anomaly_gate_catches_stolen_session(scenario_benchmark):
+    def run_all():
+        return [run_arm(False), run_arm(True)]
+
+    results = scenario_benchmark(run_all)
+
+    print_table(
+        "A4: stolen-session replay (no flaw, no signature, legal commands)",
+        ["Arm", "Attacker cmds landed", "Benign landed", "Anomaly alerts", "Context"],
+        [
+            (
+                r["arm"],
+                f"{r['attacker_commands_landed']}/5",
+                f"{r['benign_landed']}/{r['benign_sent']}",
+                r["anomaly_alerts"],
+                r["context"],
+            )
+            for r in results
+        ],
+    )
+    record(scenario_benchmark, "arms", results)
+
+    without, with_gate = results
+    # without the gate: the valid token sails through, nothing noticed
+    assert without["attacker_commands_landed"] == 5
+    assert without["anomaly_alerts"] == 0
+    assert without["context"] == "normal"
+    # with the gate: replay blocked, context escalated, zero benign loss
+    assert with_gate["attacker_commands_landed"] == 0
+    assert with_gate["anomaly_alerts"] >= 2
+    assert with_gate["context"] == "suspicious"
+    assert with_gate["benign_landed"] == with_gate["benign_sent"]

@@ -1,0 +1,153 @@
+"""E5: attack-graph generation for multi-stage attacks (section 4.2).
+
+"Such models can also be used to automatically identify potential
+multi-stage attacks due to cross-device interactions; e.g., triggering
+device X to transition to state SX and then using that to reach an
+eventual goal state (e.g., unlocking the door)."
+
+We grow deployments from 5 to 60 devices (each a house-worth of the model
+library, with automation recipes coupling them), build the attack graph,
+and report graph size, attack paths to a break-in goal, shortest depth,
+cut devices, and build+analysis time.  Expected shape: graph size grows
+linearly in devices (facts are local), path counts grow with coupling,
+build time stays interactive -- this is the analysis the paper wants to
+run *before* deployment.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import print_table, record
+
+from repro.devices.firmware import Firmware
+from repro.devices.library import (
+    BULB_MODEL,
+    CAMERA_MODEL,
+    FIRE_ALARM_MODEL,
+    MOTION_SENSOR_MODEL,
+    THERMOSTAT_MODEL,
+    WINDOW_MODEL,
+    smart_plug_model,
+)
+from repro.devices.model import DeviceModel
+from repro.learning.attackgraph import AttackGraphBuilder, envfact
+from repro.policy.ifttt import Recipe
+
+
+def deployment_of(n_devices: int) -> tuple[dict[str, tuple[DeviceModel, Firmware]], list[Recipe]]:
+    """n_devices spread over repeating 'rooms' of 5 devices each."""
+    devices: dict[str, tuple[DeviceModel, Firmware]] = {}
+    recipes: list[Recipe] = []
+    room_kit = [
+        ("plug", smart_plug_model(heat_watts=1500.0),
+         Firmware(vendor="belkin", model="wemo", backdoor_port=49153, open_ports=(8080,))),
+        ("window", WINDOW_MODEL,
+         Firmware(vendor="acme", model="window",
+                  credentials=[])),
+        ("alarm", FIRE_ALARM_MODEL, Firmware(vendor="nest", model="protect")),
+        ("bulb", BULB_MODEL,
+         Firmware(vendor="philips", model="hue", requires_auth_for_control=False)),
+        ("cam", CAMERA_MODEL,
+         Firmware(vendor="dlink", model="cam", credentials=[])),
+    ]
+    extras = [
+        ("thermo", THERMOSTAT_MODEL, Firmware(vendor="nest", model="t3")),
+        ("motion", MOTION_SENSOR_MODEL, Firmware(vendor="scout", model="m2")),
+    ]
+    i = 0
+    room = 0
+    while len(devices) < n_devices:
+        kit = room_kit if room % 2 == 0 else room_kit[:3] + extras
+        for base, model, firmware in kit:
+            if len(devices) >= n_devices:
+                break
+            name = f"{base}{room}"
+            devices[name] = (model, firmware)
+            i += 1
+        # the automation that makes multi-stage paths possible
+        if f"window{room}" in devices:
+            recipes.append(
+                Recipe(
+                    f"cool-down-{room}", "env:temperature", "high",
+                    f"window{room}", "open",
+                )
+            )
+        room += 1
+    return devices, recipes
+
+
+def run_size(n: int) -> dict:
+    devices, recipes = deployment_of(n)
+    start = time.perf_counter()
+    builder = AttackGraphBuilder(devices, recipes=recipes)
+    built = time.perf_counter() - start
+    goal = envfact("window", "open")  # any window open = physical breach
+    # goal per-room: use room 0's window binding fact
+    goal = ("env", "window", "open")
+    start = time.perf_counter()
+    paths = builder.paths_to(goal, max_paths=500)
+    cuts = builder.cut_devices(goal)
+    analyzed = time.perf_counter() - start
+    multistage = [p for p in paths if p.stages >= 4]
+    return {
+        "devices": n,
+        "nodes": builder.graph.number_of_nodes(),
+        "edges": builder.graph.number_of_edges(),
+        "paths": len(paths),
+        "multistage_paths": len(multistage),
+        "shortest": min((p.stages for p in paths), default=None),
+        "cuts": len(cuts),
+        "build_ms": built * 1e3,
+        "analyze_ms": analyzed * 1e3,
+    }
+
+
+def test_e5_attack_graph_scaling(scenario_benchmark):
+    sweep = [5, 10, 20, 40, 60]
+
+    def run_all():
+        return [run_size(n) for n in sweep]
+
+    results = scenario_benchmark(run_all)
+
+    print_table(
+        "E5: attack graphs for growing deployments (goal: any window open)",
+        [
+            "Devices",
+            "Facts",
+            "Edges",
+            "Attack paths",
+            "Multi-stage (>=4)",
+            "Shortest",
+            "Build (ms)",
+            "Analyze (ms)",
+        ],
+        [
+            (
+                r["devices"],
+                r["nodes"],
+                r["edges"],
+                r["paths"],
+                r["multistage_paths"],
+                r["shortest"],
+                f"{r['build_ms']:.1f}",
+                f"{r['analyze_ms']:.1f}",
+            )
+            for r in results
+        ],
+    )
+    record(scenario_benchmark, "sweep", results)
+
+    for r in results:
+        assert r["paths"] >= 1
+        # the shortest break-in here is the 5-stage physical path:
+        # control(plug) -> plug=on -> temp=high -> recipe -> window=open
+        assert r["shortest"] is not None and r["shortest"] <= 5
+    # multi-stage physical paths exist once the automation couples rooms
+    assert any(r["multistage_paths"] >= 1 for r in results)
+    # graph growth is roughly linear in devices (facts are local)
+    nodes_per_device = [r["nodes"] / r["devices"] for r in results]
+    assert max(nodes_per_device) < 3 * min(nodes_per_device)
+    # analysis stays interactive
+    assert all(r["build_ms"] + r["analyze_ms"] < 5000.0 for r in results)

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration: sane defaults for scenario benches.
+
+Scenario benches run a whole simulated deployment per iteration; one round
+is representative (the simulator is deterministic), so we default to few
+rounds and disable warmup.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def scenario_benchmark(benchmark):
+    """A benchmark runner tuned for deterministic end-to-end scenarios."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+    run.extra_info = benchmark.extra_info
+    run.raw = benchmark
+    return run

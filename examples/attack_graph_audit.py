@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Section 4.2's offline audit: fuzz the models, build the attack graph.
+
+Before deploying a single µmbox, IoTSec can reason about a home purely
+from the abstract device models:
+
+1. fuzz the joint device x environment space to find the implicit
+   couplings (who can influence whom through physics), and
+2. build the attack graph to enumerate multi-stage attacks toward a goal
+   ("the window ends up open"), including the ones that ride the owner's
+   own automation recipes.
+
+Run:  python examples/attack_graph_audit.py
+"""
+
+import random
+
+from repro.devices.library import (
+    fire_alarm,
+    smart_plug,
+    thermostat,
+    window_actuator,
+)
+from repro.learning.abstract_env import AbstractWorld
+from repro.learning.attackgraph import AttackGraphBuilder, envfact
+from repro.learning.fuzzing import ModelFuzzer, exhaustive_edges
+from repro.netsim.simulator import Simulator
+from repro.policy.ifttt import Recipe
+
+
+def main() -> None:
+    sim = Simulator()
+    devices = {
+        d.name: d
+        for d in (
+            smart_plug("heater_plug", sim, load={"heat_watts": 1500.0}),
+            smart_plug("oven_plug", sim, load={"hazard": 1.0, "heat_watts": 2000.0}),
+            fire_alarm("alarm", sim),
+            window_actuator("window", sim),
+            thermostat("thermo", sim),
+        )
+    }
+    recipes = [Recipe("cool-down", "env:temperature", "high", "window", "open")]
+
+    # ------------------------------------------------------------------
+    print("Step 1: fuzz the abstract models for implicit couplings")
+    world = AbstractWorld({name: dev.model for name, dev in devices.items()})
+    truth, env_edges, states = exhaustive_edges(world)
+    report = ModelFuzzer(world, random.Random(7)).run(3000)
+    print(f"  joint abstract states explored: {states}")
+    print(f"  fuzzer coverage of ground truth: {report.coverage_against(truth):.0%}")
+    print("  implicit device-to-device couplings found:")
+    for edge in sorted(report.interaction_edges, key=str):
+        print(f"    {edge}")
+    print("  environment couplings (sample):")
+    for edge in sorted(report.environment_edges, key=str)[:6]:
+        print(f"    {edge}")
+
+    # ------------------------------------------------------------------
+    print("\nStep 2: attack graph toward goal env:window=open")
+    builder = AttackGraphBuilder(
+        {name: (dev.model, dev.firmware) for name, dev in devices.items()},
+        recipes=recipes,
+    )
+    goal = envfact("window", "open")
+    paths = builder.paths_to(goal)
+    print(f"  graph: {builder.graph.number_of_nodes()} facts, "
+          f"{builder.graph.number_of_edges()} inference edges")
+    print(f"  attack paths to the goal: {len(paths)}")
+    for path in paths:
+        print(f"    [{path.stages} stages] {path}")
+        print(f"      via: {', '.join(path.exploits)}")
+    cuts = builder.cut_devices(goal)
+    if cuts:
+        print(f"  hardening any of {cuts} severs every path")
+    else:
+        print("  no single device severs every path -> defend in depth")
+
+    # ------------------------------------------------------------------
+    print("\nStep 3: what the audit buys you")
+    print("  The thermal path never sends the window a malicious packet;")
+    print("  only a policy that reacts to *context* (plug suspicious ->")
+    print("  guard the window) can break it. That policy is exactly what")
+    print("  examples/cross_device_policy.py deploys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Cross-device and context-aware policy: Figures 3 and 5 in one home.
+
+Two policies that no per-device firewall can express:
+
+1. (Fig. 5) the oven's smart plug accepts "on" only while the camera sees
+   a person in the room;
+2. (Fig. 3) when the fire alarm looks suspicious (its backdoor was
+   probed), the window actuator must refuse "open" commands -- because a
+   benign ventilation recipe would otherwise open it for the burglar.
+
+Run:  python examples/cross_device_policy.py
+"""
+
+from repro import SecuredDeployment
+from repro.attacks.exploits import EXPLOITS
+from repro.devices.library import (
+    FIREALARM_BACKDOOR_PORT,
+    WEMO_BACKDOOR_PORT,
+    fire_alarm,
+    smart_camera,
+    smart_plug,
+    window_actuator,
+)
+from repro.learning.repository import CrowdRepository
+from repro.learning.signatures import backdoor_signature
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import SUSPICIOUS
+from repro.policy.ifttt import Recipe
+from repro.policy.posture import MboxSpec, Posture, block_commands
+
+
+def build_policy():
+    return (
+        PolicyBuilder()
+        .device("fire_alarm")
+        .device("window")
+        .device("oven_plug")
+        .env("smoke", ("clear", "detected"))
+        .env("occupancy", ("absent", "present"))
+        # Fig. 3: suspicious fire alarm -> window refuses "open"
+        .when("ctx:fire_alarm", SUSPICIOUS)
+        .give("window", block_commands("open", name="block-open"), priority=200)
+        # Fig. 5: oven power gated on occupancy, in *every* state
+        .always()
+        .give(
+            "oven_plug",
+            Posture.make(
+                "occupancy-gate",
+                MboxSpec.make(
+                    "context_gate",
+                    commands=["on"],
+                    require={"env:occupancy": "present"},
+                ),
+            ),
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    home = SecuredDeployment.build()
+    home.policy = build_policy()
+    alarm = home.add_device(fire_alarm, "fire_alarm")
+    window = home.add_device(window_actuator, "window")
+    oven = home.add_device(smart_plug, "oven_plug", load={"hazard": 1.0})
+    home.add_device(smart_camera, "cam")
+    attacker = home.add_attacker()
+    home.finalize()
+
+    # the household automation the attacker would love to ride
+    home.hub.add_recipe(Recipe("ventilate", "dev:fire_alarm", "alarm", "window", "open"))
+    home.hub.watch_devices(lambda n: home.devices[n].state if n in home.devices else None)
+
+    # crowd knowledge about the fire alarm's vendor backdoor
+    repo = CrowdRepository(home.sim)
+    repo.publish(backdoor_signature(alarm.sku, FIREALARM_BACKDOOR_PORT), reporter="site-42")
+    home.attach_repository(repo)
+    home.enforce_baseline()
+
+    print("Policy:", home.policy)
+    print("\nPhase 1 (t=5s): attacker probes the fire alarm's backdoor...")
+    home.sim.schedule(
+        5.0,
+        lambda: EXPLOITS["backdoor_command"].launch(
+            attacker, "fire_alarm", home.sim,
+            backdoor_port=FIREALARM_BACKDOOR_PORT, command="test",
+        ),
+    )
+    print("Phase 2 (t=15s): attacker tries to power the oven, nobody home...")
+    home.sim.schedule(
+        15.0,
+        lambda: EXPLOITS["backdoor_command"].launch(
+            attacker, "oven_plug", home.sim,
+            backdoor_port=WEMO_BACKDOOR_PORT, command="on",
+        ),
+    )
+    home.run(until=60.0)
+
+    print("\nOutcome:")
+    print(f"  fire alarm state/context: {alarm.state} / {home.controller.context_of('fire_alarm')}")
+    print(f"  window:                   {window.state}")
+    print(f"  window posture now:       {home.orchestrator.posture_of('window').name}")
+    print(f"  oven plug:                {oven.state}")
+    print(f"  alerts: {[ (a.device, a.kind) for a in home.alerts() ]}")
+
+    print("\nPhase 3 (t=60s): the owner comes home; the oven command is now legitimate.")
+    home.env.discrete("occupancy").set("present")
+    home.sim.schedule(
+        5.0,
+        lambda: EXPLOITS["backdoor_command"].launch(
+            attacker, "oven_plug", home.sim,
+            backdoor_port=WEMO_BACKDOOR_PORT, command="on",
+        ),
+    )
+    home.run(until=120.0)
+    print(f"  oven plug with occupant present: {oven.state}")
+    print("  (the same packet, allowed by policy -- context decided, not headers)")
+
+
+if __name__ == "__main__":
+    main()

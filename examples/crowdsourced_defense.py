@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Section 4.1's crowdsourced signature repository across many sites.
+
+Thousands of homes deploy the same camera SKU.  One of them gets attacked,
+publishes an (anonymized) signature, and every other subscriber's IDS
+µmbox learns it -- contributors first.  A poisoner then tries to inject a
+signature that would block all web traffic, and the reputation system
+shuts it down.
+
+Run:  python examples/crowdsourced_defense.py
+"""
+
+from repro import SecuredDeployment, build_recommended_posture
+from repro.attacks.exploits import EXPLOITS
+from repro.devices.library import smart_camera
+from repro.learning.anonymize import leaks_identity
+from repro.learning.repository import CrowdRepository
+from repro.learning.signatures import AttackSignature, SignatureMatch, default_credential_signature
+from repro.netsim.simulator import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    repo = CrowdRepository(sim, free_rider_delay=300.0)
+
+    # --- Site A is attacked and reports what it saw -------------------
+    site_a = SecuredDeployment.build(sim=sim)
+    cam_a = site_a.add_device(smart_camera, "cam")
+    attacker_a = site_a.add_attacker()
+    site_a.finalize()
+    site_a.attach_repository(repo)
+    EXPLOITS["default_credential_hijack"].launch(attacker_a, "cam", sim)
+    sim.run(until=10.0)
+    print(f"Site A compromised: {bool(attacker_a.loot_from('cam'))}")
+
+    signature = default_credential_signature(cam_a.sku)
+    sig_id = repo.publish(signature, reporter="site-a-watchful-admin")
+    stored = repo.signatures[sig_id]
+    print(f"Published signature for SKU {stored.sku!r} as {stored.reporter!r}")
+    print(f"  identity leaked? {leaks_identity(stored, {'site-a-watchful-admin'})}")
+
+    # --- Site B subscribes and is attacked later ----------------------
+    site_b = SecuredDeployment.build(sim=sim)
+    cam_b = site_b.add_device(smart_camera, "cam")
+    attacker_b = site_b.add_attacker()
+    site_b.finalize()
+    site_b.attach_repository(repo)
+    site_b.secure("cam", build_recommended_posture("monitor", "cam", sku=cam_b.sku))
+    sim.run(until=400.0)  # past the free-rider delay
+
+    result = EXPLOITS["default_credential_hijack"].launch(attacker_b, "cam", sim)
+    sim.run(until=420.0)
+    print(f"\nSite B attacked with the same exploit: succeeded={result.succeeded}")
+    print(f"Site B alerts: {[a.kind for a in site_b.alerts('cam')]}")
+    print(f"Site B camera context: {site_b.controller.context_of('cam')}")
+
+    # --- A poisoner tries to deny service to everyone ------------------
+    bogus = AttackSignature(
+        sku=cam_b.sku,
+        flaw_class="made-up",
+        match=SignatureMatch.make(dport=80),  # would match ALL web traffic
+        recommended_posture="quarantine",
+    )
+    bogus_id = repo.publish(bogus, reporter="poisoner")
+    print(f"\nPoisoner published signature #{bogus_id}")
+    for i in range(6):
+        voter = f"validator-{i}"
+        for __ in range(10):
+            repo.reputation.feedback(voter, validated=True)
+        repo.vote(bogus_id, voter, helpful=False)
+    print(f"After community down-votes: revoked={repo.is_revoked(bogus_id)}")
+    print(f"Repository stats: {repo.stats()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""An enterprise deployment: many rooms, one security cluster.
+
+Section 2.2: "we assume the enterprise has a well-provisioned on-premise
+cluster with a pool of commodity server machines.  Each IoT device's
+first-hop edge router or wireless access point is configured to tunnel
+packets to/from the device to the cluster."
+
+This example builds a three-floor office with per-floor access switches,
+devices on each floor tunnelling through the core to the shared cluster,
+flaw-informed baseline postures, and a sweep of attacks from the Internet.
+
+Run:  python examples/enterprise_deployment.py
+"""
+
+from repro import SecuredDeployment, build_recommended_posture
+from repro.attacks.exploits import EXPLOITS
+from repro.core.metrics import summarize
+from repro.devices.library import (
+    WEMO_BACKDOOR_PORT,
+    set_top_box,
+    smart_camera,
+    smart_plug,
+    thermostat,
+)
+
+
+def main() -> None:
+    office = SecuredDeployment.build()
+    floors = ["floor1", "floor2", "floor3"]
+    for floor in floors:
+        office.add_room(floor)
+
+    # a device mix per floor
+    for i, floor in enumerate(floors):
+        office.add_device(smart_camera, f"cam-{floor}", room=floor)
+        office.add_device(smart_plug, f"plug-{floor}", room=floor)
+    office.add_device(set_top_box, "lobby-stb", room="floor1")
+    office.add_device(thermostat, "hvac", room="floor2")
+    attacker = office.add_attacker()
+    office.finalize()
+
+    # flaw-informed baseline postures, straight from the firmware census
+    trusted = (office.HUB, office.CONTROLLER)
+    for name, device in office.devices.items():
+        flaws = device.firmware.flaw_classes()
+        if "exposed-credentials" in flaws or "weak-credentials" in flaws:
+            posture = build_recommended_posture(
+                "password_proxy", name, new_password="Corp0rate!"
+            )
+        elif flaws & {"backdoor", "exposed-access"}:
+            posture = build_recommended_posture(
+                "stateful_firewall", name, trusted_sources=trusted
+            )
+        else:
+            posture = build_recommended_posture("monitor", name, sku=device.sku)
+        office.secure(name, posture)
+    office.run(until=1.0)
+
+    print(f"Office: {len(floors)} floors, {len(office.devices)} devices, "
+          f"{office.manager.active_count()} µmboxes on one cluster\n")
+
+    # the attack sweep
+    results = {}
+    results["cred cam-floor3"] = EXPLOITS["default_credential_hijack"].launch(
+        attacker, "cam-floor3", office.sim
+    )
+    results["backdoor plug-floor2"] = EXPLOITS["backdoor_command"].launch(
+        attacker, "plug-floor2", office.sim,
+        backdoor_port=WEMO_BACKDOOR_PORT, command="on",
+    )
+    results["open-access lobby-stb"] = EXPLOITS["open_access_control"].launch(
+        attacker, "lobby-stb", office.sim, port=8080, command="play"
+    )
+    office.run(until=60.0)
+
+    print("Attack sweep from the Internet:")
+    for label, result in results.items():
+        print(f"  {label:28s} -> {'EXPLOITED' if result.succeeded else 'blocked'}")
+
+    print()
+    print(summarize(office).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Policies as reviewable configuration.
+
+Security policy belongs in version control: export the running policy as
+JSON, review/edit it like code, load it back, enforce it.  This example
+round-trips a policy through a file, tightens it with one extra rule "in
+review", and shows the deployment honouring the loaded version.
+
+Run:  python examples/policy_as_config.py
+"""
+
+import json
+import tempfile
+
+from repro import SecuredDeployment
+from repro.devices.library import smart_camera, window_actuator
+from repro.policy import serialization
+from repro.policy.conflicts import full_report
+
+
+def main() -> None:
+    # 1. A deployment generates its default policy.
+    home = SecuredDeployment.build()
+    home.add_device(smart_camera, "cam")
+    home.add_device(window_actuator, "window")
+    home.finalize()
+    print(f"default policy: {home.policy}")
+
+    # 2. Export to a file (this is what you would commit).
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as handle:
+        path = handle.name
+    serialization.save(home.policy, path)
+    print(f"exported to {path}")
+
+    # 3. "Review": edit the JSON -- a teammate adds a cross-device rule.
+    with open(path) as handle:
+        config = json.load(handle)
+    config["rules"].append(
+        {
+            "when": {"ctx:cam": "suspicious"},
+            "device": "window",
+            "priority": 250,
+            "posture": {
+                "name": "reviewed-addition",
+                "modules": [
+                    {"kind": "command_filter", "config": {"deny": ["open"]}}
+                ],
+            },
+        }
+    )
+    with open(path, "w") as handle:
+        json.dump(config, handle, indent=2)
+    print("review added: suspicious camera => window refuses 'open'")
+
+    # 4. Load, lint, deploy.
+    policy = serialization.load(path)
+    problems = [c for c in full_report(policy) if c.severity == "error"]
+    print(f"policy lint: {len(problems)} errors")
+
+    home2 = SecuredDeployment.build(policy=policy)
+    home2.add_device(smart_camera, "cam")
+    home2.add_device(window_actuator, "window")
+    home2.finalize()
+    home2.controller.set_context("cam", "suspicious")
+    posture = home2.orchestrator.posture_of("window")
+    print(f"after escalation, window posture: {posture.name}")
+    assert posture.name == "reviewed-addition"
+    print("the deployment enforces exactly what the reviewed file says.")
+
+
+if __name__ == "__main__":
+    main()

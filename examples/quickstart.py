@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build a smart home, attack it, then let IoTSec defend it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SecuredDeployment, build_recommended_posture
+from repro.attacks.exploits import EXPLOITS
+from repro.devices.library import smart_camera, smart_plug
+
+
+def run(protected: bool) -> None:
+    label = "WITH IoTSec" if protected else "CURRENT WORLD"
+    print(f"\n--- {label} ---")
+
+    # 1. A home: an edge switch, an automation hub, an Internet uplink,
+    #    and (when protected) a security cluster with a controller.
+    home = SecuredDeployment.build(with_iotsec=protected)
+
+    # 2. Two devices straight from the library, flaws included:
+    #    a camera with a hardcoded admin/admin account (Fig. 4) and a
+    #    Belkin-Wemo-style smart plug with a vendor backdoor (Table 1).
+    cam = home.add_device(smart_camera, "cam")
+    plug = home.add_device(smart_plug, "plug", load={"heat_watts": 1500.0})
+    attacker = home.add_attacker()
+    home.finalize()
+
+    # 3. When protected, give each device its recommended µmbox posture.
+    if protected:
+        home.secure(
+            "cam",
+            build_recommended_posture(
+                "password_proxy", "cam", new_password="S3cure!gateway"
+            ),
+        )
+        home.secure(
+            "plug",
+            build_recommended_posture(
+                "stateful_firewall", "plug", trusted_sources=(home.HUB, home.CONTROLLER)
+            ),
+        )
+
+    # 4. Attack both devices.
+    hijack = EXPLOITS["default_credential_hijack"].launch(
+        attacker, "cam", home.sim, resource="image"
+    )
+    backdoor = EXPLOITS["backdoor_command"].launch(
+        attacker, "plug", home.sim,
+        backdoor_port=plug.firmware.backdoor_port, command="on",
+    )
+
+    # 5. Run one simulated minute and report.
+    home.run(until=60.0)
+    print(f"camera hijacked:        {hijack.succeeded}")
+    print(f"images exfiltrated:     {len(attacker.loot_from('cam'))}")
+    print(f"plug driven by backdoor:{backdoor.succeeded}  (state={plug.state})")
+    if protected:
+        kinds = sorted({a.kind for a in home.alerts()})
+        print(f"µmbox alerts raised:    {kinds}")
+        print(f"camera context:         {home.controller.context_of('cam')}")
+
+
+def main() -> None:
+    run(protected=False)
+    run(protected=True)
+    print("\nSame devices, same flaws, same attacks -- the network made the difference.")
+
+
+if __name__ == "__main__":
+    main()

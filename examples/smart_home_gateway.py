@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Fig. 4 use case, end to end: an IoT security gateway.
+
+A D-Link-style surveillance camera ships with a hardcoded ``admin/admin``
+account that the user has no interface to delete.  IoTSec interposes a
+password-proxy µmbox on the camera's path: the administrator picks a real
+password at the *gateway*; the vendor default keeps working only for the
+proxy itself, never for the outside world.
+
+Run:  python examples/smart_home_gateway.py
+"""
+
+from repro import SecuredDeployment, build_recommended_posture
+from repro.devices import protocol
+from repro.devices.library import smart_camera
+
+NEW_PASSWORD = "correct-horse-battery-staple"
+
+
+def main() -> None:
+    home = SecuredDeployment.build()
+    cam = home.add_device(smart_camera, "cam")
+    attacker = home.add_attacker("attacker")
+    admin = home.add_attacker("admin_laptop", latency=0.001)
+    home.finalize()
+
+    print("The camera's firmware cannot be fixed:")
+    print(f"  patch attempt on device -> {cam.firmware.patch_credentials('admin', NEW_PASSWORD)}")
+    print(f"  flaw classes            -> {sorted(cam.firmware.flaw_classes())}")
+
+    print("\nDeploying the password-proxy µmbox (the Fig. 4 gateway)...")
+    home.secure(
+        "cam",
+        build_recommended_posture("password_proxy", "cam", new_password=NEW_PASSWORD),
+    )
+
+    outcomes: dict[str, str] = {}
+
+    def attempt(who, password, label, at):
+        def send():
+            def on_reply(reply):
+                outcomes[label] = "ACCEPTED" if protocol.is_ok(reply) else "denied"
+
+            who.request(protocol.login(who.name, "cam", "admin", password), on_reply)
+            # no reply within 5s means the gateway dropped it silently
+            home.sim.schedule(5.0, lambda: outcomes.setdefault(label, "dropped at gateway"))
+
+        home.sim.schedule(at, send)
+
+    attempt(attacker, "admin", "attacker with vendor default", 1.0)
+    attempt(attacker, "123456", "attacker guessing", 2.0)
+    attempt(admin, NEW_PASSWORD, "administrator with new password", 3.0)
+
+    home.run(until=30.0)
+
+    print("\nLogin outcomes through the gateway:")
+    for label, outcome in outcomes.items():
+        print(f"  {label:35s} -> {outcome}")
+    print(f"\nLogins that reached the camera itself: {len(cam.login_log)}")
+    print(f"Gateway alerts: {[a.kind for a in home.alerts('cam')]}")
+    print("\nThe flaw is still in the firmware -- it is simply unreachable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments whose pip/setuptools cannot do PEP-660 editable
+installs (no `wheel` package available offline).  `pip install -e .` uses
+this via the legacy code path; metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

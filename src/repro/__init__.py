@@ -1,0 +1,55 @@
+"""IoTSec: network security for the Internet-of-Things.
+
+A full reproduction of "Handling a trillion (unfixable) flaws on a billion
+devices: Rethinking network security for the Internet-of-Things"
+(Yu, Sekar, Seshan, Agarwal, Xu -- HotNets 2015).
+
+The library is organized along the paper's three challenges:
+
+- **Policies** (:mod:`repro.policy`): the FSM policy abstraction over
+  device security contexts and environment variables, with pruning,
+  conflict analysis, and the ACL / IFTTT strawmen.
+- **Learning** (:mod:`repro.learning`): crowdsourced signature sharing,
+  model-based fuzzing for cross-device interactions, attack graphs,
+  anomaly profiles.
+- **Enforcement** (:mod:`repro.core`, :mod:`repro.mboxes`,
+  :mod:`repro.sdn`): the IoTSec controller, µmbox data plane, and
+  SDN substrate.
+
+Substrates: :mod:`repro.netsim` (discrete-event network),
+:mod:`repro.environment` (physical coupling), :mod:`repro.devices`
+(vulnerable device models), :mod:`repro.attacks` (the red team).
+
+Quick start::
+
+    from repro import SecuredDeployment
+    from repro.devices.library import smart_camera
+    from repro.core.orchestrator import build_recommended_posture
+
+    dep = SecuredDeployment.build()
+    cam = dep.add_device(smart_camera, "cam")
+    dep.finalize()
+    dep.secure("cam", build_recommended_posture("password_proxy", "cam"))
+    dep.run(until=60.0)
+"""
+
+from repro.core.controller import IoTSecController
+from repro.core.deployment import SecuredDeployment
+from repro.core.orchestrator import build_recommended_posture
+from repro.netsim.simulator import Simulator
+from repro.policy.builder import PolicyBuilder
+from repro.policy.fsm import PolicyFSM
+from repro.policy.posture import Posture
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IoTSecController",
+    "PolicyBuilder",
+    "PolicyFSM",
+    "Posture",
+    "SecuredDeployment",
+    "Simulator",
+    "build_recommended_posture",
+    "__version__",
+]

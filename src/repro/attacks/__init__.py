@@ -1,0 +1,18 @@
+"""Attacker models.
+
+Every experiment needs a red team.  This package provides:
+
+- :mod:`repro.attacks.attacker` -- an attacker host with request/response
+  correlation (it can log in, keep sessions, and chain actions).
+- :mod:`repro.attacks.exploits` -- one exploit primitive per Table 1 flaw
+  class (default credentials, exposed access, embedded keys, no-credential
+  control, open DNS resolver reflection, vendor backdoor) plus brute force.
+- :mod:`repro.attacks.scenarios` -- multi-stage campaigns, including the
+  paper's two narrative attacks: the Fig. 3 fire-alarm/window break-in and
+  the section 2.1 smart-plug -> temperature -> window physical breach.
+"""
+
+from repro.attacks.attacker import Attacker
+from repro.attacks.exploits import EXPLOITS, Exploit, ExploitResult
+
+__all__ = ["Attacker", "EXPLOITS", "Exploit", "ExploitResult"]

@@ -1,0 +1,67 @@
+"""The attacker host.
+
+A :class:`Attacker` is a :class:`~repro.netsim.node.Host` that correlates
+replies back to the request that caused them (FIFO per peer -- sufficient
+in a deterministic simulation) so exploits can chain: log in, harvest the
+session token, then issue authenticated commands.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+ReplyCallback = Callable[[Packet], None]
+
+
+class Attacker(Host):
+    """A remote adversary with per-target session state."""
+
+    def __init__(self, name: str, sim: "Simulator") -> None:
+        super().__init__(name, sim)
+        self.sessions: dict[str, str] = {}      # target -> session token
+        self.loot: list[dict[str, Any]] = []    # exfiltrated resources
+        self._pending: dict[str, deque[ReplyCallback]] = defaultdict(deque)
+        self.requests_sent = 0
+        self.replies_seen = 0
+
+    def request(self, packet: Packet, on_reply: ReplyCallback | None = None) -> None:
+        """Send ``packet`` and register a callback for the next reply from
+        its destination."""
+        if on_reply is not None:
+            self._pending[packet.dst].append(on_reply)
+        self.requests_sent += 1
+        self.send(packet)
+
+    def fire_and_forget(self, packet: Packet) -> None:
+        self.requests_sent += 1
+        self.send(packet)
+
+    def on_packet(self, packet: Packet, in_port: int) -> None:
+        self.inbox.append(packet)
+        self.replies_seen += 1
+        queue = self._pending.get(packet.src)
+        if queue:
+            callback = queue.popleft()
+            callback(packet)
+
+    # ------------------------------------------------------------------
+    # Session bookkeeping used by exploits
+    # ------------------------------------------------------------------
+    def store_session(self, target: str, token: str) -> None:
+        self.sessions[target] = token
+
+    def session_for(self, target: str) -> str | None:
+        return self.sessions.get(target)
+
+    def record_loot(self, target: str, resource: str, data: Any) -> None:
+        self.loot.append({"target": target, "resource": resource, "data": data})
+
+    def loot_from(self, target: str) -> list[dict[str, Any]]:
+        return [item for item in self.loot if item["target"] == target]

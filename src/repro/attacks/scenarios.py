@@ -1,0 +1,164 @@
+"""Multi-stage attack campaigns.
+
+Section 4.2 closes with "triggering device X to transition to state SX and
+then using that to reach an eventual goal state (e.g., unlocking the door)".
+A :class:`Campaign` scripts such stages against the simulation; the two
+canned campaigns are the paper's own narratives:
+
+- :func:`fig3_break_in` -- compromise the FireAlarm via its backdoor to
+  force the alarm state, counting on a ventilation rule to open the window
+  (and, as the fallback transition in Fig. 3, brute-force the window's
+  password directly).
+- :func:`thermal_break_in` -- the section 2.1 scenario: backdoor the smart
+  plug powering the AC, turn it off, let the room heat up, and wait for the
+  IFTTT cool-down rule to open the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.attacks.attacker import Attacker
+from repro.attacks.exploits import (
+    BackdoorCommand,
+    BruteForceLogin,
+    ExploitResult,
+)
+from repro.devices.library import FIREALARM_BACKDOOR_PORT, WEMO_BACKDOOR_PORT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class Stage:
+    """One step of a campaign: a delay, an action, and a label."""
+
+    at: float
+    action: Callable[[], ExploitResult | None]
+    label: str
+    result: ExploitResult | None = None
+
+
+@dataclass
+class Campaign:
+    """An ordered multi-stage attack with a final goal predicate."""
+
+    name: str
+    attacker: Attacker
+    stages: list[Stage] = field(default_factory=list)
+    goal: Callable[[], bool] | None = None
+    goal_reached_at: float | None = None
+
+    def add_stage(
+        self, at: float, label: str, action: Callable[[], ExploitResult | None]
+    ) -> None:
+        self.stages.append(Stage(at=at, action=action, label=label))
+
+    def launch(self, sim: "Simulator", goal_poll: float = 1.0, until: float = 3600.0) -> None:
+        """Schedule every stage and start polling the goal predicate."""
+        for stage in self.stages:
+            def run(st: Stage = stage) -> None:
+                st.result = st.action()
+
+            sim.schedule(stage.at, run)
+        if self.goal is not None:
+            def poll() -> None:
+                if self.goal_reached_at is None and self.goal():
+                    self.goal_reached_at = sim.now
+                elif self.goal_reached_at is None and sim.now + goal_poll <= until:
+                    sim.schedule(goal_poll, poll)
+
+            sim.schedule(goal_poll, poll)
+
+    def succeeded(self) -> bool:
+        return self.goal_reached_at is not None
+
+    def stage_results(self) -> dict[str, Any]:
+        return {
+            stage.label: (stage.result.succeeded if stage.result else None)
+            for stage in self.stages
+        }
+
+
+def fig3_break_in(
+    attacker: Attacker,
+    sim: "Simulator",
+    fire_alarm: str = "fire_alarm",
+    window: str = "window",
+    window_is_open: Callable[[], bool] | None = None,
+    backdoor_at: float = 5.0,
+    brute_force_at: float = 30.0,
+) -> Campaign:
+    """The Fig. 3 campaign: both attack transitions in the policy FSM.
+
+    Stage 1 accesses the FireAlarm's backdoor and forces the alarm state
+    (an automation rule "if alarm then open window for ventilation" is the
+    intended victim).  Stage 2 is the alternative edge: brute-force the
+    window actuator's weak password and open it directly.
+    """
+    campaign = Campaign(name="fig3_break_in", attacker=attacker, goal=window_is_open)
+    backdoor = BackdoorCommand()
+    brute = BruteForceLogin()
+
+    campaign.add_stage(
+        backdoor_at,
+        "firealarm_backdoor",
+        lambda: backdoor.launch(
+            attacker, fire_alarm, sim, backdoor_port=FIREALARM_BACKDOOR_PORT, command="test"
+        ),
+    )
+    campaign.add_stage(
+        brute_force_at,
+        "window_brute_force",
+        lambda: brute.launch(attacker, window, sim, command="open"),
+    )
+    return campaign
+
+
+def thermal_break_in(
+    attacker: Attacker,
+    sim: "Simulator",
+    ac_plug: str = "ac_plug",
+    window_is_open: Callable[[], bool] | None = None,
+    attack_at: float = 10.0,
+) -> Campaign:
+    """Section 2.1's implicit-coupling attack.
+
+    One packet to the plug's backdoor turns off the air conditioner; the
+    rest of the attack is executed *by the environment and the victim's own
+    automation*: temperature rises, the IFTTT cool-down recipe opens the
+    window, and physical security is breached without the window ever
+    receiving attacker traffic.
+    """
+    campaign = Campaign(name="thermal_break_in", attacker=attacker, goal=window_is_open)
+    backdoor = BackdoorCommand()
+    campaign.add_stage(
+        attack_at,
+        "plug_backdoor_off",
+        lambda: backdoor.launch(
+            attacker, ac_plug, sim, backdoor_port=WEMO_BACKDOOR_PORT, command="off"
+        ),
+    )
+    return campaign
+
+
+def oven_arson(
+    attacker: Attacker,
+    sim: "Simulator",
+    oven_plug: str = "oven_plug",
+    smoke_detected: Callable[[], bool] | None = None,
+    attack_at: float = 10.0,
+) -> Campaign:
+    """Fig. 5's danger case: remotely power the oven while nobody is home."""
+    campaign = Campaign(name="oven_arson", attacker=attacker, goal=smoke_detected)
+    backdoor = BackdoorCommand()
+    campaign.add_stage(
+        attack_at,
+        "oven_plug_backdoor_on",
+        lambda: backdoor.launch(
+            attacker, oven_plug, sim, backdoor_port=WEMO_BACKDOOR_PORT, command="on"
+        ),
+    )
+    return campaign

@@ -1,0 +1,359 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo fig3|fig4|fig5|thermal`` -- run a paper scenario, current world
+  vs IoTSec, and print the outcome plus a deployment report.
+- ``table1`` -- replay all seven Table 1 vulnerability rows.
+- ``audit`` -- fuzz the model library and print the attack graph +
+  hardening plan for a canned smart home.
+- ``report`` -- build a secured home, attack it, print the operator view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+
+def _demo_fig4(protect: bool) -> None:
+    from repro import SecuredDeployment, build_recommended_posture
+    from repro.attacks.exploits import EXPLOITS
+    from repro.core.metrics import summarize
+    from repro.devices.library import smart_camera
+
+    dep = SecuredDeployment.build()
+    dep.add_device(smart_camera, "cam")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    if protect:
+        dep.secure(
+            "cam",
+            build_recommended_posture("password_proxy", "cam", new_password="S3cure!"),
+        )
+    result = EXPLOITS["default_credential_hijack"].launch(
+        attacker, "cam", dep.sim, resource="image"
+    )
+    dep.run(until=30.0)
+    arm = "IoTSec" if protect else "current world"
+    print(f"[fig4 / {arm}] hijack={result.succeeded} loot={len(attacker.loot_from('cam'))}")
+    if protect:
+        print(summarize(dep).render())
+
+
+def _demo_fig5(protect: bool) -> None:
+    from repro import SecuredDeployment
+    from repro.attacks.exploits import EXPLOITS
+    from repro.core.metrics import summarize
+    from repro.devices.library import WEMO_BACKDOOR_PORT, smart_camera, smart_plug
+    from repro.policy.posture import MboxSpec, Posture
+
+    dep = SecuredDeployment.build()
+    dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_plug, "wemo", load={"hazard": 1.0})
+    attacker = dep.add_attacker()
+    dep.finalize()
+    if protect:
+        dep.secure(
+            "wemo",
+            Posture.make(
+                "occupancy-gate",
+                MboxSpec.make(
+                    "context_gate", commands=["on"], require={"env:occupancy": "present"}
+                ),
+            ),
+        )
+    holder: dict = {}
+    dep.sim.schedule(
+        1.0,
+        lambda: holder.update(
+            r=EXPLOITS["backdoor_command"].launch(
+                attacker, "wemo", dep.sim, backdoor_port=WEMO_BACKDOOR_PORT, command="on"
+            )
+        ),
+    )
+    dep.run(until=300.0)
+    arm = "IoTSec" if protect else "current world"
+    print(
+        f"[fig5 / {arm}] oven={dep.devices['wemo'].state}"
+        f" smoke={dep.env.level('smoke')}"
+    )
+    if protect:
+        print(summarize(dep).render())
+
+
+def _demo_fig3(protect: bool) -> None:
+    from repro import SecuredDeployment
+    from repro.attacks.scenarios import fig3_break_in
+    from repro.core.metrics import summarize
+    from repro.devices.library import (
+        FIREALARM_BACKDOOR_PORT,
+        fire_alarm,
+        window_actuator,
+    )
+    from repro.learning.repository import CrowdRepository
+    from repro.learning.signatures import backdoor_signature
+    from repro.policy.builder import PolicyBuilder
+    from repro.policy.context import SUSPICIOUS
+    from repro.policy.ifttt import Recipe
+    from repro.policy.posture import block_commands
+
+    dep = SecuredDeployment.build()
+    dep.policy = (
+        PolicyBuilder()
+        .device("fire_alarm")
+        .device("window")
+        .when("ctx:fire_alarm", SUSPICIOUS)
+        .give("window", block_commands("open", name="block-open"), priority=200)
+        .build()
+    )
+    alarm = dep.add_device(fire_alarm, "fire_alarm")
+    window = dep.add_device(window_actuator, "window")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    dep.hub.add_recipe(Recipe("ventilate", "dev:fire_alarm", "alarm", "window", "open"))
+    dep.hub.watch_devices(lambda n: dep.devices[n].state if n in dep.devices else None)
+    if protect:
+        repo = CrowdRepository(dep.sim)
+        repo.publish(backdoor_signature(alarm.sku, FIREALARM_BACKDOOR_PORT), reporter="crowd")
+        dep.attach_repository(repo)
+        dep.enforce_baseline()
+    campaign = fig3_break_in(
+        attacker, dep.sim, window_is_open=lambda: window.state == "open"
+    )
+    campaign.launch(dep.sim, until=120.0)
+    dep.run(until=120.0)
+    arm = "IoTSec" if protect else "current world"
+    print(f"[fig3 / {arm}] breached={campaign.succeeded()} window={window.state}")
+    if protect:
+        print(summarize(dep).render())
+
+
+def _demo_thermal(protect: bool) -> None:
+    from repro import SecuredDeployment
+    from repro.attacks.scenarios import thermal_break_in
+    from repro.devices.library import smart_plug, window_actuator
+    from repro.environment.physics import ThermalProcess
+    from repro.learning.repository import CrowdRepository
+    from repro.learning.signatures import backdoor_signature
+    from repro.policy.ifttt import Recipe
+
+    dep = SecuredDeployment.build()
+    ac = dep.add_device(smart_plug, "ac_plug", load={"cool_watts": 700.0})
+    window = dep.add_device(window_actuator, "window")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    for i, process in enumerate(dep.env.processes):
+        if isinstance(process, ThermalProcess):
+            dep.env.processes[i] = ThermalProcess(outside=35.0)
+    ac.apply_command("on", src="hub", via="local")
+    dep.hub.add_recipe(Recipe("cool-down", "env:temperature", "high", "window", "open"))
+    if protect:
+        repo = CrowdRepository(dep.sim)
+        repo.publish(
+            backdoor_signature(ac.sku, ac.firmware.backdoor_port), reporter="crowd"
+        )
+        dep.attach_repository(repo)
+        dep.enforce_baseline()
+    campaign = thermal_break_in(
+        attacker, dep.sim, window_is_open=lambda: window.state == "open"
+    )
+    campaign.launch(dep.sim, until=1200.0)
+    dep.run(until=1200.0)
+    arm = "IoTSec" if protect else "current world"
+    print(
+        f"[thermal / {arm}] ac={ac.state} temp={dep.env.level('temperature')}"
+        f" window={window.state} breached={campaign.succeeded()}"
+    )
+
+
+DEMOS = {
+    "fig3": _demo_fig3,
+    "fig4": _demo_fig4,
+    "fig5": _demo_fig5,
+    "thermal": _demo_thermal,
+}
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    demo = DEMOS[args.scenario]
+    demo(protect=False)
+    demo(protect=True)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.devices.vulnerabilities import TABLE1
+
+    print(f"{'#':<3}{'device':<22}{'flaw':<24}{'mitigation'}")
+    for row in TABLE1:
+        print(f"{row.row:<3}{row.device:<22}{row.flaw_class:<24}{row.mitigation}")
+    print("\nRun `pytest benchmarks/bench_table1_vulnerabilities.py -s` for the full replay.")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.devices.library import fire_alarm, smart_plug, window_actuator
+    from repro.learning.abstract_env import AbstractWorld
+    from repro.learning.attackgraph import AttackGraphBuilder, envfact
+    from repro.learning.fuzzing import ModelFuzzer, exhaustive_edges
+    from repro.netsim.simulator import Simulator
+    from repro.policy.ifttt import Recipe
+
+    sim = Simulator()
+    devices = {
+        d.name: d
+        for d in (
+            smart_plug("heater_plug", sim, load={"heat_watts": 1500.0}),
+            fire_alarm("alarm", sim),
+            window_actuator("window", sim),
+        )
+    }
+    world = AbstractWorld({n: d.model for n, d in devices.items()})
+    truth, __, states = exhaustive_edges(world)
+    fuzz = ModelFuzzer(world, random.Random(args.seed)).run(2000)
+    print(f"abstract states: {states}; implicit couplings: {len(truth)}; "
+          f"fuzzer coverage: {fuzz.coverage_against(truth):.0%}")
+    builder = AttackGraphBuilder(
+        {n: (d.model, d.firmware) for n, d in devices.items()},
+        recipes=[Recipe("cool-down", "env:temperature", "high", "window", "open")],
+    )
+    goal = envfact("window", "open")
+    for path in builder.paths_to(goal):
+        print(f"  [{path.stages} stages] {path}")
+    plan = builder.hardening_plan(goal)
+    print("hardening plan:", ", ".join(f"{d}->{m}" for d, m in plan) or "(nothing needed)")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """The federation story: one victim site buys fleet immunity."""
+    from repro.attacks.exploits import EXPLOITS
+    from repro.core.deployment import SecuredDeployment
+    from repro.devices.library import smart_camera
+    from repro.learning.repository import CrowdRepository
+    from repro.learning.traceminer import LabelledTrace, mine_and_publish
+    from repro.mboxes.elements import PacketLogger
+    from repro.netsim.simulator import Simulator
+    from repro.policy.posture import MboxSpec, Posture
+
+    sim = Simulator()
+    repo = CrowdRepository(sim, free_rider_delay=5.0, base_delay=1.0)
+    posture = Posture.make(
+        "forensic-monitor",
+        MboxSpec.make("packet_logger", capture=True),
+        MboxSpec.make("signature_ids", sku="dlink:DCS-930L:1.0"),
+    )
+    sites, attackers = [], []
+    for i in range(args.sites):
+        site = SecuredDeployment.build(sim=sim)
+        site.add_device(smart_camera, "cam")
+        attackers.append(site.add_attacker())
+        site.finalize()
+        site.attach_repository(repo)
+        site.secure("cam", posture)
+        sites.append(site)
+
+    results = [None] * args.sites
+
+    def attack(i: int) -> None:
+        results[i] = EXPLOITS["default_credential_hijack"].launch(
+            attackers[i], "cam", sim, resource="image"
+        )
+
+    def respond() -> None:
+        mbox = sites[0].cluster.mboxes["cam"]
+        logger = next(e for e in mbox.elements if isinstance(e, PacketLogger))
+        attack_pkts = [p for p in logger.captured if p.src == "attacker"]
+        if attack_pkts:
+            mine_and_publish(
+                repo,
+                LabelledTrace.make(attack=attack_pkts),
+                sku="dlink:DCS-930L:1.0",
+                reporter="site-0-operator",
+                flaw_class="exposed-credentials",
+            )
+            print(f"t={sim.now:.0f}s  site 0 mined + published a signature")
+
+    for i in range(args.sites):
+        sim.schedule(1.0 + i * 30.0, attack, i)
+    sim.schedule(11.0, respond)
+    sim.run(until=args.sites * 30.0 + 30.0)
+
+    for i, site in enumerate(sites):
+        compromised = bool(attackers[i].loot_from("cam"))
+        print(
+            f"site {i}: attacked t={1 + i * 30:>4}s -> "
+            f"{'COMPROMISED' if compromised else 'safe (signature blocked it)'}"
+        )
+    lost = sum(1 for i in range(args.sites) if attackers[i].loot_from("cam"))
+    print(f"\nfleet losses: {lost}/{args.sites} "
+          f"(without sharing it would have been {args.sites}/{args.sites})")
+    return 0
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    """Export a sample home's default policy as reviewable JSON."""
+    from repro import SecuredDeployment
+    from repro.devices.library import smart_camera, smart_plug
+    from repro.policy.serialization import dumps
+
+    dep = SecuredDeployment.build()
+    dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_plug, "plug")
+    dep.finalize()
+    print(dumps(dep.policy))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro import SecuredDeployment
+    from repro.attacks.exploits import EXPLOITS
+    from repro.core.metrics import summarize
+    from repro.devices.library import smart_camera, smart_plug
+
+    dep = SecuredDeployment.build()
+    cam = dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_plug, "plug")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    dep.enforce_baseline()
+    EXPLOITS["brute_force_login"].launch(attacker, "cam", dep.sim)
+    dep.run(until=60.0)
+    print(summarize(dep).render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IoTSec (HotNets 2015) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a paper scenario, both arms")
+    demo.add_argument("scenario", choices=sorted(DEMOS))
+    demo.set_defaults(fn=cmd_demo)
+
+    table1 = sub.add_parser("table1", help="list the Table 1 registry")
+    table1.set_defaults(fn=cmd_table1)
+
+    audit = sub.add_parser("audit", help="fuzz models + attack-graph a canned home")
+    audit.add_argument("--seed", type=int, default=7)
+    audit.set_defaults(fn=cmd_audit)
+
+    report = sub.add_parser("report", help="operator report for a secured home under attack")
+    report.set_defaults(fn=cmd_report)
+
+    policy = sub.add_parser("policy", help="export a sample default policy as JSON")
+    policy.set_defaults(fn=cmd_policy)
+
+    fleet = sub.add_parser("fleet", help="federated-signature story across N sites")
+    fleet.add_argument("--sites", type=int, default=6)
+    fleet.set_defaults(fn=cmd_fleet)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

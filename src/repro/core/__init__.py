@@ -1,0 +1,23 @@
+"""The IoTSec control platform (paper sections 2.2 and 5).
+
+- :mod:`repro.core.view` -- the logically-centralized global view of
+  device contexts, device states, and environment levels.
+- :mod:`repro.core.events` -- the event bus between data plane, sensors,
+  and controller.
+- :mod:`repro.core.orchestrator` -- compiles postures into µmboxes plus
+  edge-switch tunnel/bypass flow rules.
+- :mod:`repro.core.controller` -- the IoTSec controller: consumes alerts
+  and context reports, escalates device security contexts, re-evaluates
+  the policy FSM, and redeploys postures.
+- :mod:`repro.core.hierarchical` -- two-level control: local controllers
+  own frequently-interacting partitions, the global controller owns
+  cross-partition rules (section 5.1's scaling proposal).
+- :mod:`repro.core.deployment` -- the harness that assembles a complete
+  secured deployment (topology, devices, environment, cluster, controller).
+"""
+
+from repro.core.controller import IoTSecController
+from repro.core.deployment import SecuredDeployment
+from repro.core.view import GlobalView
+
+__all__ = ["GlobalView", "IoTSecController", "SecuredDeployment"]

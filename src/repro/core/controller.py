@@ -1,0 +1,324 @@
+"""The IoTSec controller.
+
+Closes the loop of Figure 2: events from devices and µmboxes flow in over
+the control channel, the global view updates, device security contexts
+escalate, the policy FSM is re-evaluated for the affected devices, and the
+orchestrator redeploys postures and flow rules -- all in simulated time, so
+reaction latency is a first-class measurement.
+
+Context escalation (how raw alerts become the paper's
+normal/suspicious/compromised contexts) is policy too: an
+:class:`EscalationRule` maps an alert kind and a repetition threshold to a
+context value.  Defaults implement the narrative of Figs. 3-5: a backdoor
+signature match or repeated failed logins make a device *suspicious*; a
+confirmed exfiltration or sustained abuse makes it *compromised*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.events import EventBus
+from repro.core.orchestrator import PostureOrchestrator
+from repro.core.view import GlobalView
+from repro.policy.context import COMPROMISED, NORMAL, SUSPICIOUS, UNPATCHED
+from repro.policy.fsm import PolicyFSM
+from repro.policy.pruning import PrunedPolicy, relevant_variables
+from repro.sdn.channel import ControlChannel, ControlMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.devices.base import IoTDevice
+    from repro.environment.engine import Environment
+    from repro.netsim.packet import Packet
+    from repro.netsim.simulator import Simulator
+    from repro.netsim.switch import Switch
+    from repro.netsim.topology import Topology
+
+
+@dataclass(frozen=True)
+class EscalationRule:
+    """``count`` alerts of ``kind`` within ``window`` seconds => context."""
+
+    alert_kind: str
+    context: str
+    count: int = 1
+    window: float = 60.0
+
+
+DEFAULT_ESCALATIONS: tuple[EscalationRule, ...] = (
+    EscalationRule("signature-match", SUSPICIOUS, count=1),
+    EscalationRule("login-rejected", SUSPICIOUS, count=3, window=60.0),
+    EscalationRule("login-attempt", SUSPICIOUS, count=5, window=30.0),
+    EscalationRule("rate-limited", SUSPICIOUS, count=1),
+    EscalationRule("firewall-blocked", SUSPICIOUS, count=5, window=60.0),
+    EscalationRule("context-gate-blocked", SUSPICIOUS, count=2, window=60.0),
+    EscalationRule("command-not-whitelisted", SUSPICIOUS, count=1),
+    EscalationRule("dns-reflection-blocked", COMPROMISED, count=10, window=10.0),
+    EscalationRule("unapproved-source", SUSPICIOUS, count=3, window=60.0),
+    EscalationRule("anomalous-command", SUSPICIOUS, count=2, window=300.0),
+    # "insider": a *registered device* appears as the source of an alert at
+    # some other device's µmbox -- the launchpad pattern of Figure 1.
+    EscalationRule("insider", SUSPICIOUS, count=1),
+)
+
+_SEVERITY = {NORMAL: 0, "unpatched": 1, SUSPICIOUS: 2, COMPROMISED: 3}
+
+
+@dataclass
+class ReactionRecord:
+    """Cause -> effect timing for the responsiveness benches."""
+
+    device: str
+    trigger_key: str
+    trigger_at: float
+    applied_at: float
+    posture: str
+
+    @property
+    def latency(self) -> float:
+        return self.applied_at - self.trigger_at
+
+
+class IoTSecController:
+    """The logically centralized controller of Figure 2."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: "Simulator",
+        policy: PolicyFSM,
+        orchestrator: PostureOrchestrator,
+        channel: ControlChannel,
+        topology: "Topology | None" = None,
+        escalations: tuple[EscalationRule, ...] = DEFAULT_ESCALATIONS,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.policy = policy
+        self.pruned = PrunedPolicy(policy)
+        self.orchestrator = orchestrator
+        self.channel = channel
+        self.topology = topology
+        self.escalations = escalations
+        self.view = GlobalView(sim)
+        self.bus = EventBus(sim)
+        self.devices: dict[str, "IoTDevice"] = {}
+        self.reactions: list[ReactionRecord] = []
+        self._alert_times: dict[tuple[str, str], list[float]] = {}
+        self._defaults = self._domain_defaults()
+        self.packet_ins = 0
+        channel.register(name, self.on_control_message)
+        self.view.subscribe(self._on_view_change)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _domain_defaults(self) -> dict[str, str]:
+        return {
+            domain.variable.key: domain.values[0]
+            for domain in self.policy.space.domains
+        }
+
+    def register_device(self, device: "IoTDevice") -> None:
+        """Track a device: seed its context and remember its sensor map."""
+        self.devices[device.name] = device
+        self.view.set(f"ctx:{device.name}", NORMAL)
+        self.view.set(f"dev:{device.name}", device.state)
+
+    def watch_environment(self, env: "Environment", sensing_latency: float = 0.05) -> None:
+        """Learn environment levels as (slightly delayed) sensor reports."""
+
+        def on_change(variable: str, level: str) -> None:
+            self.sim.schedule(
+                sensing_latency, self._ingest_env, variable, level
+            )
+
+        env.on_level_change(on_change)
+        for name, variable in env.variables.items():
+            self.view.set(f"env:{name}", variable.level)
+
+    def _ingest_env(self, variable: str, level: str) -> None:
+        self.bus.publish("context", source="sensors", body={"variable": variable, "level": level})
+        self.view.set(f"env:{variable}", level)
+
+    def watch_disclosures(self, feed) -> None:
+        """React to public vulnerability disclosures (section 2's
+        unpatchable-flaw reality): every deployed instance of a disclosed
+        SKU is marked ``unpatched`` so keyed policies harden proactively."""
+
+        def on_disclosure(disclosure) -> None:
+            for name, device in self.devices.items():
+                if device.firmware.sku == disclosure.sku:
+                    self.set_context(name, UNPATCHED)
+
+        feed.subscribe(on_disclosure)
+
+    def adopt_packet_in(self, switch: "Switch") -> None:
+        """Serve as the switch's reactive forwarder."""
+        switch.packet_in_handler = self._on_packet_in
+
+    def _on_packet_in(self, switch: "Switch", packet: "Packet", in_port: int) -> None:
+        self.packet_ins += 1
+        # Device-to-device traffic must traverse the *destination's* µmbox
+        # too: if the destination is tunnelled and has not inspected this
+        # packet yet, re-encapsulate toward its µmbox instead of forwarding.
+        attachment = self.orchestrator.attachments.get(packet.dst)
+        if (
+            attachment is not None
+            and attachment.switch is switch
+            and packet.dst in self.orchestrator.tunnels
+            and packet.dst not in packet.meta.get("inspected_devices", ())
+        ):
+            from repro.sdn.tunnel import tunnel_packet
+
+            outer = tunnel_packet(packet, switch.name, packet.dst)
+            # Address the outer packet to the cluster host so intermediate
+            # switches (enterprise core) can route it there.
+            outer.dst = self.orchestrator.manager.host.name
+            switch.send(outer, attachment.cluster_port)
+            return
+        if self.topology is None:
+            return
+        port = self.topology.next_hop_port(switch.name, packet.dst)
+        if port is None:
+            return
+        # Inspected packets may legitimately hairpin: they arrived from the
+        # cluster on the uplink and must leave through the same uplink
+        # (re-tunnelling is prevented by the inspected_devices marking).
+        if port != in_port or packet.meta.get("inspected"):
+            switch.send(packet, port)
+
+    # ------------------------------------------------------------------
+    # Control-channel ingress
+    # ------------------------------------------------------------------
+    def on_control_message(self, message: ControlMessage) -> None:
+        if message.kind == "alert":
+            self._on_alert(message.body, message.sent_at)
+        elif message.kind == "context":
+            variable = str(message.body.get("variable", ""))
+            level = str(message.body.get("level", ""))
+            if variable:
+                self.view.set(f"env:{variable}", level)
+
+    def _on_alert(self, body: dict[str, Any], sent_at: float) -> None:
+        device = str(body.get("device", ""))
+        kind = str(body.get("kind", ""))
+        detail = dict(body.get("detail", {}))
+        self.bus.publish("alert", source=str(body.get("mbox", "")), device=device, kind_detail=kind, **detail)
+
+        if kind == "telemetry":
+            self._ingest_telemetry(device, detail)
+            return
+        self._escalate(device, kind, at=sent_at)
+        # Insider escalation: when the offending *source* is one of our own
+        # devices, it is being used as a launchpad -- flag it too.
+        source = detail.get("src")
+        if (
+            isinstance(source, str)
+            and source in self.devices
+            and source != device
+        ):
+            self._escalate(source, "insider", at=sent_at)
+
+    def _ingest_telemetry(self, device: str, detail: dict[str, Any]) -> None:
+        state = detail.get("state")
+        if state is not None:
+            self.view.set(f"dev:{device}", str(state))
+        readings = detail.get("readings", {})
+        model = getattr(self.devices.get(device), "model", None)
+        if model is None:
+            return
+        sensor_map = dict(model.sensors)
+        for report_key, value in dict(readings).items():
+            variable = sensor_map.get(report_key)
+            if variable is not None:
+                self.view.set(f"env:{variable}", str(value))
+
+    # ------------------------------------------------------------------
+    # Escalation
+    # ------------------------------------------------------------------
+    def _escalate(self, device: str, alert_kind: str, at: float) -> None:
+        if not device:
+            return
+        times = self._alert_times.setdefault((device, alert_kind), [])
+        times.append(at)
+        for rule in self.escalations:
+            if rule.alert_kind != alert_kind:
+                continue
+            recent = [t for t in times if t >= at - rule.window]
+            if len(recent) >= rule.count:
+                self.set_context(device, rule.context)
+
+    def set_context(self, device: str, context: str) -> None:
+        """Raise a device's security context (never silently lowers it)."""
+        key = f"ctx:{device}"
+        current = self.view.get(key) or NORMAL
+        if _SEVERITY.get(context, 0) >= _SEVERITY.get(current, 0):
+            self.view.set(key, context)
+
+    def clear_context(self, device: str) -> None:
+        """Administrative reset to normal (the admin vetted the device)."""
+        self.view.set(f"ctx:{device}", NORMAL)
+
+    # ------------------------------------------------------------------
+    # The policy loop
+    # ------------------------------------------------------------------
+    def _on_view_change(self, key: str, old: str | None, new: str) -> None:
+        if not (key.startswith("ctx:") or key.startswith("env:")):
+            return
+        if key not in {v.key for v in self.policy.space.variables()}:
+            return
+        trigger_at = self.sim.now
+        for device in self.policy.devices:
+            if key in relevant_variables(self.policy, device):
+                self._reevaluate(device, key, trigger_at)
+
+    def _reevaluate(self, device: str, trigger_key: str, trigger_at: float) -> None:
+        if device in self.orchestrator.pinned:
+            return  # an administrator pinned this device's posture
+        state = self.view.system_state(
+            (v.key for v in self.policy.space.variables()), self._defaults
+        )
+        posture = self.pruned.posture_for(state, device)
+        record = self.orchestrator.apply(device, posture)
+        if record is not None:
+            self.reactions.append(
+                ReactionRecord(
+                    device=device,
+                    trigger_key=trigger_key,
+                    trigger_at=trigger_at,
+                    applied_at=self.sim.now,
+                    posture=posture.name,
+                )
+            )
+
+    def update_policy(self, rule) -> None:
+        """Add a rule to the live policy and re-enforce affected devices.
+
+        Policies are not static in IoT (section 5.1's whole point): new
+        signatures, disclosures, or attack-graph hardening plans add rules
+        at runtime.  The pruned lookup structure is rebuilt (it is derived
+        state) and the affected device re-evaluated immediately.
+        """
+        self.policy.add_rule(rule)
+        self.pruned = PrunedPolicy(self.policy)
+        self._defaults = self._domain_defaults()
+        if rule.device in self.orchestrator.attachments:
+            self._reevaluate(rule.device, "policy-update", self.sim.now)
+
+    def enforce_all(self) -> None:
+        """Evaluate and apply the posture of every policy device now."""
+        state = self.view.system_state(
+            (v.key for v in self.policy.space.variables()), self._defaults
+        )
+        for device in self.policy.devices:
+            if (
+                device in self.orchestrator.attachments
+                and device not in self.orchestrator.pinned
+            ):
+                self.orchestrator.apply(device, self.pruned.posture_for(state, device))
+
+    # ------------------------------------------------------------------
+    def context_of(self, device: str) -> str:
+        return self.view.get(f"ctx:{device}") or NORMAL

@@ -1,0 +1,409 @@
+"""The deployment harness: a complete secured (or unsecured) smart home.
+
+Assembles the Figure 2 architecture end to end: edge switch, security
+cluster (:class:`MboxHost` + :class:`MboxManager`), automation hub,
+internet uplink, physical environment, devices, and -- when
+``with_iotsec`` -- the controller, policy FSM and orchestrator.  With
+``with_iotsec=False`` the same home runs "current world" style: all
+traffic is forwarded reactively with no interposition, which is every
+bench's baseline arm.
+
+Typical use::
+
+    dep = SecuredDeployment.build()
+    cam = dep.add_device(smart_camera, "cam")
+    plug = dep.add_device(smart_plug, "plug", load={"heat_watts": 1500.0})
+    attacker = dep.add_attacker()
+    dep.finalize()            # builds policy (if none given) + controller
+    dep.enforce_baseline()    # monitor posture on every device
+    ... launch exploits ...
+    dep.run(until=120.0)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.switch import Switch
+
+from repro.attacks.attacker import Attacker
+from repro.core.controller import IoTSecController
+from repro.core.orchestrator import (
+    PostureOrchestrator,
+    SwitchAttachment,
+    build_recommended_posture,
+)
+from repro.devices.base import IoTDevice
+from repro.environment.engine import Environment
+from repro.environment.physics import LightProcess, SmokeProcess, ThermalProcess
+from repro.mboxes.base import Alert, MboxHost, Verdict
+from repro.mboxes.manager import MboxManager
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Topology
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import COMPROMISED, SUSPICIOUS
+from repro.policy.fsm import PolicyFSM
+from repro.policy.ifttt import AutomationHub
+from repro.policy.posture import Posture
+from repro.sdn.channel import ControlChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.learning.repository import CrowdRepository
+
+
+def default_home_environment(sim: Simulator, tick: float = 1.0) -> Environment:
+    """The standard simulated home: thermal, smoke, light, occupancy."""
+    env = Environment(sim, tick=tick)
+    env.add_continuous(
+        "temperature",
+        initial=21.0,
+        thresholds=(10.0, 26.0),
+        level_names=("low", "normal", "high"),
+        minimum=-30.0,
+        maximum=90.0,
+    )
+    env.add_continuous(
+        "smoke",
+        initial=0.0,
+        thresholds=(0.5,),
+        level_names=("clear", "detected"),
+        minimum=0.0,
+        maximum=10.0,
+    )
+    env.add_continuous(
+        "illuminance",
+        initial=0.0,
+        thresholds=(100.0,),
+        level_names=("dark", "bright"),
+        minimum=0.0,
+    )
+    env.add_discrete("occupancy", ("absent", "present"))
+    env.add_discrete("window", ("closed", "open"))
+    env.add_discrete("door", ("locked", "unlocked"))
+    env.add_process(ThermalProcess(outside=10.0))
+    env.add_process(SmokeProcess())
+    env.add_process(LightProcess())
+    return env
+
+
+class SecuredDeployment:
+    """One smart home/enterprise site, optionally protected by IoTSec."""
+
+    EDGE = "edge"
+    CLUSTER = "cluster"
+    INTERNET = "internet"
+    HUB = "hub"
+    CONTROLLER = "controller"
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        policy: PolicyFSM | None = None,
+        with_iotsec: bool = True,
+        channel_latency: float = 0.002,
+        env_tick: float = 1.0,
+        consistent_updates: bool = False,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.topology = Topology(self.sim)
+        self.with_iotsec = with_iotsec
+        self._given_policy = policy
+        self.policy: PolicyFSM | None = policy
+
+        self.edge = self.topology.add_switch(self.EDGE)
+        self.internet = self.topology.add_host(self.INTERNET)
+        self.hub = AutomationHub(self.HUB, self.sim)
+        self.topology.add(self.hub)
+        self.topology.connect(self.edge, self.internet, latency=0.010)
+        self.topology.connect(self.edge, self.hub, latency=0.002)
+
+        self.env = default_home_environment(self.sim, tick=env_tick)
+        self.hub.watch_environment(self.env)
+
+        self.devices: dict[str, IoTDevice] = {}
+        self.attackers: dict[str, Attacker] = {}
+        self.rooms: dict[str, "Switch"] = {}
+
+        self.channel = ControlChannel(self.sim, latency=channel_latency)
+        self.cluster: MboxHost | None = None
+        self.manager: MboxManager | None = None
+        self.orchestrator: PostureOrchestrator | None = None
+        self.controller: IoTSecController | None = None
+        self.repository: "CrowdRepository | None" = None
+
+        if with_iotsec:
+            self.cluster = MboxHost(
+                self.CLUSTER,
+                self.sim,
+                default_verdict=Verdict.PASS,  # unbound devices flow freely
+            )
+            self.topology.add(self.cluster)
+            self.topology.connect(self.edge, self.cluster, latency=0.001)
+            self.manager = MboxManager(self.sim, self.cluster)
+            updater = None
+            if consistent_updates:
+                from repro.sdn.consistency import ConsistentUpdater
+
+                updater = ConsistentUpdater(self.sim, self.channel)
+            self.orchestrator = PostureOrchestrator(
+                self.sim, self.manager, {}, updater=updater
+            )
+        else:
+            # "Current world": reactive L2 forwarding, nothing interposed.
+            self.edge.packet_in_handler = self._plain_forwarder
+
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, **kwargs: Any) -> "SecuredDeployment":
+        return cls(**kwargs)
+
+    def _plain_forwarder(self, switch: Any, packet: Any, in_port: int) -> None:
+        port = self.topology.next_hop_port(switch.name, packet.dst)
+        if port is not None and port != in_port:
+            switch.send(packet, port)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_room(self, name: str, latency: float = 0.001) -> "Switch":
+        """Add a per-room/per-floor access switch uplinked to the core.
+
+        Devices placed in a room (``add_device(..., room=name)``) tunnel
+        through the room switch toward the shared cluster -- the
+        enterprise shape of section 2.2 ("a well-provisioned on-premise
+        cluster").
+        """
+        room = self.topology.add_switch(name)
+        self.topology.connect(self.edge, room, latency=latency)
+        self.rooms[name] = room
+        if self.controller is not None:
+            self.controller.adopt_packet_in(room)
+        elif not self.with_iotsec:
+            room.packet_in_handler = self._plain_forwarder
+        return room
+
+    def add_device(
+        self,
+        factory: Callable[..., IoTDevice],
+        name: str,
+        latency: float = 0.002,
+        pair_with_hub: bool = True,
+        room: str | None = None,
+        **kwargs: Any,
+    ) -> IoTDevice:
+        device = factory(name, self.sim, env=self.env, **kwargs)
+        self.topology.add(device)
+        switch = self.rooms[room] if room is not None else self.edge
+        link = self.topology.connect(switch, device, latency=latency)
+        self.devices[name] = device
+        if pair_with_hub:
+            self.hub.pair(device)
+        if self.orchestrator is not None:
+            # the port where inspected traffic returns: toward the cluster
+            # (directly at the core, or via the core uplink from a room)
+            toward = self.CLUSTER if room is None else self.EDGE
+            cluster_port = switch.port_to(toward)
+            assert cluster_port is not None
+            self.orchestrator.attach(
+                name,
+                SwitchAttachment(
+                    switch=switch,
+                    device_port=link.port_a if link.a is switch else link.port_b,
+                    cluster_port=cluster_port,
+                ),
+            )
+        if self.controller is not None:
+            self.controller.register_device(device)
+        return device
+
+    def add_attacker(self, name: str = "attacker", latency: float = 0.020) -> Attacker:
+        attacker = Attacker(name, self.sim)
+        self.topology.add(attacker)
+        self.topology.connect(self.edge, attacker, latency=latency)
+        self.attackers[name] = attacker
+        return attacker
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def default_policy(self) -> PolicyFSM:
+        """Suspicious devices get locked to trusted sources; compromised
+        devices are quarantined.  The 'sensible default' policy."""
+        builder = PolicyBuilder()
+        for name in sorted(self.devices):
+            builder.device(name)
+        for var_name, variable in sorted(self.env.variables.items()):
+            builder.env(var_name, variable.levels())
+        trusted = (self.HUB, self.CONTROLLER)
+        for name in sorted(self.devices):
+            builder.when(f"ctx:{name}", SUSPICIOUS).give(
+                name,
+                build_recommended_posture(
+                    "stateful_firewall", name, trusted_sources=trusted
+                ),
+                priority=200,
+            )
+            builder.when(f"ctx:{name}", COMPROMISED).give(
+                name,
+                build_recommended_posture("quarantine", name),
+                priority=300,
+            )
+        return builder.build()
+
+    def finalize(self) -> "SecuredDeployment":
+        """Create the controller (IoTSec mode) and start physics."""
+        if self._finalized:
+            return self
+        self._finalized = True
+        self.env.start()
+        if not self.with_iotsec:
+            return self
+        assert self.orchestrator is not None and self.cluster is not None
+        if self.policy is None:
+            self.policy = self.default_policy()
+        self.controller = IoTSecController(
+            name=self.CONTROLLER,
+            sim=self.sim,
+            policy=self.policy,
+            orchestrator=self.orchestrator,
+            channel=self.channel,
+            topology=self.topology,
+        )
+        self.controller.adopt_packet_in(self.edge)
+        for room in self.rooms.values():
+            self.controller.adopt_packet_in(room)
+        self.controller.watch_environment(self.env)
+        for device in self.devices.values():
+            self.controller.register_device(device)
+        # µmbox alerts travel the control channel to the controller.
+        self.cluster.alert_sink = self._forward_alert
+        # The cluster's context view is the controller's global view.
+        self.cluster.view = lambda key: (
+            self.controller.view.get(key) if self.controller else None
+        )
+        return self
+
+    def _forward_alert(self, alert: Alert) -> None:
+        self.channel.send(
+            self.CLUSTER,
+            self.CONTROLLER,
+            "alert",
+            {
+                "device": alert.device,
+                "kind": alert.kind,
+                "mbox": alert.mbox,
+                "detail": dict(alert.detail),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Enforcement helpers
+    # ------------------------------------------------------------------
+    def secure(self, device: str, posture: Posture, pin: bool = True) -> None:
+        """Directly apply a posture (administrator action).
+
+        Pinned by default: the policy loop will not override an explicit
+        administrator decision (Fig. 4's proxy must survive the context
+        escalation that the attack it blocks provokes).
+        """
+        if self.orchestrator is None:
+            raise RuntimeError("deployment built without IoTSec")
+        if not self._finalized:
+            self.finalize()
+        self.orchestrator.apply(device, posture)
+        if pin:
+            self.orchestrator.pin(device)
+
+    def enforce_baseline(self, monitor: bool = True) -> None:
+        """Give every device its policy posture (plus a monitor posture
+        where the policy is permissive, so the controller sees context)."""
+        if self.controller is None:
+            self.finalize()
+        assert self.controller is not None and self.orchestrator is not None
+        self.controller.enforce_all()
+        if monitor:
+            for name, device in self.devices.items():
+                if self.orchestrator.posture_of(name) in (None,) or (
+                    self.orchestrator.posture_of(name)
+                    and self.orchestrator.posture_of(name).is_permissive  # type: ignore[union-attr]
+                ):
+                    self.orchestrator.apply(
+                        name,
+                        build_recommended_posture("monitor", name, sku=device.sku),
+                    )
+
+    def apply_hardening_plan(
+        self,
+        plan: list[tuple[str, str]],
+        new_password: str = "S3cure!gateway",
+        pin: bool = True,
+    ) -> list[str]:
+        """Apply an attack-graph hardening plan (device, mitigation) list.
+
+        Returns the devices actually hardened (unknown devices skipped).
+        Closes the loop from :meth:`AttackGraphBuilder.hardening_plan` to
+        running µmboxes.
+        """
+        hardened = []
+        trusted = (self.HUB, self.CONTROLLER)
+        for device, mitigation in plan:
+            if device not in self.devices:
+                continue
+            fw = self.devices[device].firmware
+            cred = fw.credentials[0] if fw.credentials else None
+            posture = build_recommended_posture(
+                mitigation,
+                device,
+                trusted_sources=trusted,
+                new_password=new_password,
+                device_username=cred.username if cred else "admin",
+                device_password=cred.password if cred else "admin",
+                sku=fw.sku,
+            )
+            self.secure(device, posture, pin=pin)
+            hardened.append(device)
+        return hardened
+
+    def attach_repository(self, repository: "CrowdRepository") -> None:
+        """Feed crowdsourced signatures into this site's IDS µmboxes.
+
+        Two paths: newly deployed IDS µmboxes pull the current signature
+        set for their device's SKU; already-running ones receive future
+        publications live through the repository's subscription push.
+        """
+        self.repository = repository
+        if self.manager is None:
+            return
+        self.manager.signature_provider = lambda sku: repository.signatures_for(sku)
+
+        from repro.mboxes.ids import SignatureIDS
+
+        def deliver_to(device_name: str):
+            def deliver(signature) -> None:
+                mbox = self.cluster.mboxes.get(device_name) if self.cluster else None
+                if mbox is None:
+                    return
+                for element in mbox.elements:
+                    if isinstance(element, SignatureIDS):
+                        element.add_signature(signature)
+
+            return deliver
+
+        for name, device in self.devices.items():
+            repository.subscribe(f"{self.CONTROLLER}:{name}", device.sku, deliver_to(name))
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> None:
+        if not self._finalized:
+            self.finalize()
+        self.sim.run(until=until)
+
+    def alerts(self, device: str | None = None) -> list[Alert]:
+        if self.cluster is None:
+            return []
+        if device is None:
+            return list(self.cluster.alerts)
+        return self.cluster.alerts_for(device)

@@ -1,0 +1,146 @@
+"""Deployment metrics and reporting.
+
+One call summarizes a (finished or running) deployment for operators and
+experiments: per-device security state, alert volumes, enforcement
+activity, traffic accounting, and controller reaction latencies.  The
+benchmarks compute their own narrow metrics; this module is the operator-
+facing "what is my home's security posture right now" view, and the CLI's
+output backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import SecuredDeployment
+
+
+@dataclass
+class DeviceSummary:
+    name: str
+    kind: str
+    sku: str
+    state: str
+    context: str
+    posture: str
+    flaws: tuple[str, ...]
+    alerts: int
+    compromised_ground_truth: bool
+
+
+@dataclass
+class DeploymentReport:
+    """A point-in-time summary of one deployment."""
+
+    at: float
+    devices: list[DeviceSummary] = field(default_factory=list)
+    alerts_by_kind: dict[str, int] = field(default_factory=dict)
+    postures_applied: int = 0
+    mbox_active: int = 0
+    mbox_boots: int = 0
+    mbox_reconfigs: int = 0
+    packets_tunnelled: int = 0
+    packets_dropped_unbound: int = 0
+    reaction_p50_ms: float | None = None
+    reaction_max_ms: float | None = None
+    events_processed: int = 0
+
+    def compromised_devices(self) -> list[str]:
+        return [d.name for d in self.devices if d.compromised_ground_truth]
+
+    def devices_not_normal(self) -> list[str]:
+        return [d.name for d in self.devices if d.context != "normal"]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "devices": [vars(d) for d in self.devices],
+            "alerts_by_kind": dict(self.alerts_by_kind),
+            "postures_applied": self.postures_applied,
+            "mbox": {
+                "active": self.mbox_active,
+                "boots": self.mbox_boots,
+                "reconfigs": self.mbox_reconfigs,
+            },
+            "packets_tunnelled": self.packets_tunnelled,
+            "reaction_p50_ms": self.reaction_p50_ms,
+            "reaction_max_ms": self.reaction_max_ms,
+        }
+
+    def render(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [f"Deployment report @ t={self.at:.1f}s"]
+        lines.append(
+            f"  devices: {len(self.devices)}"
+            f" | flagged: {len(self.devices_not_normal())}"
+            f" | actually compromised: {len(self.compromised_devices())}"
+        )
+        header = f"  {'device':<14} {'kind':<16} {'state':<10} {'context':<11} {'posture':<20} alerts"
+        lines.append(header)
+        for d in self.devices:
+            lines.append(
+                f"  {d.name:<14} {d.kind:<16} {d.state:<10} {d.context:<11} "
+                f"{d.posture:<20} {d.alerts}"
+            )
+        if self.alerts_by_kind:
+            kinds = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.alerts_by_kind.items())
+            )
+            lines.append(f"  alerts: {kinds}")
+        lines.append(
+            f"  µmboxes: {self.mbox_active} active"
+            f" ({self.mbox_boots} boots, {self.mbox_reconfigs} reconfigs)"
+            f" | tunnelled pkts: {self.packets_tunnelled}"
+        )
+        if self.reaction_p50_ms is not None:
+            lines.append(
+                f"  controller reactions: p50={self.reaction_p50_ms:.1f}ms"
+                f" max={self.reaction_max_ms:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+def summarize(dep: "SecuredDeployment") -> DeploymentReport:
+    """Build a :class:`DeploymentReport` from a deployment's current state."""
+    report = DeploymentReport(at=dep.sim.now, events_processed=dep.sim.events_processed)
+
+    alerts = dep.alerts()
+    for alert in alerts:
+        report.alerts_by_kind[alert.kind] = report.alerts_by_kind.get(alert.kind, 0) + 1
+
+    for name, device in sorted(dep.devices.items()):
+        context = dep.controller.context_of(name) if dep.controller else "-"
+        posture = "-"
+        if dep.orchestrator is not None:
+            current = dep.orchestrator.posture_of(name)
+            posture = current.name if current is not None else "-"
+        report.devices.append(
+            DeviceSummary(
+                name=name,
+                kind=device.kind,
+                sku=device.sku,
+                state=device.state,
+                context=context,
+                posture=posture,
+                flaws=tuple(sorted(device.firmware.flaw_classes())),
+                alerts=sum(1 for a in alerts if a.device == name),
+                compromised_ground_truth=device.is_compromised(),
+            )
+        )
+
+    if dep.orchestrator is not None:
+        report.postures_applied = len(dep.orchestrator.records)
+    if dep.manager is not None:
+        report.mbox_active = dep.manager.active_count()
+        report.mbox_boots = dep.manager.boots
+        report.mbox_reconfigs = dep.manager.reconfigs
+    if dep.cluster is not None:
+        report.packets_tunnelled = dep.cluster.tunnelled_in
+        report.packets_dropped_unbound = dep.cluster.unbound_drops
+    if dep.controller is not None and dep.controller.reactions:
+        latencies = sorted(r.latency for r in dep.controller.reactions)
+        report.reaction_p50_ms = latencies[len(latencies) // 2] * 1e3
+        report.reaction_max_ms = latencies[-1] * 1e3
+    return report

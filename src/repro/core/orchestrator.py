@@ -1,0 +1,275 @@
+"""Posture orchestration: policy decisions become running defences.
+
+The orchestrator owns the mechanical half of enforcement: given "device D
+gets posture P", it (a) deploys/reconfigures the µmbox through the manager
+and (b) installs the tunnel and bypass flow rules at the device's edge
+switch so D's traffic actually traverses the µmbox.
+
+Flow-rule scheme per secured device (priorities matter):
+
+====  =========================================  =======================
+prio  match                                      action
+====  =========================================  =======================
+ 900  dst=D, in_port=cluster_port                forward(device_port)
+ 890  src=D, in_port=cluster_port                controller (reactive fwd)
+ 500  dst=D                                      tunnel(mbox, cluster_port)
+ 500  src=D                                      tunnel(mbox, cluster_port)
+====  =========================================  =======================
+
+Inspected packets return from the cluster on ``cluster_port`` and hit the
+900/890 bypasses, which is what breaks the re-tunnelling loop.  Device-to-
+device traffic is inspected by the *destination's* µmbox (the dst rule is
+installed ahead of the src rule at equal priority/specificity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.mboxes.manager import MboxManager
+from repro.policy.posture import MboxSpec, Posture
+from repro.sdn.flowrule import Action, FlowMatch, FlowRule
+from repro.sdn.tunnel import TunnelTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.switch import Switch
+    from repro.netsim.simulator import Simulator
+    from repro.sdn.consistency import ConsistentUpdater
+
+BYPASS_DST_PRIORITY = 900
+BYPASS_SRC_PRIORITY = 890
+TUNNEL_PRIORITY = 500
+
+
+@dataclass
+class SwitchAttachment:
+    """Where one device hangs: its edge switch and the relevant ports."""
+
+    switch: "Switch"
+    device_port: int
+    cluster_port: int
+
+
+@dataclass
+class OrchestrationRecord:
+    device: str
+    posture: str
+    at: float
+    tunnelled: bool
+
+
+class PostureOrchestrator:
+    """Applies posture assignments to the data plane."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        manager: MboxManager,
+        attachments: dict[str, SwitchAttachment],
+        updater: "ConsistentUpdater | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.manager = manager
+        self.attachments = dict(attachments)
+        #: When set, flow-rule changes go through two-phase consistent
+        #: updates (whole-switch epochs) instead of direct installation --
+        #: no packet ever sees a mix of old and new tunnel rules.
+        self.updater = updater
+        self._rule_specs: dict[str, list[FlowRule]] = {}
+        self.tunnels = TunnelTable()
+        self.current: dict[str, Posture] = {}
+        self.records: list[OrchestrationRecord] = []
+        #: Devices whose posture an administrator pinned: the policy loop
+        #: must not override these (it may still *observe* the device).
+        self.pinned: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def attach(self, device: str, attachment: SwitchAttachment) -> None:
+        self.attachments[device] = attachment
+
+    def posture_of(self, device: str) -> Posture | None:
+        return self.current.get(device)
+
+    # ------------------------------------------------------------------
+    def pin(self, device: str) -> None:
+        """Mark the device's posture as administratively pinned."""
+        self.pinned.add(device)
+
+    def unpin(self, device: str) -> None:
+        self.pinned.discard(device)
+
+    def apply(self, device: str, posture: Posture) -> OrchestrationRecord | None:
+        """Make ``posture`` effective for ``device``.  Idempotent."""
+        if self.current.get(device) == posture:
+            return None
+        attachment = self.attachments.get(device)
+        if attachment is None:
+            raise KeyError(f"no switch attachment registered for {device!r}")
+
+        if posture.is_permissive:
+            self._remove_tunnel(device, attachment)
+            self.manager.teardown(device)
+            self.tunnels.unbind(device)
+        else:
+            record = self.manager.deploy(device, posture)
+            mbox_name = self.manager.host.mboxes[device].name
+            if device not in self.tunnels:
+                self._install_tunnel(device, attachment)
+            self.tunnels.bind(device, mbox_name)
+            del record  # latency is tracked by the manager
+
+        self.current[device] = posture
+        orch = OrchestrationRecord(
+            device=device,
+            posture=posture.name,
+            at=self.sim.now,
+            tunnelled=not posture.is_permissive,
+        )
+        self.records.append(orch)
+        return orch
+
+    # ------------------------------------------------------------------
+    def _device_rules(self, device: str, att: SwitchAttachment) -> list[FlowRule]:
+        return [
+            # Returned-from-cluster packets go through the controller's
+            # forwarder: only it knows whether the *destination's* µmbox has
+            # inspected the packet yet (device-to-device traffic must visit
+            # both µmboxes; a static forward here would skip the second).
+            FlowRule(
+                match=FlowMatch(dst=device, in_port=att.cluster_port),
+                actions=(Action.controller(),),
+                priority=BYPASS_DST_PRIORITY,
+            ),
+            FlowRule(
+                match=FlowMatch(src=device, in_port=att.cluster_port),
+                actions=(Action.controller(),),
+                priority=BYPASS_SRC_PRIORITY,
+            ),
+            FlowRule(
+                match=FlowMatch(dst=device),
+                actions=(
+                    Action.tunnel(device, att.cluster_port, via=self.manager.host.name),
+                ),
+                priority=TUNNEL_PRIORITY,
+            ),
+            FlowRule(
+                match=FlowMatch(src=device),
+                actions=(
+                    Action.tunnel(device, att.cluster_port, via=self.manager.host.name),
+                ),
+                priority=TUNNEL_PRIORITY,
+            ),
+        ]
+
+    def _install_tunnel(self, device: str, att: SwitchAttachment) -> None:
+        if self.updater is not None:
+            self._rule_specs[device] = []
+            self._push_epoch(att)
+            return
+        for rule in self._device_rules(device, att):
+            att.switch.install(rule)
+
+    def _remove_tunnel(self, device: str, att: SwitchAttachment) -> None:
+        if self.updater is not None:
+            self._rule_specs.pop(device, None)
+            self._push_epoch(att, removing=device)
+            return
+        att.switch.remove_where(
+            lambda r: device in (r.match.src, r.match.dst)
+            and r.priority in (BYPASS_DST_PRIORITY, BYPASS_SRC_PRIORITY, TUNNEL_PRIORITY)
+        )
+
+    def _push_epoch(self, att: SwitchAttachment, removing: str | None = None) -> None:
+        """Consistent mode: push the switch's complete desired rule set as
+        one two-phase epoch (fresh FlowRule objects -- the updater stamps
+        version tags on them)."""
+        assert self.updater is not None
+        switch = att.switch
+        desired: list[FlowRule] = []
+        for device, attachment in self.attachments.items():
+            if attachment.switch is not switch or device == removing:
+                continue
+            if device in self.tunnels or device in self._rule_specs:
+                desired.extend(self._device_rules(device, attachment))
+        self.updater.push_two_phase({switch: desired})
+
+
+# ----------------------------------------------------------------------
+# Posture recipes: from a mitigation name (Table 1 / signature
+# recommendations) to a concrete posture for a given device.
+# ----------------------------------------------------------------------
+def build_recommended_posture(
+    mitigation: str,
+    device: str,
+    trusted_sources: tuple[str, ...] = (),
+    new_password: str = "S3cure!gateway",
+    device_username: str = "admin",
+    device_password: str = "admin",
+    allowed_commands: tuple[str, ...] = (),
+    sku: str | None = None,
+) -> Posture:
+    """Materialize a mitigation name into a posture for ``device``.
+
+    These are the "customized µmboxes" of section 2.2, one recipe per
+    Table 1 flaw class.
+    """
+    if mitigation == "password_proxy":
+        return Posture.make(
+            "password_proxy",
+            MboxSpec.make(
+                "password_proxy",
+                new_password=new_password,
+                device_username=device_username,
+                device_password=device_password,
+            ),
+            MboxSpec.make("rate_limiter", rate=0.5, burst=3.0, match_dport=80),
+            description=f"credential gateway for {device}",
+        )
+    if mitigation == "stateful_firewall":
+        return Posture.make(
+            "stateful_firewall",
+            MboxSpec.make(
+                "stateful_firewall",
+                trusted_sources=sorted(trusted_sources),
+                open_ports=[],
+                default="drop",
+            ),
+            description=f"default-deny inbound for {device}",
+        )
+    if mitigation == "command_whitelist":
+        return Posture.make(
+            "command_whitelist",
+            MboxSpec.make(
+                "command_whitelist",
+                allow=sorted(allowed_commands),
+                allowed_sources=sorted(trusted_sources),
+            ),
+            description=f"actuator command whitelist for {device}",
+        )
+    if mitigation == "dns_guard":
+        return Posture.make(
+            "dns_guard",
+            MboxSpec.make(
+                "dns_guard",
+                local_sources=sorted(trusted_sources),
+                max_queries_per_second=5.0,
+            ),
+            description=f"resolver abuse guard for {device}",
+        )
+    if mitigation == "quarantine":
+        return Posture.make(
+            "quarantine",
+            MboxSpec.make("stateful_firewall", trusted_sources=[], open_ports=[], default="drop"),
+            description=f"full isolation of {device}",
+        )
+    if mitigation == "monitor":
+        modules = [
+            MboxSpec.make("telemetry_tap"),
+            MboxSpec.make("packet_logger"),
+            MboxSpec.make("login_monitor"),
+        ]
+        if sku:
+            modules.append(MboxSpec.make("signature_ids", sku=sku, drop_on_match=True))
+        return Posture.make("monitor", *modules, description=f"observe {device}")
+    raise KeyError(f"unknown mitigation {mitigation!r}")

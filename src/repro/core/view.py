@@ -1,0 +1,99 @@
+"""The controller's global view.
+
+Section 2.2: "A logically centralized IoTSec controller monitors the
+contexts of different devices and the operating environment and generates a
+global view for cross-device policy enforcement."
+
+The view is a timestamped key/value store over the unified policy-variable
+vocabulary (``ctx:<device>``, ``env:<variable>``) plus device FSM states
+(``dev:<device>``).  Change subscribers drive the policy loop; staleness
+accounting supports the consistency experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.policy.context import SystemState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+ChangeCallback = Callable[[str, str | None, str], None]
+
+
+@dataclass
+class ViewEntry:
+    value: str
+    updated_at: float
+    updates: int = 1
+
+
+class GlobalView:
+    """Timestamped state with change notification."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.entries: dict[str, ViewEntry] = {}
+        self._subscribers: list[ChangeCallback] = []
+        self.total_updates = 0
+
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: str) -> bool:
+        """Record a value; returns True when it changed."""
+        self.total_updates += 1
+        entry = self.entries.get(key)
+        if entry is None:
+            self.entries[key] = ViewEntry(value=value, updated_at=self.sim.now)
+            self._notify(key, None, value)
+            return True
+        old = entry.value
+        entry.updated_at = self.sim.now
+        entry.updates += 1
+        if old == value:
+            return False
+        entry.value = value
+        self._notify(key, old, value)
+        return True
+
+    def get(self, key: str) -> str | None:
+        entry = self.entries.get(key)
+        return entry.value if entry else None
+
+    def age(self, key: str) -> float | None:
+        """Seconds since the key was last refreshed (None = never seen)."""
+        entry = self.entries.get(key)
+        return self.sim.now - entry.updated_at if entry else None
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: ChangeCallback) -> None:
+        self._subscribers.append(callback)
+
+    def _notify(self, key: str, old: str | None, new: str) -> None:
+        for callback in list(self._subscribers):
+            callback(key, old, new)
+
+    # ------------------------------------------------------------------
+    def system_state(
+        self, keys: Iterable[str], defaults: dict[str, str] | None = None
+    ) -> SystemState:
+        """The current :class:`SystemState` over the policy's variables.
+
+        Missing keys fall back to ``defaults`` (the policy's domain
+        baselines) so the FSM always sees a total assignment.
+        """
+        defaults = defaults or {}
+        assignment = {}
+        for key in keys:
+            value = self.get(key)
+            if value is None:
+                value = defaults.get(key, "unknown")
+            assignment[key] = value
+        return SystemState(assignment)
+
+    def snapshot(self) -> dict[str, str]:
+        return {key: entry.value for key, entry in self.entries.items()}
+
+    def __repr__(self) -> str:
+        return f"GlobalView({len(self.entries)} keys, {self.total_updates} updates)"

@@ -1,0 +1,34 @@
+"""IoT device models.
+
+The paper's section 4.2 proposes "a library containing abstract models of
+different classes of devices ... that capture key input-output behaviors and
+interactions with environment variables", built on FSMs.  This package *is*
+that library, made executable:
+
+- :mod:`repro.devices.protocol` -- the message conventions devices speak.
+- :mod:`repro.devices.firmware` -- firmware metadata: credentials (including
+  unfixable hardcoded ones), open ports, backdoors, exposed services.
+- :mod:`repro.devices.base` -- the FSM device node: state machine, physical
+  actuation effects, sensors, authentication.
+- :mod:`repro.devices.model` -- the *abstract model* of a device class, used
+  by the learning subsystem for fuzzing and attack-graph construction.
+- :mod:`repro.devices.library` -- concrete device classes (camera, smart
+  plug, thermostat, fire alarm, window actuator, ...).
+- :mod:`repro.devices.vulnerabilities` -- the Table 1 vulnerability registry.
+"""
+
+from repro.devices.base import IoTDevice
+from repro.devices.firmware import Credential, Firmware
+from repro.devices.model import DeviceModel, EnvEffect, EnvTrigger
+from repro.devices.vulnerabilities import TABLE1, VulnerabilityRecord
+
+__all__ = [
+    "Credential",
+    "DeviceModel",
+    "EnvEffect",
+    "EnvTrigger",
+    "Firmware",
+    "IoTDevice",
+    "TABLE1",
+    "VulnerabilityRecord",
+]

@@ -1,0 +1,133 @@
+"""Firmware and credential metadata.
+
+This is where the "trillion unfixable flaws" live.  A :class:`Firmware`
+records what the vendor shipped: credentials (some hardcoded and therefore
+*unremovable by the user* -- the D-Link camera of Fig. 4), open ports,
+backdoors (the Belkin Wemo of Fig. 5), exposed services (the Wemo's open
+DNS resolver of Table 1 row 6), embedded RSA keys (Table 1 row 4), and
+whether the vendor still ships patches at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Credential:
+    """One username/password pair.
+
+    ``hardcoded`` credentials cannot be removed or changed by the user --
+    the vendor baked them into the firmware image.  ``weak`` marks
+    dictionary-guessable passwords for the brute-force exploit model.
+    """
+
+    username: str
+    password: str
+    hardcoded: bool = False
+    weak: bool = False
+
+
+@dataclass
+class Firmware:
+    """What a device's firmware image exposes to the network.
+
+    Attributes
+    ----------
+    vendor, version:
+        Identity; ``sku`` (vendor+model+version) is the unit at which the
+        crowdsourced signature repository shares data (section 4.1).
+    credentials:
+        All accounts.  User-added accounts can be changed; hardcoded ones
+        cannot (``patch_credentials`` refuses).
+    open_ports:
+        Ports answering to *anyone* without authentication, beyond the
+        standard management flow (Table 1 rows 2, 3: "exposed access").
+    backdoor_port:
+        A vendor debug port executing commands with no credential check
+        (Table 1 row 7 / Fig. 5's Wemo backdoor), or None.
+    services:
+        Extra network services, e.g. ``"open_dns_resolver"`` (Table 1 row
+        6), ``"telnet"``.
+    embedded_keys:
+        Secrets recoverable from the firmware image, e.g. an RSA private
+        key shared across 30k CCTV devices (Table 1 row 4).
+    patchable:
+        Whether the vendor ships updates at all.  "Software updates will
+        likely be unavailable" -- most library devices default to False.
+    requires_auth_for_control:
+        When False, control commands need no session (Table 1 row 5's
+        traffic lights: "no credentials").
+    """
+
+    vendor: str
+    model: str
+    version: str = "1.0"
+    credentials: list[Credential] = field(default_factory=list)
+    open_ports: tuple[int, ...] = ()
+    backdoor_port: int | None = None
+    services: tuple[str, ...] = ()
+    embedded_keys: dict[str, str] = field(default_factory=dict)
+    patchable: bool = False
+    requires_auth_for_control: bool = True
+
+    @property
+    def sku(self) -> str:
+        """The device SKU: the sharing granularity of section 4.1."""
+        return f"{self.vendor}:{self.model}:{self.version}"
+
+    # ------------------------------------------------------------------
+    # Authentication
+    # ------------------------------------------------------------------
+    def check_login(self, username: str, password: str) -> bool:
+        """True when any credential (hardcoded or not) matches."""
+        return any(
+            c.username == username and c.password == password for c in self.credentials
+        )
+
+    def hardcoded_credentials(self) -> list[Credential]:
+        return [c for c in self.credentials if c.hardcoded]
+
+    def weak_credentials(self) -> list[Credential]:
+        return [c for c in self.credentials if c.weak or c.hardcoded]
+
+    def patch_credentials(self, username: str, new_password: str) -> bool:
+        """Try to change an account's password on-device.
+
+        Returns False for hardcoded accounts: the user "has no interface to
+        delete" them (Fig. 4).  That failure is what motivates the network-
+        level password proxy.
+        """
+        for i, cred in enumerate(self.credentials):
+            if cred.username != username:
+                continue
+            if cred.hardcoded or not self.patchable:
+                return False
+            self.credentials[i] = Credential(username, new_password)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Flaw census
+    # ------------------------------------------------------------------
+    def flaw_classes(self) -> set[str]:
+        """The vulnerability classes this firmware exhibits (Table 1 axes)."""
+        flaws: set[str] = set()
+        if self.hardcoded_credentials():
+            flaws.add("exposed-credentials")
+        if any(c.weak for c in self.credentials):
+            flaws.add("weak-credentials")
+        if self.open_ports:
+            flaws.add("exposed-access")
+        if self.backdoor_port is not None:
+            flaws.add("backdoor")
+        if "open_dns_resolver" in self.services:
+            flaws.add("open-dns-resolver")
+        if self.embedded_keys:
+            flaws.add("embedded-keys")
+        if not self.requires_auth_for_control:
+            flaws.add("no-credentials")
+        return flaws
+
+    def is_vulnerable(self) -> bool:
+        return bool(self.flaw_classes())

@@ -1,0 +1,496 @@
+"""The concrete device library.
+
+Each factory returns an :class:`IoTDevice` assembled from an abstract
+:class:`DeviceModel` and a :class:`Firmware` whose flaws mirror the
+real-world cases the paper cites:
+
+- :func:`smart_camera` -- the Fig. 4 D-Link-alike with an unremovable
+  ``admin/admin`` account.
+- :func:`smart_plug` -- the Belkin-Wemo-alike of Table 1 rows 6-7 and
+  Fig. 5: vendor backdoor, Internet-exposed access, open DNS resolver.
+- :func:`fire_alarm` / :func:`window_actuator` -- the Fig. 3 pair.
+- :func:`traffic_light` -- Table 1 row 5 ("no credentials").
+- :func:`cctv_camera` -- Table 1 row 4 (embedded RSA key pair).
+- :func:`set_top_box`, :func:`smart_refrigerator` -- Table 1 rows 2-3
+  ("exposed access").
+- plus thermostat, bulb, lock, sensors, oven, meter, scanner, hub.
+
+Models are module-level constants so the learning subsystem can import the
+*class* models without instantiating devices (section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.devices.base import IoTDevice
+from repro.devices.firmware import Credential, Firmware
+from repro.devices.model import DeviceModel, EnvEffect, EnvTrigger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.environment.engine import Environment
+    from repro.netsim.simulator import Simulator
+
+WEMO_BACKDOOR_PORT = 49153
+FIREALARM_BACKDOOR_PORT = 41794
+
+# ----------------------------------------------------------------------
+# Abstract class models (section 4.2's shared library)
+# ----------------------------------------------------------------------
+CAMERA_MODEL = DeviceModel(
+    kind="camera",
+    states=("idle", "recording"),
+    initial="recording",
+    transitions={
+        ("idle", "record"): "recording",
+        ("recording", "stop"): "idle",
+    },
+    sensors=(("person", "occupancy"),),
+)
+
+SMART_PLUG_MODEL = DeviceModel(
+    kind="smart_plug",
+    states=("off", "on"),
+    initial="off",
+    transitions={("off", "on"): "on", ("on", "off"): "off"},
+)
+
+
+def smart_plug_model(**load_inputs: float) -> DeviceModel:
+    """A smart plug whose ``on`` state powers a load with the given
+    physical footprint (e.g. ``heat_watts=1500`` for a heater,
+    ``hazard=1.0, heat_watts=2000`` for an oven)."""
+    effects = (EnvEffect.make("on", **load_inputs),) if load_inputs else ()
+    return DeviceModel(
+        kind="smart_plug",
+        states=("off", "on"),
+        initial="off",
+        transitions={("off", "on"): "on", ("on", "off"): "off"},
+        effects=effects,
+    )
+
+
+THERMOSTAT_MODEL = DeviceModel(
+    kind="thermostat",
+    states=("idle", "heating", "cooling"),
+    initial="idle",
+    transitions={
+        ("idle", "heat"): "heating",
+        ("idle", "cool"): "cooling",
+        ("heating", "off"): "idle",
+        ("cooling", "off"): "idle",
+        ("heating", "cool"): "cooling",
+        ("cooling", "heat"): "heating",
+    },
+    effects=(
+        EnvEffect.make("heating", heat_watts=1200.0),
+        EnvEffect.make("cooling", cool_watts=1200.0),
+    ),
+    sensors=(("temperature", "temperature"),),
+)
+
+FIRE_ALARM_MODEL = DeviceModel(
+    kind="fire_alarm",
+    states=("ok", "alarm"),
+    initial="ok",
+    transitions={
+        ("ok", "test"): "alarm",
+        ("alarm", "reset"): "ok",
+        ("ok", "silence"): "ok",
+        ("alarm", "silence"): "ok",
+    },
+    triggers=(EnvTrigger("smoke", "detected", "test"),),
+    sensors=(("smoke", "smoke"),),
+)
+
+WINDOW_MODEL = DeviceModel(
+    kind="window_actuator",
+    states=("closed", "open"),
+    initial="closed",
+    transitions={("closed", "open"): "open", ("open", "close"): "closed"},
+    state_bindings=(("open", "window", "open"), ("closed", "window", "closed")),
+)
+
+DOOR_LOCK_MODEL = DeviceModel(
+    kind="door_lock",
+    states=("locked", "unlocked"),
+    initial="locked",
+    transitions={("locked", "unlock"): "unlocked", ("unlocked", "lock"): "locked"},
+    state_bindings=(("unlocked", "door", "unlocked"), ("locked", "door", "locked")),
+)
+
+BULB_MODEL = DeviceModel(
+    kind="smart_bulb",
+    states=("off", "on", "red"),
+    initial="off",
+    transitions={
+        ("off", "on"): "on",
+        ("on", "off"): "off",
+        ("red", "off"): "off",
+        ("off", "red"): "red",
+        ("on", "red"): "red",
+        ("red", "on"): "on",
+    },
+    effects=(
+        EnvEffect.make("on", lamp_lux=400.0),
+        EnvEffect.make("red", lamp_lux=120.0),
+    ),
+)
+
+MOTION_SENSOR_MODEL = DeviceModel(
+    kind="motion_sensor",
+    states=("idle", "active"),
+    initial="idle",
+    transitions={("idle", "activate"): "active", ("active", "deactivate"): "idle"},
+    triggers=(
+        EnvTrigger("occupancy", "present", "activate"),
+        EnvTrigger("occupancy", "absent", "deactivate"),
+    ),
+    sensors=(("motion", "occupancy"),),
+)
+
+TEMP_SENSOR_MODEL = DeviceModel(
+    kind="temperature_sensor",
+    states=("reporting",),
+    initial="reporting",
+    sensors=(("temperature", "temperature"),),
+)
+
+LIGHT_SENSOR_MODEL = DeviceModel(
+    kind="light_sensor",
+    states=("reporting",),
+    initial="reporting",
+    sensors=(("illuminance", "illuminance"),),
+)
+
+OVEN_MODEL = DeviceModel(
+    kind="smart_oven",
+    states=("off", "baking"),
+    initial="off",
+    transitions={("off", "on"): "baking", ("baking", "off"): "off"},
+    effects=(EnvEffect.make("baking", heat_watts=2000.0, hazard=1.0),),
+)
+
+SET_TOP_BOX_MODEL = DeviceModel(
+    kind="set_top_box",
+    states=("standby", "playing"),
+    initial="standby",
+    transitions={("standby", "play"): "playing", ("playing", "stop"): "standby"},
+)
+
+REFRIGERATOR_MODEL = DeviceModel(
+    kind="refrigerator",
+    states=("cooling", "defrost"),
+    initial="cooling",
+    transitions={("cooling", "defrost"): "defrost", ("defrost", "cool"): "cooling"},
+)
+
+SMART_METER_MODEL = DeviceModel(
+    kind="smart_meter",
+    states=("metering", "tampered"),
+    initial="metering",
+    transitions={
+        ("metering", "calibrate"): "tampered",
+        ("tampered", "reset"): "metering",
+    },
+    sensors=(("power", "power_draw"),),
+)
+
+TRAFFIC_LIGHT_MODEL = DeviceModel(
+    kind="traffic_light",
+    states=("red", "yellow", "green"),
+    initial="red",
+    transitions={
+        ("red", "go"): "green",
+        ("green", "caution"): "yellow",
+        ("yellow", "stop"): "red",
+        ("green", "stop"): "red",
+    },
+)
+
+SCANNER_MODEL = DeviceModel(
+    kind="handheld_scanner",
+    states=("idle", "scanning"),
+    initial="idle",
+    transitions={("idle", "scan"): "scanning", ("scanning", "stop"): "idle"},
+)
+
+MODEL_LIBRARY: dict[str, DeviceModel] = {
+    model.kind: model
+    for model in (
+        CAMERA_MODEL,
+        SMART_PLUG_MODEL,
+        THERMOSTAT_MODEL,
+        FIRE_ALARM_MODEL,
+        WINDOW_MODEL,
+        DOOR_LOCK_MODEL,
+        BULB_MODEL,
+        MOTION_SENSOR_MODEL,
+        TEMP_SENSOR_MODEL,
+        LIGHT_SENSOR_MODEL,
+        OVEN_MODEL,
+        SET_TOP_BOX_MODEL,
+        REFRIGERATOR_MODEL,
+        SMART_METER_MODEL,
+        TRAFFIC_LIGHT_MODEL,
+        SCANNER_MODEL,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Concrete device factories
+# ----------------------------------------------------------------------
+def smart_camera(
+    name: str,
+    sim: "Simulator",
+    env: "Environment | None" = None,
+    hardcoded_password: str = "admin",
+    **kwargs: object,
+) -> IoTDevice:
+    """Fig. 4's camera: hardcoded ``admin/admin`` the user cannot remove."""
+    firmware = Firmware(
+        vendor="dlink",
+        model="DCS-930L",
+        version="1.0",
+        credentials=[Credential("admin", hardcoded_password, hardcoded=True, weak=True)],
+    )
+    return IoTDevice(name, sim, CAMERA_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def avtech_camera(name: str, sim: "Simulator", env: "Environment | None" = None) -> IoTDevice:
+    """Table 1 row 1: 130k Avtech cameras with exposed account/password."""
+    firmware = Firmware(
+        vendor="avtech",
+        model="AVN801",
+        credentials=[Credential("admin", "admin", hardcoded=True, weak=True)],
+    )
+    return IoTDevice(name, sim, CAMERA_MODEL, firmware, env=env)
+
+
+def cctv_camera(name: str, sim: "Simulator", env: "Environment | None" = None) -> IoTDevice:
+    """Table 1 row 4: CCTV with unprotected RSA key pairs in the image."""
+    firmware = Firmware(
+        vendor="genericctv",
+        model="CCTV-IP",
+        credentials=[Credential("root", "derived-from-rsa")],
+        embedded_keys={"rsa_private": "30820122300d06..."},
+    )
+    return IoTDevice(name, sim, CAMERA_MODEL, firmware, env=env)
+
+
+def smart_plug(
+    name: str,
+    sim: "Simulator",
+    env: "Environment | None" = None,
+    load: dict[str, float] | None = None,
+    with_backdoor: bool = True,
+    with_open_dns: bool = True,
+    internet_exposed: bool = True,
+    **kwargs: object,
+) -> IoTDevice:
+    """The Belkin-Wemo-alike (Table 1 rows 6-7, Fig. 5).
+
+    ``load`` is the physical footprint of the appliance plugged into it.
+    """
+    services = ("open_dns_resolver",) if with_open_dns else ()
+    open_ports = (8080,) if internet_exposed else ()
+    firmware = Firmware(
+        vendor="belkin",
+        model="wemo-insight",
+        credentials=[],
+        backdoor_port=WEMO_BACKDOOR_PORT if with_backdoor else None,
+        services=services,
+        open_ports=open_ports,
+    )
+    model = smart_plug_model(**(load or {}))
+    return IoTDevice(name, sim, model, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def thermostat(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(
+        vendor="nest",
+        model="thermostat-v3",
+        credentials=[Credential("owner", "set-by-app")],
+        patchable=True,
+    )
+    return IoTDevice(name, sim, THERMOSTAT_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def fire_alarm(
+    name: str,
+    sim: "Simulator",
+    env: "Environment | None" = None,
+    with_backdoor: bool = True,
+    **kwargs: object,
+) -> IoTDevice:
+    """Fig. 3's FireAlarm; the backdoor is the attack entry point there."""
+    firmware = Firmware(
+        vendor="nest",
+        model="protect",
+        credentials=[Credential("owner", "set-by-app")],
+        backdoor_port=FIREALARM_BACKDOOR_PORT if with_backdoor else None,
+    )
+    return IoTDevice(name, sim, FIRE_ALARM_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def window_actuator(
+    name: str,
+    sim: "Simulator",
+    env: "Environment | None" = None,
+    password: str = "window-pass",
+    weak_password: bool = True,
+    **kwargs: object,
+) -> IoTDevice:
+    """Fig. 3's window: its password is brute-forceable when weak."""
+    firmware = Firmware(
+        vendor="acme",
+        model="window-ctl",
+        credentials=[Credential("admin", password, weak=weak_password)],
+    )
+    return IoTDevice(name, sim, WINDOW_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def door_lock(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(
+        vendor="august",
+        model="smart-lock",
+        credentials=[Credential("owner", "lock-pass")],
+        patchable=True,
+    )
+    return IoTDevice(name, sim, DOOR_LOCK_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def smart_bulb(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(
+        vendor="philips",
+        model="hue",
+        credentials=[],
+        requires_auth_for_control=False,  # hue-style local control is open
+    )
+    return IoTDevice(name, sim, BULB_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def motion_sensor(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(vendor="scout", model="motion-v2", credentials=[])
+    return IoTDevice(name, sim, MOTION_SENSOR_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def temperature_sensor(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(vendor="acme", model="temp-v1", credentials=[])
+    return IoTDevice(name, sim, TEMP_SENSOR_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def light_sensor(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(vendor="acme", model="lux-v1", credentials=[])
+    return IoTDevice(name, sim, LIGHT_SENSOR_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def smart_oven(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    firmware = Firmware(
+        vendor="acme",
+        model="oven-wifi",
+        credentials=[Credential("owner", "oven-pass")],
+    )
+    return IoTDevice(name, sim, OVEN_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def set_top_box(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    """Table 1 row 2: 61k set-top boxes with exposed access."""
+    firmware = Firmware(
+        vendor="genericstb",
+        model="stb-4k",
+        credentials=[],
+        open_ports=(80, 8080),
+    )
+    return IoTDevice(name, sim, SET_TOP_BOX_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def smart_refrigerator(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    """Table 1 row 3: 146 smart refrigerators with exposed access."""
+    firmware = Firmware(
+        vendor="samsung",
+        model="rf4289",
+        credentials=[],
+        open_ports=(80, 8080),
+    )
+    return IoTDevice(name, sim, REFRIGERATOR_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def smart_meter(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    """The hacked-to-lower-bills smart meter of section 1."""
+    firmware = Firmware(
+        vendor="utilco",
+        model="meter-g2",
+        credentials=[Credential("service", "0000", weak=True)],
+    )
+    return IoTDevice(name, sim, SMART_METER_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def traffic_light(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    """Table 1 row 5: 219 traffic lights controllable with no credentials."""
+    firmware = Firmware(
+        vendor="cityinfra",
+        model="signal-ctl",
+        credentials=[],
+        requires_auth_for_control=False,
+    )
+    return IoTDevice(name, sim, TRAFFIC_LIGHT_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+def handheld_scanner(
+    name: str, sim: "Simulator", env: "Environment | None" = None, **kwargs: object
+) -> IoTDevice:
+    """The malware-laden logistics scanner of section 1."""
+    firmware = Firmware(
+        vendor="scanco",
+        model="hh-scan",
+        credentials=[],
+        open_ports=(8080,),
+        services=("telnet",),
+    )
+    return IoTDevice(name, sim, SCANNER_MODEL, firmware, env=env, **kwargs)  # type: ignore[arg-type]
+
+
+FACTORIES = {
+    "camera": smart_camera,
+    "avtech_camera": avtech_camera,
+    "cctv_camera": cctv_camera,
+    "smart_plug": smart_plug,
+    "thermostat": thermostat,
+    "fire_alarm": fire_alarm,
+    "window_actuator": window_actuator,
+    "door_lock": door_lock,
+    "smart_bulb": smart_bulb,
+    "motion_sensor": motion_sensor,
+    "temperature_sensor": temperature_sensor,
+    "light_sensor": light_sensor,
+    "smart_oven": smart_oven,
+    "set_top_box": set_top_box,
+    "smart_refrigerator": smart_refrigerator,
+    "smart_meter": smart_meter,
+    "traffic_light": traffic_light,
+    "handheld_scanner": handheld_scanner,
+}

@@ -1,0 +1,174 @@
+"""Abstract device-class models.
+
+Section 4.2: "we envision building a library containing abstract models of
+different classes of devices (e.g., toaster, microwave, smart bulb rather
+than specific instances) that capture key input-output behaviors and
+interactions with environment variables ... modeling cyberphysical systems
+as simple FSMs".
+
+A :class:`DeviceModel` is that FSM: states, command-driven transitions,
+per-state physical actuation effects, environment-triggered autonomous
+transitions, and sensor read-outs.  The same model object drives
+
+1. the *executable* device (:class:`repro.devices.base.IoTDevice`),
+2. the fuzzer's exploration of the joint device x environment space
+   (:mod:`repro.learning.fuzzing`), and
+3. attack-graph construction (:mod:`repro.learning.attackgraph`),
+
+so what the learner reasons about is exactly what runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class EnvEffect:
+    """While the device is in ``state``, it contributes ``inputs`` to physics.
+
+    Example: a space heater's ``on`` state contributes
+    ``{"heat_watts": 1500.0}``.
+    """
+
+    state: str
+    inputs: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def make(cls, state: str, **inputs: float) -> "EnvEffect":
+        return cls(state, tuple(sorted(inputs.items())))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.inputs)
+
+
+@dataclass(frozen=True)
+class EnvTrigger:
+    """When ``variable`` reaches ``level``, the device self-applies ``command``.
+
+    Example: a fire alarm triggers its own ``alarm`` command when
+    ``smoke=detected``; a motion sensor reports when ``occupancy=present``.
+    """
+
+    variable: str
+    level: str
+    command: str
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """The FSM abstract model of one device *class*.
+
+    Attributes
+    ----------
+    kind:
+        Class name ("smart_plug", "camera", ...), the granularity at which
+        models are shared (coarser than SKU -- the point of section 4.2).
+    states:
+        All FSM states.
+    initial:
+        Starting state.
+    transitions:
+        ``(state, command) -> next_state``.  Commands absent for a state are
+        ignored (devices drop inapplicable commands).
+    effects:
+        Physical actuation contributions per state.
+    triggers:
+        Environment-level-driven autonomous commands.
+    sensors:
+        ``report_key -> environment variable`` read-outs included in
+        telemetry.
+    state_bindings:
+        ``(state, variable, level)`` triples: while in ``state`` the device
+        holds the discrete environment variable at ``level`` (a window
+        actuator's ``open`` state holds ``window=open``).
+    commands:
+        Derived: every command appearing in ``transitions``.
+    """
+
+    kind: str
+    states: tuple[str, ...]
+    initial: str
+    transitions: Mapping[tuple[str, str], str] = field(default_factory=dict)
+    effects: tuple[EnvEffect, ...] = ()
+    triggers: tuple[EnvTrigger, ...] = ()
+    sensors: tuple[tuple[str, str], ...] = ()
+    state_bindings: tuple[tuple[str, str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise ValueError(f"{self.kind}: initial {self.initial!r} not a state")
+        for (state, cmd), nxt in self.transitions.items():
+            if state not in self.states:
+                raise ValueError(f"{self.kind}: unknown source state {state!r}")
+            if nxt not in self.states:
+                raise ValueError(f"{self.kind}: unknown target state {nxt!r}")
+        for effect in self.effects:
+            if effect.state not in self.states:
+                raise ValueError(f"{self.kind}: effect for unknown state {effect.state!r}")
+
+    @property
+    def commands(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for (__, cmd) in self.transitions:
+            seen.setdefault(cmd)
+        for trigger in self.triggers:
+            seen.setdefault(trigger.command)
+        return tuple(seen)
+
+    def next_state(self, state: str, cmd: str) -> str:
+        """The state after ``cmd`` in ``state`` (self-loop when inapplicable)."""
+        return self.transitions.get((state, cmd), state)
+
+    def effect_inputs(self, state: str) -> dict[str, float]:
+        """Aggregate actuation inputs contributed in ``state``."""
+        inputs: dict[str, float] = {}
+        for effect in self.effects:
+            if effect.state == state:
+                for key, value in effect.inputs:
+                    inputs[key] = inputs.get(key, 0.0) + value
+        return inputs
+
+    def affected_inputs(self) -> set[str]:
+        """Every physics input this device class can touch (its *actuation
+        footprint*): the fuzzer uses footprints to bound which couplings are
+        even possible."""
+        keys: set[str] = set()
+        for effect in self.effects:
+            keys.update(k for k, __ in effect.inputs)
+        return keys
+
+    def bound_variables(self) -> set[str]:
+        """Discrete environment variables this class directly holds."""
+        return {var for __, var, __level in self.state_bindings}
+
+    def binding_for(self, state: str) -> list[tuple[str, str]]:
+        """``(variable, level)`` pairs asserted while in ``state``."""
+        return [
+            (var, level) for st, var, level in self.state_bindings if st == state
+        ]
+
+    def sensed_variables(self) -> set[str]:
+        """Every environment variable this class observes."""
+        observed = {var for __, var in self.sensors}
+        observed.update(t.variable for t in self.triggers)
+        return observed
+
+    def reachable_states(self, from_state: str | None = None) -> set[str]:
+        """States reachable by any command sequence (plus triggers)."""
+        start = from_state or self.initial
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            state = frontier.pop()
+            for (src, __), dst in self.transitions.items():
+                if src == state and dst not in seen:
+                    seen.add(dst)
+                    frontier.append(dst)
+        return seen
+
+    def validate_deterministic(self) -> None:
+        """Mapping keys are unique by construction; states must be too."""
+        if len(set(self.states)) != len(self.states):
+            raise ValueError(f"{self.kind}: duplicate states")

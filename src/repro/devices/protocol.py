@@ -1,0 +1,98 @@
+"""IoT application-protocol conventions.
+
+Every device in the library speaks the same simple message scheme so that
+µmboxes can interpose generically (the paper's µmboxes are per-device
+*policies*, not per-device parsers):
+
+- Management plane, port 80 (``MGMT_PORT``): login / resource access.
+- Control plane, port 8080 (``CTRL_PORT``): state-changing commands.
+- Telemetry, port 5683 (``TELEMETRY_PORT``): periodic status reports.
+- DNS, port 53: devices that (mis)ship an open resolver answer here.
+- Backdoors live on vendor-specific high ports recorded in the firmware.
+
+Payload shapes are built by the helpers below; device and µmbox code match
+on ``payload["action"]`` / ``payload["cmd"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.netsim.packet import Packet
+
+MGMT_PORT = 80
+CTRL_PORT = 8080
+TELEMETRY_PORT = 5683
+DNS_PORT = 53
+
+STATUS_OK = "ok"
+STATUS_DENIED = "denied"
+STATUS_ERROR = "error"
+
+
+def login(src: str, dst: str, username: str, password: str) -> Packet:
+    """A management-interface login attempt."""
+    return Packet(
+        src=src,
+        dst=dst,
+        protocol="http",
+        dport=MGMT_PORT,
+        payload={"action": "login", "username": username, "password": password},
+        size=128,
+    )
+
+
+def get_resource(src: str, dst: str, resource: str, session: str | None = None) -> Packet:
+    """Fetch a management resource (camera image, meter data, config)."""
+    payload: dict[str, Any] = {"action": "get", "resource": resource}
+    if session is not None:
+        payload["session"] = session
+    return Packet(src=src, dst=dst, protocol="http", dport=MGMT_PORT, payload=payload, size=96)
+
+
+def command(
+    src: str,
+    dst: str,
+    cmd: str,
+    session: str | None = None,
+    dport: int = CTRL_PORT,
+    **params: Any,
+) -> Packet:
+    """A state-changing control command (``on``, ``off``, ``open`` ...)."""
+    payload: dict[str, Any] = {"cmd": cmd, **params}
+    if session is not None:
+        payload["session"] = session
+    return Packet(src=src, dst=dst, protocol="iot", dport=dport, payload=payload, size=96)
+
+
+def telemetry(src: str, dst: str, state: str, readings: dict[str, Any]) -> Packet:
+    """A periodic device status report."""
+    return Packet(
+        src=src,
+        dst=dst,
+        protocol="udp",
+        dport=TELEMETRY_PORT,
+        payload={"action": "telemetry", "state": state, "readings": dict(readings)},
+        size=64,
+    )
+
+
+def dns_query(src: str, dst: str, name: str, spoofed_src: str | None = None) -> Packet:
+    """A DNS query; ``spoofed_src`` forges the source for reflection DDoS."""
+    return Packet(
+        src=spoofed_src if spoofed_src is not None else src,
+        dst=dst,
+        protocol="dns",
+        dport=DNS_PORT,
+        payload={"query": name},
+        size=60,
+    )
+
+
+def is_ok(packet: Packet) -> bool:
+    """True when a reply's status is ``ok``."""
+    return packet.payload.get("status") == STATUS_OK
+
+
+def is_denied(packet: Packet) -> bool:
+    return packet.payload.get("status") == STATUS_DENIED

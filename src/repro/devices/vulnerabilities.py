@@ -1,0 +1,118 @@
+"""The Table 1 vulnerability registry.
+
+The paper's Table 1 lists seven reported IoT vulnerability cases drawn from
+SHODAN and other sources.  :data:`TABLE1` encodes them verbatim; each record
+names the library factory that builds a device exhibiting the flaw and the
+exploit primitive (:mod:`repro.attacks.exploits`) that weaponizes it.
+``bench_table1_vulnerabilities.py`` iterates this registry, attacks each
+device, and shows the matching µmbox posture blocks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VulnerabilityRecord:
+    """One row of Table 1."""
+
+    row: int
+    device: str
+    device_count: str
+    vulnerability: str
+    flaw_class: str
+    factory: str          # key into repro.devices.library.FACTORIES
+    exploit: str          # key into repro.attacks.exploits.EXPLOITS
+    mitigation: str       # µmbox posture that neutralizes it
+
+    def device_count_numeric(self) -> int:
+        """Best-effort numeric device count (for weighting experiments)."""
+        text = self.device_count.replace(">", "").replace("(estimated)", "")
+        text = text.replace("(by IP)", "").strip()
+        if text.endswith("k"):
+            return int(float(text[:-1]) * 1000)
+        return int(text)
+
+
+TABLE1: tuple[VulnerabilityRecord, ...] = (
+    VulnerabilityRecord(
+        row=1,
+        device="Avtech Cam",
+        device_count="130k",
+        vulnerability="exposed account/password",
+        flaw_class="exposed-credentials",
+        factory="avtech_camera",
+        exploit="default_credential_hijack",
+        mitigation="password_proxy",
+    ),
+    VulnerabilityRecord(
+        row=2,
+        device="TV Set-top box",
+        device_count="61k",
+        vulnerability="exposed access",
+        flaw_class="exposed-access",
+        factory="set_top_box",
+        exploit="open_access_control",
+        mitigation="stateful_firewall",
+    ),
+    VulnerabilityRecord(
+        row=3,
+        device="Smart Refrigerator",
+        device_count="146",
+        vulnerability="exposed access",
+        flaw_class="exposed-access",
+        factory="smart_refrigerator",
+        exploit="open_access_control",
+        mitigation="stateful_firewall",
+    ),
+    VulnerabilityRecord(
+        row=4,
+        device="CCTV Cam",
+        device_count="30k (by IP)",
+        vulnerability="unprotected RSA key pairs",
+        flaw_class="embedded-keys",
+        factory="cctv_camera",
+        exploit="firmware_key_extraction",
+        mitigation="password_proxy",
+    ),
+    VulnerabilityRecord(
+        row=5,
+        device="Traffic Light",
+        device_count="219",
+        vulnerability="no credentials",
+        flaw_class="no-credentials",
+        factory="traffic_light",
+        exploit="unauthenticated_command",
+        mitigation="command_whitelist",
+    ),
+    VulnerabilityRecord(
+        row=6,
+        device="Belkin Wemo",
+        device_count=">500k (estimated)",
+        vulnerability="open DNS resolver, use for DDoS",
+        flaw_class="open-dns-resolver",
+        factory="smart_plug",
+        exploit="dns_reflection_ddos",
+        mitigation="dns_guard",
+    ),
+    VulnerabilityRecord(
+        row=7,
+        device="Belkin Wemo",
+        device_count=">500k (estimated)",
+        vulnerability="exposed access, bypass app",
+        flaw_class="backdoor",
+        factory="smart_plug",
+        exploit="backdoor_command",
+        mitigation="stateful_firewall",
+    ),
+)
+
+
+def by_flaw_class(flaw_class: str) -> list[VulnerabilityRecord]:
+    return [r for r in TABLE1 if r.flaw_class == flaw_class]
+
+
+def total_affected_devices() -> int:
+    """Sum of the (approximate) affected-device counts across Table 1."""
+    return sum(r.device_count_numeric() for r in TABLE1)

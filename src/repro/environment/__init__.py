@@ -1,0 +1,41 @@
+"""Physical-environment simulation.
+
+IoT devices "can also be coupled through the physical environment leading to
+implicit dependencies" (paper section 2.1): a smart plug that powers a
+heater changes the temperature, which trips a temperature-sensor-driven
+IFTTT rule that opens a window.  This package provides:
+
+- :mod:`repro.environment.variables` -- typed environment variables with
+  discretization into policy-level states (Temperature=High/Low etc.).
+- :mod:`repro.environment.physics` -- coupling processes (thermal, light,
+  smoke, occupancy) that evolve variables from device actuation inputs.
+- :mod:`repro.environment.engine` -- the stepping engine and observation API.
+"""
+
+from repro.environment.engine import Environment
+from repro.environment.physics import (
+    LightProcess,
+    OccupancySchedule,
+    PowerProcess,
+    Process,
+    SmokeProcess,
+    ThermalProcess,
+)
+from repro.environment.variables import (
+    ContinuousVariable,
+    DiscreteVariable,
+    EnvironmentVariable,
+)
+
+__all__ = [
+    "ContinuousVariable",
+    "DiscreteVariable",
+    "Environment",
+    "EnvironmentVariable",
+    "LightProcess",
+    "OccupancySchedule",
+    "PowerProcess",
+    "Process",
+    "SmokeProcess",
+    "ThermalProcess",
+]

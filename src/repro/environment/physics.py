@@ -1,0 +1,171 @@
+"""Coupling processes: how device actuation moves the physical world.
+
+Each :class:`Process` reads the environment's *actuation inputs* (set by
+device models: heater wattage, bulb lumens, oven state) and integrates one
+or more variables forward.  The dynamics are deliberately simple first-order
+models -- the experiments need the *coupling structure* (plug -> heat ->
+temperature -> window rule), not HVAC-grade fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.environment.engine import Environment
+
+
+class Process:
+    """Base class: integrate some variables forward by ``dt`` seconds."""
+
+    def step(self, env: "Environment", dt: float) -> None:
+        raise NotImplementedError
+
+
+class ThermalProcess(Process):
+    """First-order room thermal model.
+
+    ``dT/dt = (inputs.heat_watts * gain) - leak * (T - T_outside)``
+
+    An open window multiplies the leak term: that is precisely the physical
+    side-channel in the paper's break-in scenario (turn off the AC, the
+    room warms, the window-opening rule fires).
+    """
+
+    def __init__(
+        self,
+        variable: str = "temperature",
+        outside: float = 10.0,
+        heat_gain: float = 0.00004,    # degC per joule-ish
+        leak_rate: float = 0.002,      # 1/s toward outside
+        window_variable: str | None = "window",
+        window_open_level: str = "open",
+        window_leak_multiplier: float = 20.0,
+        heat_input: str = "heat_watts",
+        cool_input: str = "cool_watts",
+    ) -> None:
+        self.variable = variable
+        self.outside = outside
+        self.heat_gain = heat_gain
+        self.leak_rate = leak_rate
+        self.window_variable = window_variable
+        self.window_open_level = window_open_level
+        self.window_leak_multiplier = window_leak_multiplier
+        self.heat_input = heat_input
+        self.cool_input = cool_input
+
+    def step(self, env: "Environment", dt: float) -> None:
+        temp = env.continuous(self.variable)
+        heat = env.inputs.get(self.heat_input, 0.0)
+        cool = env.inputs.get(self.cool_input, 0.0)
+        leak = self.leak_rate
+        if self.window_variable and self.window_variable in env.variables:
+            if env.variables[self.window_variable].level == self.window_open_level:
+                leak *= self.window_leak_multiplier
+        delta = (heat - cool) * self.heat_gain * dt
+        delta -= leak * (temp.value - self.outside) * dt
+        temp.add(delta, at=env.now)
+
+
+class LightProcess(Process):
+    """Illuminance follows lamp output plus a day/night ambient baseline."""
+
+    def __init__(
+        self,
+        variable: str = "illuminance",
+        ambient_input: str = "ambient_lux",
+        lamp_input: str = "lamp_lux",
+        settle_rate: float = 2.0,  # 1/s; light settles fast
+    ) -> None:
+        self.variable = variable
+        self.ambient_input = ambient_input
+        self.lamp_input = lamp_input
+        self.settle_rate = settle_rate
+
+    def step(self, env: "Environment", dt: float) -> None:
+        lux = env.continuous(self.variable)
+        target = env.inputs.get(self.ambient_input, 0.0) + env.inputs.get(
+            self.lamp_input, 0.0
+        )
+        # Exponential approach, clamped to a stable step.
+        alpha = min(1.0, self.settle_rate * dt)
+        lux.set(lux.value + alpha * (target - lux.value), at=env.now)
+
+
+class SmokeProcess(Process):
+    """Smoke accumulates while a hazard source runs and decays otherwise.
+
+    The Fig. 5 scenario's danger: an unattended oven (powered through a
+    compromised smart plug) is a fire hazard.  ``hazard_input`` is the
+    aggregate hazard intensity devices report (oven on = 1.0).
+    """
+
+    def __init__(
+        self,
+        variable: str = "smoke",
+        hazard_input: str = "hazard",
+        accumulation_rate: float = 0.02,  # units/s at hazard=1
+        decay_rate: float = 0.01,
+    ) -> None:
+        self.variable = variable
+        self.hazard_input = hazard_input
+        self.accumulation_rate = accumulation_rate
+        self.decay_rate = decay_rate
+
+    def step(self, env: "Environment", dt: float) -> None:
+        smoke = env.continuous(self.variable)
+        hazard = env.inputs.get(self.hazard_input, 0.0)
+        delta = hazard * self.accumulation_rate * dt
+        delta -= self.decay_rate * smoke.value * dt
+        smoke.add(delta, at=env.now)
+
+
+class PowerProcess(Process):
+    """Aggregate electrical draw: what the smart meter sees.
+
+    Sums the wattage-bearing actuation inputs into a ``power_draw``
+    variable.  The section 1 smart-meter fraud ("smart meters were hacked
+    to lower utility bills") is detectable as a mismatch between this
+    ground-truth draw and what a tampered meter reports.
+    """
+
+    def __init__(
+        self,
+        variable: str = "power_draw",
+        watt_inputs: tuple[str, ...] = ("heat_watts", "cool_watts", "lamp_watts"),
+        settle_rate: float = 5.0,
+    ) -> None:
+        self.variable = variable
+        self.watt_inputs = watt_inputs
+        self.settle_rate = settle_rate
+
+    def step(self, env: "Environment", dt: float) -> None:
+        draw = env.continuous(self.variable)
+        target = sum(env.inputs.get(key, 0.0) for key in self.watt_inputs)
+        alpha = min(1.0, self.settle_rate * dt)
+        draw.set(draw.value + alpha * (target - draw.value), at=env.now)
+
+
+class OccupancySchedule(Process):
+    """Scripted occupancy: a list of ``(time, level)`` changes.
+
+    Occupancy is the canonical *context* variable: "a thermostat controlling
+    the HVAC system is normal if the user is present and anomalous
+    otherwise" (section 3.1).
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[tuple[float, str]],
+        variable: str = "occupancy",
+    ) -> None:
+        self.schedule = sorted(schedule)
+        self.variable = variable
+        self._applied = 0
+
+    def step(self, env: "Environment", dt: float) -> None:
+        var = env.variables[self.variable]
+        while self._applied < len(self.schedule) and self.schedule[self._applied][0] <= env.now:
+            __, level = self.schedule[self._applied]
+            var.set(level)  # type: ignore[attr-defined]
+            self._applied += 1

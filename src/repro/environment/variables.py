@@ -1,0 +1,161 @@
+"""Typed environment variables.
+
+The policy abstraction of section 3.2 needs each environmental variable
+``Ej`` to "take one or more discrete values (e.g., Temperature=High/Low,
+Window=Open/Closed, Smoke=Yes/No)".  Physics, however, is continuous.  A
+:class:`ContinuousVariable` therefore carries *thresholds* that map its raw
+value to a discrete *level*; policy states are built from levels, physics
+runs on raw values.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Sequence
+
+
+class EnvironmentVariable:
+    """Base class: a named, observable value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._observers: list[Callable[["EnvironmentVariable"], None]] = []
+
+    def observe(self, callback: Callable[["EnvironmentVariable"], None]) -> None:
+        """Register a callback fired whenever the *level* changes."""
+        self._observers.append(callback)
+
+    def _notify(self) -> None:
+        for callback in list(self._observers):
+            callback(self)
+
+    @property
+    def level(self) -> str:
+        """The discrete policy-visible value."""
+        raise NotImplementedError
+
+    def levels(self) -> tuple[str, ...]:
+        """All levels this variable can take (the policy domain)."""
+        raise NotImplementedError
+
+
+class DiscreteVariable(EnvironmentVariable):
+    """A variable with an explicit finite domain (Window=open/closed)."""
+
+    def __init__(self, name: str, domain: Sequence[str], initial: str | None = None) -> None:
+        super().__init__(name)
+        if not domain:
+            raise ValueError(f"{name}: domain must be non-empty")
+        if len(set(domain)) != len(domain):
+            raise ValueError(f"{name}: domain has duplicates: {domain}")
+        self.domain = tuple(domain)
+        value = initial if initial is not None else self.domain[0]
+        if value not in self.domain:
+            raise ValueError(f"{name}: initial {value!r} not in domain {domain}")
+        self._value = value
+
+    @property
+    def value(self) -> str:
+        return self._value
+
+    def set(self, value: str) -> None:
+        if value not in self.domain:
+            raise ValueError(f"{self.name}: {value!r} not in domain {self.domain}")
+        changed = value != self._value
+        self._value = value
+        if changed:
+            self._notify()
+
+    @property
+    def level(self) -> str:
+        return self._value
+
+    def levels(self) -> tuple[str, ...]:
+        return self.domain
+
+    def __repr__(self) -> str:
+        return f"DiscreteVariable({self.name}={self._value})"
+
+
+class ContinuousVariable(EnvironmentVariable):
+    """A real-valued variable with threshold-based discretization.
+
+    ``thresholds`` are the ascending cut points between consecutive
+    ``level_names``; ``len(level_names) == len(thresholds) + 1``.
+
+    >>> temp = ContinuousVariable(
+    ...     "temperature", initial=21.0,
+    ...     thresholds=(10.0, 26.0), level_names=("low", "normal", "high"),
+    ... )
+    >>> temp.level
+    'normal'
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: float = 0.0,
+        thresholds: Sequence[float] = (),
+        level_names: Sequence[str] | None = None,
+        minimum: float | None = None,
+        maximum: float | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.thresholds = tuple(thresholds)
+        if any(b <= a for a, b in zip(self.thresholds, self.thresholds[1:])):
+            raise ValueError(f"{name}: thresholds must be strictly ascending")
+        if level_names is None:
+            level_names = tuple(f"level{i}" for i in range(len(self.thresholds) + 1))
+        if len(level_names) != len(self.thresholds) + 1:
+            raise ValueError(
+                f"{name}: need {len(self.thresholds) + 1} level names, "
+                f"got {len(level_names)}"
+            )
+        self.level_names = tuple(level_names)
+        self.minimum = minimum
+        self.maximum = maximum
+        self._value = self._clamp(initial)
+        #: (time, value) samples; bounded so week-long simulations do not
+        #: accumulate gigabytes of physics history.
+        self.history: list[tuple[float, float]] = []
+        self.history_limit = 10_000
+
+    def _clamp(self, value: float) -> float:
+        if self.minimum is not None:
+            value = max(self.minimum, value)
+        if self.maximum is not None:
+            value = min(self.maximum, value)
+        return value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float, at: float | None = None) -> None:
+        old_level = self.level
+        self._value = self._clamp(value)
+        if at is not None:
+            self.history.append((at, self._value))
+            if len(self.history) > self.history_limit:
+                # keep the most recent half; O(1) amortized
+                del self.history[: self.history_limit // 2]
+        if self.level != old_level:
+            self._notify()
+
+    def add(self, delta: float, at: float | None = None) -> None:
+        self.set(self._value + delta, at=at)
+
+    @property
+    def level(self) -> str:
+        return self.level_names[bisect_right(self.thresholds, self._value)]
+
+    def levels(self) -> tuple[str, ...]:
+        return self.level_names
+
+    def __repr__(self) -> str:
+        return f"ContinuousVariable({self.name}={self._value:.3f} [{self.level}])"
+
+
+def snapshot(variables: dict[str, EnvironmentVariable]) -> dict[str, Any]:
+    """A plain dict of variable name -> level, for state construction."""
+    return {name: var.level for name, var in variables.items()}

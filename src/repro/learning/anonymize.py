@@ -1,0 +1,101 @@
+"""Privacy scrubbing for shared reports.
+
+Section 4.1's second crowdsourcing challenge: "Sharing information raises
+concerns about the potential for accidentally leaking private information."
+Before a signature or trace leaves a site, the repository applies:
+
+- **pseudonymization**: reporter identities become salted-hash pseudonyms
+  (stable per repository so reputation can still accrue, unlinkable across
+  repositories because the salt differs);
+- **address scrubbing**: site-local node names in traces are replaced by
+  role labels;
+- **payload redaction**: values under sensitive keys (credentials, tokens,
+  readings) are dropped from published signature matches unless they are
+  the vendor-default constants the signature is about.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.learning.signatures import AttackSignature, SignatureMatch
+
+#: Payload keys whose values are user secrets, never to be shared verbatim.
+SENSITIVE_KEYS: frozenset[str] = frozenset({"session", "token", "readings", "data"})
+
+#: Vendor-default constants that *are* the attack and may be shared.
+SHAREABLE_VALUES: frozenset[str] = frozenset(
+    {"admin", "password", "1234", "root", "0000", "derived-from-rsa"}
+)
+
+
+def pseudonym(identity: str, salt: str) -> str:
+    """A stable, salted pseudonym for a contributor identity."""
+    digest = hashlib.sha256(f"{salt}:{identity}".encode()).hexdigest()
+    return f"anon-{digest[:12]}"
+
+
+@dataclass
+class Anonymizer:
+    """Scrubs signatures before publication."""
+
+    salt: str = "repository-salt"
+
+    def scrub(self, signature: AttackSignature) -> AttackSignature:
+        """Return a publication-safe copy of ``signature``."""
+        safe_contains = []
+        for key, value in signature.match.payload_contains:
+            if key in ("username", "password") and str(value) not in SHAREABLE_VALUES:
+                # A user-chosen secret leaked into the match: generalize to
+                # a presence test instead of the literal value.
+                continue
+            if key in SENSITIVE_KEYS:
+                continue
+            safe_contains.append((key, value))
+        dropped = [
+            key
+            for key, __ in signature.match.payload_contains
+            if (key, dict(signature.match.payload_contains)[key])
+            not in [(k, v) for k, v in safe_contains]
+        ]
+        safe_keys = tuple(
+            sorted(set(signature.match.payload_keys) | set(dropped))
+        )
+        scrubbed_match = SignatureMatch(
+            protocol=signature.match.protocol,
+            dport=signature.match.dport,
+            payload_contains=tuple(safe_contains),
+            payload_keys=safe_keys,
+            min_size=signature.match.min_size,
+        )
+        return AttackSignature(
+            sku=signature.sku,
+            flaw_class=signature.flaw_class,
+            match=scrubbed_match,
+            recommended_posture=signature.recommended_posture,
+            reporter=pseudonym(signature.reporter, self.salt),
+            reported_at=signature.reported_at,
+            confidence=signature.confidence,
+            notes=signature.notes,
+        )
+
+    def scrub_trace(self, trace: list[str], site_nodes: set[str]) -> list[str]:
+        """Replace site-local node names in a packet trace with roles."""
+        return [
+            "site-node" if hop in site_nodes else hop
+            for hop in trace
+        ]
+
+
+def leaks_identity(signature: AttackSignature, identities: set[str]) -> bool:
+    """Audit helper: does a published signature still carry a raw identity
+    or secret?  Used by tests to prove the scrubber's invariant."""
+    if signature.reporter in identities:
+        return True
+    for key, value in signature.match.payload_contains:
+        if key in SENSITIVE_KEYS:
+            return True
+        if key in ("username", "password") and str(value) not in SHAREABLE_VALUES:
+            return True
+    return False

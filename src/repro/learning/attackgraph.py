@@ -1,0 +1,290 @@
+"""Attack-graph generation and analysis.
+
+Section 4.2: "such models can also be used to automatically identify
+potential multi-stage attacks due to cross-device interactions; e.g.,
+triggering device X to transition to state SX and then using that to reach
+an eventual goal state (e.g., unlocking the door).  To this end, we can
+borrow ideas from attack graph analysis in the security literature
+[MulVal, Sheyner et al.]."
+
+Facts are nodes, inference rules add edges:
+
+- ``attacker(net)``  --[exploit per firmware flaw]-->  ``control(device)``
+- ``control(device)``  -->  ``state(device, s)`` for every reachable s
+- ``state(device, s)``  --[physics]-->  ``env(var, level)`` (effects,
+  bindings, via the abstract environment's response rules)
+- ``env(var, level)``  --[trigger]-->  ``state(device2, s2)``
+- ``env(var, level)``  --[recipe]-->  ``state(device2, s2)`` (the victim's
+  own automation is an inference rule -- that is the thermal break-in)
+
+Paths from the attacker fact to a goal fact are multi-stage attacks; the
+analysis reports path counts, shortest depth, and cut devices (which single
+device, hardened, severs all paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.devices.firmware import Firmware
+from repro.devices.model import DeviceModel
+from repro.learning.abstract_env import AbstractEnvironment, default_world
+from repro.policy.ifttt import Recipe
+
+ATTACKER = ("attacker", "net", "")
+
+
+def control(device: str) -> tuple[str, str, str]:
+    return ("control", device, "")
+
+
+def state(device: str, st: str) -> tuple[str, str, str]:
+    return ("state", device, st)
+
+
+def envfact(variable: str, level: str) -> tuple[str, str, str]:
+    return ("env", variable, level)
+
+
+#: Exploit primitive -> the µmbox mitigation that neutralizes it (the
+#: same mapping the Table 1 registry uses, inverted for hardening plans).
+EXPLOIT_TO_MITIGATION: dict[str, str] = {
+    "default_credential_hijack": "password_proxy",
+    "brute_force_login": "password_proxy",
+    "open_access_control": "stateful_firewall",
+    "backdoor_command": "stateful_firewall",
+    "unauthenticated_command": "command_whitelist",
+    "firmware_key_extraction": "password_proxy",
+}
+
+#: Firmware flaw class -> the exploit primitive granting control.
+FLAW_TO_EXPLOIT: dict[str, str] = {
+    "exposed-credentials": "default_credential_hijack",
+    "weak-credentials": "brute_force_login",
+    "exposed-access": "open_access_control",
+    "backdoor": "backdoor_command",
+    "no-credentials": "unauthenticated_command",
+    "embedded-keys": "firmware_key_extraction",
+    # open-dns-resolver grants reflection, not control -- excluded here.
+}
+
+
+@dataclass
+class AttackPath:
+    """One multi-stage attack: the fact chain from attacker to goal."""
+
+    facts: tuple[tuple[str, str, str], ...]
+    exploits: tuple[str, ...]
+
+    @property
+    def stages(self) -> int:
+        return len(self.facts) - 1
+
+    def devices_touched(self) -> set[str]:
+        return {
+            name for kind, name, __ in self.facts if kind in ("control", "state")
+        }
+
+    def __str__(self) -> str:
+        def fmt(fact: tuple[str, str, str]) -> str:
+            kind, a, b = fact
+            if kind == "attacker":
+                return "ATTACKER"
+            if kind == "control":
+                return f"control({a})"
+            if kind == "state":
+                return f"{a}={b}"
+            return f"env:{a}={b}"
+
+        return " -> ".join(fmt(f) for f in self.facts)
+
+
+@dataclass
+class GraphReport:
+    nodes: int
+    edges: int
+    reachable_facts: int
+    paths_to_goal: int
+    shortest_depth: int | None
+    cut_devices: list[str] = field(default_factory=list)
+
+
+class AttackGraphBuilder:
+    """Builds the fact graph for one deployment."""
+
+    def __init__(
+        self,
+        devices: Mapping[str, tuple[DeviceModel, Firmware]],
+        environment: AbstractEnvironment | None = None,
+        recipes: Iterable[Recipe] = (),
+    ) -> None:
+        self.devices = dict(devices)
+        self.environment = environment or default_world()
+        self.recipes = tuple(recipes)
+        self.graph = nx.DiGraph()
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        g = self.graph
+        g.add_node(ATTACKER)
+
+        # Rule 1: flaws grant control.
+        for name, (model, firmware) in self.devices.items():
+            for flaw in sorted(firmware.flaw_classes()):
+                exploit = FLAW_TO_EXPLOIT.get(flaw)
+                if exploit is not None:
+                    g.add_edge(ATTACKER, control(name), exploit=exploit, rule="flaw")
+
+        # Rule 2: control drives the FSM anywhere reachable.
+        for name, (model, __) in self.devices.items():
+            for st in sorted(model.reachable_states()):
+                g.add_edge(control(name), state(name, st), rule="drive")
+
+        # Rule 3: device states move the environment.
+        for name, (model, __) in self.devices.items():
+            for st in sorted(model.states):
+                inputs = model.effect_inputs(st)
+                for rule in self.environment.rules:
+                    if inputs.get(rule.input_key, 0.0) > rule.threshold:
+                        g.add_edge(
+                            state(name, st),
+                            envfact(rule.variable, rule.level),
+                            rule="physics",
+                        )
+                for variable, level in model.binding_for(st):
+                    g.add_edge(
+                        state(name, st), envfact(variable, level), rule="binding"
+                    )
+
+        # Rule 4: environment levels trigger devices.
+        for name, (model, __) in self.devices.items():
+            for trigger in model.triggers:
+                for st in sorted(model.states):
+                    nxt = model.next_state(st, trigger.command)
+                    if nxt != st:
+                        g.add_edge(
+                            envfact(trigger.variable, trigger.level),
+                            state(name, nxt),
+                            rule="trigger",
+                        )
+
+        # Rule 5: automation recipes are attacker-usable inference rules.
+        for recipe in self.recipes:
+            target = self.devices.get(recipe.action_device)
+            if target is None:
+                continue
+            model, __ = target
+            source: tuple[str, str, str] | None = None
+            if recipe.trigger_variable.startswith("env:"):
+                source = envfact(recipe.trigger_variable[4:], recipe.trigger_value)
+            elif recipe.trigger_variable.startswith("dev:"):
+                source = state(recipe.trigger_variable[4:], recipe.trigger_value)
+            if source is None:
+                continue
+            for st in sorted(model.states):
+                nxt = model.next_state(st, recipe.action_command)
+                if nxt != st:
+                    g.add_edge(
+                        source,
+                        state(recipe.action_device, nxt),
+                        rule="recipe",
+                        recipe=recipe.name,
+                    )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def reachable(self) -> set[tuple[str, str, str]]:
+        return nx.descendants(self.graph, ATTACKER) | {ATTACKER}
+
+    def can_reach(self, goal: tuple[str, str, str]) -> bool:
+        return goal in self.graph and nx.has_path(self.graph, ATTACKER, goal)
+
+    def paths_to(
+        self, goal: tuple[str, str, str], max_paths: int = 1000
+    ) -> list[AttackPath]:
+        """All simple attack paths (bounded) from the attacker to ``goal``."""
+        if goal not in self.graph or not self.can_reach(goal):
+            return []
+        paths = []
+        for facts in nx.all_simple_paths(self.graph, ATTACKER, goal):
+            exploits = tuple(
+                self.graph.edges[a, b].get("exploit", self.graph.edges[a, b]["rule"])
+                for a, b in zip(facts, facts[1:])
+            )
+            paths.append(AttackPath(facts=tuple(facts), exploits=exploits))
+            if len(paths) >= max_paths:
+                break
+        paths.sort(key=lambda p: (p.stages, str(p)))
+        return paths
+
+    def shortest_attack(self, goal: tuple[str, str, str]) -> AttackPath | None:
+        if not self.can_reach(goal):
+            return None
+        facts = nx.shortest_path(self.graph, ATTACKER, goal)
+        exploits = tuple(
+            self.graph.edges[a, b].get("exploit", self.graph.edges[a, b]["rule"])
+            for a, b in zip(facts, facts[1:])
+        )
+        return AttackPath(facts=tuple(facts), exploits=exploits)
+
+    def cut_devices(self, goal: tuple[str, str, str]) -> list[str]:
+        """Devices whose hardening (removing their control fact) severs
+        every attack path to the goal: where to spend the first µmbox."""
+        if not self.can_reach(goal):
+            return []
+        cuts = []
+        for name in sorted(self.devices):
+            g = self.graph.copy()
+            node = control(name)
+            if node in g:
+                g.remove_node(node)
+            if goal not in g or not nx.has_path(g, ATTACKER, goal):
+                cuts.append(name)
+        return cuts
+
+    def hardening_plan(
+        self, goal: tuple[str, str, str], max_paths: int = 1000
+    ) -> list[tuple[str, str]]:
+        """Recommend ``(device, mitigation)`` pairs that sever every path.
+
+        Greedy: repeatedly harden the device whose control fact lies on the
+        most remaining attack paths, until the goal is unreachable.  The
+        mitigation is looked up from the exploit that granted control.
+        """
+        plan: list[tuple[str, str]] = []
+        g = self.graph.copy()
+        while goal in g and nx.has_path(g, ATTACKER, goal):
+            paths = []
+            for facts in nx.all_simple_paths(g, ATTACKER, goal):
+                paths.append(facts)
+                if len(paths) >= max_paths:
+                    break
+            counts: dict[str, int] = {}
+            for facts in paths:
+                for fact in facts:
+                    if fact[0] == "control":
+                        counts[fact[1]] = counts.get(fact[1], 0) + 1
+            if not counts:
+                break  # paths exist with no controllable device: give up
+            device = max(sorted(counts), key=lambda d: counts[d])
+            exploit = g.edges[ATTACKER, control(device)].get("exploit", "unknown")
+            plan.append((device, EXPLOIT_TO_MITIGATION.get(exploit, "quarantine")))
+            g.remove_node(control(device))
+        return plan
+
+    def report(self, goal: tuple[str, str, str], max_paths: int = 1000) -> GraphReport:
+        paths = self.paths_to(goal, max_paths=max_paths)
+        shortest = self.shortest_attack(goal)
+        return GraphReport(
+            nodes=self.graph.number_of_nodes(),
+            edges=self.graph.number_of_edges(),
+            reachable_facts=len(self.reachable()),
+            paths_to_goal=len(paths),
+            shortest_depth=shortest.stages if shortest else None,
+            cut_devices=self.cut_devices(goal),
+        )

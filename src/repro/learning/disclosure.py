@@ -1,0 +1,63 @@
+"""Vulnerability-disclosure feed.
+
+Section 2's reality: "due to the longevity of IoT devices, software
+updates will likely be unavailable ... or be too late to prevent early
+exploits."  When a flaw in a SKU becomes public (a SHODAN finding, a CVE),
+the *device* usually never changes -- but the network can react
+immediately: IoTSec marks every deployed instance of the SKU as
+``unpatched`` and policies keyed on that context harden proactively,
+before any attack traffic arrives.
+
+The feed is a tiny pub/sub over simulated time, mirroring the signature
+repository's shape (a real deployment would fold both into one service).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Disclosure:
+    """One public vulnerability report for a SKU."""
+
+    sku: str
+    flaw_class: str
+    description: str = ""
+    disclosure_id: int = field(default_factory=lambda: next(_IDS))
+
+
+DisclosureCallback = Callable[[Disclosure], None]
+
+
+class DisclosureFeed:
+    """Publish/subscribe of SKU vulnerability disclosures."""
+
+    def __init__(self, sim: "Simulator", propagation_delay: float = 60.0) -> None:
+        self.sim = sim
+        self.propagation_delay = propagation_delay
+        self.disclosures: list[Disclosure] = []
+        self._subscribers: list[DisclosureCallback] = []
+
+    def publish(self, sku: str, flaw_class: str, description: str = "") -> Disclosure:
+        disclosure = Disclosure(sku=sku, flaw_class=flaw_class, description=description)
+        self.disclosures.append(disclosure)
+        for callback in list(self._subscribers):
+            self.sim.schedule(self.propagation_delay, callback, disclosure)
+        return disclosure
+
+    def subscribe(self, callback: DisclosureCallback) -> None:
+        """New subscribers also receive the backlog (after the delay)."""
+        self._subscribers.append(callback)
+        for disclosure in self.disclosures:
+            self.sim.schedule(self.propagation_delay, callback, disclosure)
+
+    def disclosures_for(self, sku: str) -> list[Disclosure]:
+        return [d for d in self.disclosures if d.sku == sku]

@@ -1,0 +1,219 @@
+"""Model-based fuzzing of the joint device x environment space.
+
+Section 4.2: "we can think of the states of each IoT device model and the
+environment as potential input variables for fuzzing.  Then, we run
+multiple fuzz tests to explore the space of possible behaviors.  We expect
+that device interactions will likely be sparse ... Thus, fuzzing can give
+us reasonable coverage over the space of acceptable behaviors."
+
+The discovery target is the set of **interaction edges**: ``(actor device,
+command) -> (affected device)`` pairs where the affected device's state
+changes *without receiving any message* -- i.e. purely through the physical
+environment (effects -> variables -> triggers).  Bench E4 compares:
+
+- :class:`ModelFuzzer` -- random action exploration over the abstract
+  world;
+- :func:`exhaustive_edges` -- BFS ground truth (feasible because abstract
+  spaces are small -- that is the point of abstraction);
+- :class:`PassiveObserver` -- the strawman: watch only benign daily-use
+  action sequences, which exercises a fraction of the space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.learning.abstract_env import AbstractWorld, JointState
+
+
+@dataclass(frozen=True)
+class InteractionEdge:
+    """Actor's command changed the victim's state with no direct message."""
+
+    actor: str
+    command: str
+    victim: str
+
+    def __str__(self) -> str:
+        return f"{self.actor}.{self.command} ~~> {self.victim}"
+
+
+@dataclass(frozen=True)
+class EnvironmentEdge:
+    """Actor's command moved an environment variable to a level."""
+
+    actor: str
+    command: str
+    variable: str
+    level: str
+
+    def __str__(self) -> str:
+        return f"{self.actor}.{self.command} ~~> env:{self.variable}={self.level}"
+
+
+def _edges_of_transition(
+    before: JointState, after: JointState, action: tuple[str, str, str]
+) -> tuple[set[InteractionEdge], set[EnvironmentEdge]]:
+    kind, subject, value = action
+    if kind != "cmd":
+        return set(), set()
+    interactions: set[InteractionEdge] = set()
+    env_edges: set[EnvironmentEdge] = set()
+    before_devices, after_devices = before.devices(), after.devices()
+    for name, state in after_devices.items():
+        if name != subject and before_devices.get(name) != state:
+            interactions.add(InteractionEdge(subject, value, name))
+    before_env, after_env = before.env(), after.env()
+    for variable, level in after_env.items():
+        if before_env.get(variable) != level:
+            env_edges.add(EnvironmentEdge(subject, value, variable, level))
+    return interactions, env_edges
+
+
+@dataclass
+class FuzzReport:
+    """What one exploration run discovered."""
+
+    steps: int = 0
+    states_visited: int = 0
+    interaction_edges: set[InteractionEdge] = field(default_factory=set)
+    environment_edges: set[EnvironmentEdge] = field(default_factory=set)
+    discovery_curve: list[tuple[int, int]] = field(default_factory=list)  # (step, edges)
+
+    def coverage_against(self, truth: set[InteractionEdge]) -> float:
+        if not truth:
+            return 1.0
+        return len(self.interaction_edges & truth) / len(truth)
+
+
+class ModelFuzzer:
+    """Random-action fuzzing with restarts (a "monkey" over the models)."""
+
+    def __init__(
+        self,
+        world: AbstractWorld,
+        rng: random.Random,
+        restart_every: int = 50,
+    ) -> None:
+        if restart_every <= 0:
+            raise ValueError("restart_every must be positive")
+        self.world = world
+        self.rng = rng
+        self.restart_every = restart_every
+
+    def run(self, steps: int) -> FuzzReport:
+        report = FuzzReport()
+        actions = self.world.actions()
+        if not actions:
+            return report
+        visited: set[JointState] = set()
+        state = self.world.initial_state()
+        visited.add(state)
+        for step in range(steps):
+            if step and step % self.restart_every == 0:
+                state = self.world.initial_state()
+            action = actions[self.rng.randrange(len(actions))]
+            nxt = self.world.step(state, action)
+            interactions, env_edges = _edges_of_transition(state, nxt, action)
+            before_edges = len(report.interaction_edges)
+            report.interaction_edges |= interactions
+            report.environment_edges |= env_edges
+            if len(report.interaction_edges) != before_edges:
+                report.discovery_curve.append(
+                    (step + 1, len(report.interaction_edges))
+                )
+            visited.add(nxt)
+            state = nxt
+        report.steps = steps
+        report.states_visited = len(visited)
+        return report
+
+
+class PassiveObserver:
+    """The no-fuzzing strawman: observe scripted benign usage only.
+
+    ``benign_actions`` is the daily-life action vocabulary (e.g. lights and
+    thermostat, but nobody test-fires the smoke alarm or props the window).
+    Coverage is limited to edges reachable through that vocabulary -- the
+    gap versus the fuzzer is E4's headline number.
+    """
+
+    def __init__(
+        self,
+        world: AbstractWorld,
+        benign_actions: Iterable[tuple[str, str, str]],
+        rng: random.Random,
+    ) -> None:
+        self.world = world
+        self.benign_actions = [a for a in benign_actions if a in set(world.actions())]
+        self.rng = rng
+
+    def run(self, steps: int) -> FuzzReport:
+        report = FuzzReport()
+        if not self.benign_actions:
+            return report
+        visited: set[JointState] = set()
+        state = self.world.initial_state()
+        visited.add(state)
+        for step in range(steps):
+            action = self.benign_actions[self.rng.randrange(len(self.benign_actions))]
+            nxt = self.world.step(state, action)
+            interactions, env_edges = _edges_of_transition(state, nxt, action)
+            report.interaction_edges |= interactions
+            report.environment_edges |= env_edges
+            visited.add(nxt)
+            state = nxt
+        report.steps = steps
+        report.states_visited = len(visited)
+        return report
+
+
+def exhaustive_edges(
+    world: AbstractWorld, max_states: int = 100_000
+) -> tuple[set[InteractionEdge], set[EnvironmentEdge], int]:
+    """Ground truth by BFS over the full joint space.
+
+    Returns ``(interaction_edges, environment_edges, states_explored)``.
+    Raises when the space exceeds ``max_states`` -- at which point the
+    right answer is a better abstraction, not a bigger budget.
+    """
+    interactions: set[InteractionEdge] = set()
+    env_edges: set[EnvironmentEdge] = set()
+    actions = world.actions()
+    start = world.initial_state()
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        state = frontier.pop()
+        for action in actions:
+            nxt = world.step(state, action)
+            ia, ee = _edges_of_transition(state, nxt, action)
+            interactions |= ia
+            env_edges |= ee
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"joint space exceeds {max_states} states; "
+                        "abstract further before enumerating"
+                    )
+                seen.add(nxt)
+                frontier.append(nxt)
+    return interactions, env_edges, len(seen)
+
+
+def interaction_sparsity(
+    devices: Mapping[str, object], truth: set[InteractionEdge]
+) -> float:
+    """Fraction of possible (actor, victim) device pairs actually coupled.
+
+    The paper *expects* "device interactions will likely be sparse"; this
+    is the measured check (bench E4 reports it).
+    """
+    n = len(devices)
+    possible = n * (n - 1)
+    if possible == 0:
+        return 0.0
+    coupled = {(e.actor, e.victim) for e in truth}
+    return len(coupled) / possible

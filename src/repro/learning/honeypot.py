@@ -1,0 +1,64 @@
+"""The honeypot baseline (what the paper says cannot scale).
+
+Section 4: "learning signatures using simple honeypot-like mechanisms will
+not scale with the diversity of devices and deployments -- we would need
+several thousand honeypots to ensure coverage for every specific device
+SKU".
+
+The model: an operator runs ``n`` honeypots, each emulating exactly one
+SKU.  An attack campaign against a SKU is *observed* (and a signature
+learned) only if some honeypot emulates that SKU and the campaign's attack
+sweep happens to hit the honeypot, which occurs with probability
+proportional to the honeypot's share of that SKU's population.  Bench E3
+races this against the crowdsourced repository, where every production
+deployment is a sensor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class HoneypotFarm:
+    """``n`` single-SKU honeypots with a deterministic learning model."""
+
+    skus: tuple[str, ...]
+    detection_delay: float = 3600.0  # analysis time before a signature ships
+    hit_probability: float = 1.0     # P(campaign touches the honeypot | SKU match)
+    learned: dict[str, float] = field(default_factory=dict)  # sku -> learn time
+
+    @classmethod
+    def covering_most_popular(
+        cls,
+        population: dict[str, int],
+        n_honeypots: int,
+        **kwargs: float,
+    ) -> "HoneypotFarm":
+        """The rational operator: emulate the n most-deployed SKUs."""
+        ranked = sorted(population.items(), key=lambda kv: (-kv[1], kv[0]))
+        return cls(skus=tuple(sku for sku, __ in ranked[:n_honeypots]), **kwargs)  # type: ignore[arg-type]
+
+    def observe_campaign(self, sku: str, at: float, rng: random.Random) -> bool:
+        """An attack campaign swept ``sku`` at time ``at``.  Returns True if
+        the farm will (eventually) learn a signature from it."""
+        if sku in self.learned:
+            return True
+        if sku not in self.skus:
+            return False
+        if rng.random() > self.hit_probability:
+            return False
+        self.learned[sku] = at + self.detection_delay
+        return True
+
+    def covered_skus(self, now: float) -> set[str]:
+        """SKUs whose signature has shipped by ``now``."""
+        return {sku for sku, ready in self.learned.items() if ready <= now}
+
+    def coverage(self, all_skus: Iterable[str], now: float) -> float:
+        universe = set(all_skus)
+        if not universe:
+            return 1.0
+        return len(self.covered_skus(now) & universe) / len(universe)

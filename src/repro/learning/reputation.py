@@ -1,0 +1,118 @@
+"""Reputation and voting for crowd-data quality.
+
+Section 4.1's third challenge: "With any crowdsourcing solution, there is
+the risk of noisy data (accidental or adversarial) which may inadvertently
+lead to a denial of service ... use reputation or voting mechanisms to deal
+with incorrect reporting."
+
+We use beta reputation: each contributor carries ``(alpha, beta)`` counts of
+validated / invalidated reports; their score is ``alpha / (alpha + beta)``.
+A signature's acceptance weight combines its reporter's score with votes
+from other subscribers (each weighted by the *voter's* score), so a sybil
+swarm of fresh identities has little pull while long-standing accurate
+contributors converge to weight ~1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ContributorRecord:
+    """Beta-reputation state for one (pseudonymous) contributor."""
+
+    alpha: float = 1.0  # prior: one virtual validated report
+    beta: float = 1.0   # prior: one virtual invalidated report
+
+    @property
+    def score(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    def record_validated(self, weight: float = 1.0) -> None:
+        self.alpha += weight
+
+    def record_invalidated(self, weight: float = 1.0) -> None:
+        self.beta += weight
+
+
+@dataclass
+class VoteTally:
+    """Votes on one signature, each weighted by the voter's reputation."""
+
+    up_weight: float = 0.0
+    down_weight: float = 0.0
+    voters: set[str] = field(default_factory=set)
+
+    @property
+    def net(self) -> float:
+        return self.up_weight - self.down_weight
+
+
+class ReputationSystem:
+    """Scores contributors and decides which signatures to distribute."""
+
+    def __init__(
+        self,
+        accept_threshold: float = 0.4,
+        vote_weight: float = 0.15,
+    ) -> None:
+        # The default threshold sits below the fresh-contributor prior
+        # (0.5): new reporters are trusted-but-verified, while anyone whose
+        # record degrades past 0.4 is cut off.
+        self.accept_threshold = accept_threshold
+        self.vote_weight = vote_weight
+        self.contributors: dict[str, ContributorRecord] = {}
+        self.tallies: dict[int, VoteTally] = {}
+
+    def _record(self, contributor: str) -> ContributorRecord:
+        return self.contributors.setdefault(contributor, ContributorRecord())
+
+    def score_of(self, contributor: str) -> float:
+        return self._record(contributor).score
+
+    # ------------------------------------------------------------------
+    # Voting
+    # ------------------------------------------------------------------
+    def vote(self, sig_id: int, voter: str, helpful: bool) -> None:
+        """One subscriber's verdict on a distributed signature.
+
+        Re-votes by the same voter are ignored (first vote binds).
+        """
+        tally = self.tallies.setdefault(sig_id, VoteTally())
+        if voter in tally.voters:
+            return
+        tally.voters.add(voter)
+        weight = self.score_of(voter)
+        if helpful:
+            tally.up_weight += weight
+        else:
+            tally.down_weight += weight
+
+    def confidence(self, sig_id: int, reporter: str) -> float:
+        """Combined trust in [0, 1]: reporter score shifted by votes."""
+        base = self.score_of(reporter)
+        tally = self.tallies.get(sig_id)
+        if tally is None:
+            return base
+        shifted = base + self.vote_weight * tally.net
+        return max(0.0, min(1.0, shifted))
+
+    def accepted(self, sig_id: int, reporter: str) -> bool:
+        return self.confidence(sig_id, reporter) >= self.accept_threshold
+
+    # ------------------------------------------------------------------
+    # Ground-truth feedback (a site confirmed/refuted the signature)
+    # ------------------------------------------------------------------
+    def feedback(self, reporter: str, validated: bool) -> None:
+        record = self._record(reporter)
+        if validated:
+            record.record_validated()
+        else:
+            record.record_invalidated()
+
+    def top_contributors(self, n: int = 10) -> list[tuple[str, float]]:
+        ranked = sorted(
+            self.contributors.items(), key=lambda kv: kv[1].score, reverse=True
+        )
+        return [(name, record.score) for name, record in ranked[:n]]

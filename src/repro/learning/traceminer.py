@@ -1,0 +1,141 @@
+"""Mining signatures from shared attack traces.
+
+Section 4.1: "users could publish **traces or signatures**, expressed in a
+common format".  Not every victim site can write a Snort rule; most can
+export the packets their logger captured around an incident.  The trace
+miner turns a labelled packet set into an :class:`AttackSignature`:
+
+1. find the header fields (protocol, dport) shared by *every* attack
+   packet;
+2. find the payload key/value pairs shared by every attack packet;
+3. drop any candidate constraint that also matches benign packets from
+   the same capture (precision guard);
+4. generalize values that look site-specific (sessions, readings) to
+   presence-only tests -- the same rules the anonymizer applies.
+
+The result is deliberately conservative: a mined signature matches every
+attack packet in the trace and none of the benign ones, or mining fails
+loudly rather than shipping an over-broad rule (the repository's
+data-quality problem starts with over-broad rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.learning.anonymize import SENSITIVE_KEYS
+from repro.learning.signatures import AttackSignature, SignatureMatch
+from repro.netsim.packet import Packet
+
+
+class MiningError(ValueError):
+    """No signature separates the attack packets from the benign ones."""
+
+
+@dataclass(frozen=True)
+class LabelledTrace:
+    """A capture around an incident: attack packets plus benign context."""
+
+    attack: tuple[Packet, ...]
+    benign: tuple[Packet, ...] = ()
+
+    @classmethod
+    def make(
+        cls, attack: Iterable[Packet], benign: Iterable[Packet] = ()
+    ) -> "LabelledTrace":
+        attack = tuple(attack)
+        if not attack:
+            raise ValueError("a trace needs at least one attack packet")
+        return cls(attack=attack, benign=tuple(benign))
+
+
+def _common_value(values: Sequence[Any]) -> Any | None:
+    first = values[0]
+    return first if all(v == first for v in values[1:]) else None
+
+
+def mine_signature(
+    trace: LabelledTrace,
+    sku: str,
+    flaw_class: str = "unknown",
+    recommended_posture: str = "stateful_firewall",
+) -> AttackSignature:
+    """Derive the most specific signature consistent with the trace."""
+    attack = trace.attack
+
+    protocol = _common_value([p.protocol for p in attack])
+    dport = _common_value([p.dport for p in attack])
+
+    # payload constraints shared by every attack packet
+    shared_keys = set(attack[0].payload)
+    for packet in attack[1:]:
+        shared_keys &= set(packet.payload)
+    payload_contains: dict[str, Any] = {}
+    payload_keys: list[str] = []
+    for key in sorted(shared_keys):
+        value = _common_value([p.payload[key] for p in attack])
+        if key in SENSITIVE_KEYS:
+            payload_keys.append(key)  # presence only: never ship the value
+        elif value is not None and not isinstance(value, (dict, list)):
+            payload_contains[key] = value
+        else:
+            payload_keys.append(key)
+
+    candidate = SignatureMatch.make(
+        protocol=protocol,
+        dport=dport,
+        payload_contains=payload_contains,
+        payload_keys=tuple(payload_keys),
+    )
+
+    # precision guard: relax constraints that don't separate, but refuse to
+    # ship a match that still catches benign traffic
+    if any(candidate.matches(p) for p in trace.benign):
+        # try dropping value constraints one at a time (most generic first)
+        for drop in sorted(payload_contains):
+            relaxed_contains = {
+                k: v for k, v in payload_contains.items() if k != drop
+            }
+            relaxed = SignatureMatch.make(
+                protocol=protocol,
+                dport=dport,
+                payload_contains=relaxed_contains,
+                payload_keys=tuple(sorted(set(payload_keys) | {drop})),
+            )
+            if not any(relaxed.matches(p) for p in trace.benign) and all(
+                relaxed.matches(p) for p in trace.attack
+            ):
+                candidate = relaxed
+                break
+        else:
+            raise MiningError(
+                "no mined signature separates the attack packets from the "
+                "benign capture; share the raw (anonymized) trace instead"
+            )
+
+    if not all(candidate.matches(p) for p in attack):
+        raise MiningError("internal: mined signature missed an attack packet")
+
+    return AttackSignature(
+        sku=sku,
+        flaw_class=flaw_class,
+        match=candidate,
+        recommended_posture=recommended_posture,
+        notes=f"mined from a {len(attack)}-packet attack trace",
+    )
+
+
+def mine_and_publish(
+    repository,
+    trace: LabelledTrace,
+    sku: str,
+    reporter: str,
+    flaw_class: str = "unknown",
+    recommended_posture: str = "stateful_firewall",
+) -> int | None:
+    """Convenience: mine a signature and publish it in one step."""
+    signature = mine_signature(
+        trace, sku, flaw_class=flaw_class, recommended_posture=recommended_posture
+    )
+    return repository.publish(signature, reporter=reporter)

@@ -1,0 +1,262 @@
+"""The µmbox element pipeline and host.
+
+Section 5.2 envisions "a lightweight Click version akin to TinyOS that can
+serve as an extensible programming platform for developing these
+micro-middleboxes".  Our equivalent: a µmbox is an ordered pipeline of
+:class:`Element` objects; each element inspects (and may rewrite) the
+packet, returns a verdict, and may raise :class:`Alert` records that flow
+to the controller.
+
+The :class:`MboxHost` is the cluster/IoT-router node that terminates the
+switch tunnels, dispatches inner packets to the µmbox bound to the target
+device, and returns surviving packets to the ingress switch.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.sdn.tunnel import detunnel, is_tunnelled, tunnel_packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+_ALERT_IDS = itertools.count(1)
+
+
+class Verdict(enum.Enum):
+    PASS = "pass"
+    DROP = "drop"
+
+
+@dataclass
+class Alert:
+    """A security event raised by an element."""
+
+    at: float
+    mbox: str
+    device: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    alert_id: int = field(default_factory=lambda: next(_ALERT_IDS))
+
+    def __str__(self) -> str:
+        return f"Alert#{self.alert_id}[{self.kind}] {self.device} via {self.mbox}: {self.detail}"
+
+
+@dataclass
+class MboxContext:
+    """What an element can see beyond the packet itself.
+
+    ``view`` is a read-only accessor into the controller's global state
+    (``view("env:occupancy")`` -> level or None): this is how a µmbox
+    enforces *context-dependent* policy (Fig. 5's "only if the camera sees
+    a person").  ``emit_alert`` forwards events to the controller.
+    """
+
+    sim: "Simulator"
+    mbox_name: str
+    device: str
+    view: Callable[[str], str | None]
+    emit_alert: Callable[[Alert], None]
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def alert(self, kind: str, **detail: Any) -> Alert:
+        alert = Alert(
+            at=self.now,
+            mbox=self.mbox_name,
+            device=self.device,
+            kind=kind,
+            detail=detail,
+        )
+        self.emit_alert(alert)
+        return alert
+
+
+class Element:
+    """One stage of a µmbox pipeline.
+
+    ``process`` returns ``(verdict, packet)``; the packet may be a
+    rewritten copy (never mutate the input -- other elements or the caller
+    may hold references).  Direction is available in
+    ``packet.meta["direction"]`` (``"to_device"`` / ``"from_device"``).
+    """
+
+    name = "element"
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Mbox:
+    """A µmbox instance: a named pipeline bound to one device."""
+
+    def __init__(
+        self,
+        name: str,
+        device: str,
+        elements: list[Element],
+        kind: str = "custom",
+    ) -> None:
+        self.name = name
+        self.device = device
+        self.elements = list(elements)
+        self.kind = kind
+        self.processed = 0
+        self.dropped = 0
+        self.ready = True  # manager flips this during boot/reconfigure
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        self.processed += 1
+        current = packet
+        for element in self.elements:
+            verdict, current = element.process(current, ctx)
+            if verdict is Verdict.DROP:
+                self.dropped += 1
+                return Verdict.DROP, current
+        return Verdict.PASS, current
+
+    def reconfigure(self, elements: list[Element]) -> None:
+        self.elements = list(elements)
+
+    def describe(self) -> str:
+        chain = " -> ".join(e.describe() for e in self.elements) or "allow"
+        return f"{self.name}[{self.kind}] for {self.device}: {chain}"
+
+
+class MboxHost(Node):
+    """The security-cluster node: terminates tunnels, runs µmboxes.
+
+    Packets for devices with no bound µmbox (or one still booting with a
+    full queue) follow ``default_verdict`` -- fail-closed (DROP) by
+    default, because an unprotected vulnerable device is the thing we are
+    here to prevent.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: "Simulator",
+        view: Callable[[str], str | None] | None = None,
+        alert_sink: Callable[[Alert], None] | None = None,
+        default_verdict: Verdict = Verdict.DROP,
+        boot_queue_limit: int = 64,
+        processing_latency: float = 0.0,
+    ) -> None:
+        super().__init__(name, sim)
+        if processing_latency < 0:
+            raise ValueError("processing_latency must be >= 0")
+        self.processing_latency = processing_latency
+        self.mboxes: dict[str, Mbox] = {}          # device -> mbox
+        self.view = view or (lambda key: None)
+        self.alert_sink = alert_sink or (lambda alert: None)
+        self.default_verdict = default_verdict
+        self.boot_queue_limit = boot_queue_limit
+        self._boot_queues: dict[str, list[tuple[Packet, int]]] = {}
+        self.alerts: list[Alert] = []
+        self.tunnelled_in = 0
+        self.returned = 0
+        self.unbound_drops = 0
+
+    # ------------------------------------------------------------------
+    # Binding (the manager/orchestrator calls these)
+    # ------------------------------------------------------------------
+    def bind(self, device: str, mbox: Mbox) -> None:
+        self.mboxes[device] = mbox
+        if mbox.ready:
+            self._drain_boot_queue(device)
+
+    def unbind(self, device: str) -> None:
+        self.mboxes.pop(device, None)
+        self._boot_queues.pop(device, None)
+
+    def mark_ready(self, device: str) -> None:
+        mbox = self.mboxes.get(device)
+        if mbox is not None:
+            mbox.ready = True
+            self._drain_boot_queue(device)
+
+    def _drain_boot_queue(self, device: str) -> None:
+        for packet, in_port in self._boot_queues.pop(device, []):
+            self._process_inner(packet, in_port)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet, in_port: int) -> None:
+        if not is_tunnelled(packet):
+            return  # the cluster only speaks tunnel
+        self.tunnelled_in += 1
+        self._process_inner(packet, in_port)
+
+    def _process_inner(self, outer: Packet, in_port: int) -> None:
+        inner, ingress = detunnel(outer)
+        device = outer.payload.get("target", "")
+        mbox = self.mboxes.get(device)
+        if mbox is None:
+            if self.default_verdict is Verdict.PASS:
+                self._return_packet(inner, ingress, device, in_port)
+            else:
+                self.unbound_drops += 1
+            return
+        if not mbox.ready:
+            queue = self._boot_queues.setdefault(device, [])
+            if len(queue) < self.boot_queue_limit:
+                queue.append((outer, in_port))
+            else:
+                self.unbound_drops += 1
+            return
+        ctx = MboxContext(
+            sim=self.sim,
+            mbox_name=mbox.name,
+            device=device,
+            view=self.view,
+            emit_alert=self._on_alert,
+        )
+        direction = "to_device" if inner.dst == device else "from_device"
+        copied = inner.copy()
+        copied.meta["direction"] = direction
+
+        def inspect() -> None:
+            verdict, result = mbox.process(copied, ctx)
+            if verdict is Verdict.PASS:
+                self._return_packet(result, ingress, device, in_port)
+
+        if self.processing_latency > 0:
+            # Model the µmbox's per-packet compute cost ("lightweight and
+            # not ... high traffic rates", section 5.2) in simulated time.
+            self.sim.schedule(self.processing_latency, inspect)
+        else:
+            inspect()
+
+    def _return_packet(self, inner: Packet, ingress: str, device: str, in_port: int) -> None:
+        """Send the surviving packet back to the ingress switch, marked as
+        already-inspected so the switch's bypass rule forwards it."""
+        self.returned += 1
+        inspected = list(inner.meta.get("inspected_devices", []))
+        if device not in inspected:
+            inspected.append(device)
+        inner.meta["inspected_devices"] = inspected
+        outer = tunnel_packet(inner, ingress=self.name, target=device)
+        outer.dst = ingress
+        outer.payload["inspected"] = True
+        self.send(outer, in_port)
+
+    def _on_alert(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        self.alert_sink(alert)
+
+    # ------------------------------------------------------------------
+    def alerts_for(self, device: str) -> list[Alert]:
+        return [a for a in self.alerts if a.device == device]

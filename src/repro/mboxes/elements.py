@@ -1,0 +1,235 @@
+"""Generic µmbox pipeline elements.
+
+The small reusable stages: command filtering (the Fig. 3 "Block 'open'"
+posture), command whitelisting (Table 1 row 5's traffic lights), context
+gates (the Fig. 5 occupancy condition), logging, and telemetry tapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.mboxes.base import Element, MboxContext, Verdict
+from repro.netsim.packet import Packet
+
+
+class CommandFilter(Element):
+    """Drop control packets whose command is on the deny list."""
+
+    name = "command_filter"
+
+    def __init__(self, deny: Iterable[str]) -> None:
+        self.deny = frozenset(deny)
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        cmd = packet.payload.get("cmd")
+        if (
+            packet.meta.get("direction") == "to_device"
+            and cmd is not None
+            and cmd in self.deny
+        ):
+            ctx.alert("command-blocked", cmd=cmd, src=packet.src)
+            return Verdict.DROP, packet
+        return Verdict.PASS, packet
+
+    def describe(self) -> str:
+        return f"command_filter(deny={sorted(self.deny)})"
+
+
+class CommandWhitelist(Element):
+    """Drop control packets whose command is NOT on the allow list.
+
+    Non-command traffic passes (telemetry, replies); the whitelist guards
+    the actuator surface only.
+    """
+
+    name = "command_whitelist"
+
+    def __init__(self, allow: Iterable[str], allowed_sources: Iterable[str] = ()) -> None:
+        self.allow = frozenset(allow)
+        self.allowed_sources = frozenset(allowed_sources)
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        cmd = packet.payload.get("cmd")
+        if packet.meta.get("direction") != "to_device" or cmd is None:
+            return Verdict.PASS, packet
+        if packet.src in self.allowed_sources:
+            return Verdict.PASS, packet
+        if cmd not in self.allow:
+            ctx.alert("command-not-whitelisted", cmd=cmd, src=packet.src)
+            return Verdict.DROP, packet
+        return Verdict.PASS, packet
+
+    def describe(self) -> str:
+        return f"command_whitelist(allow={sorted(self.allow)})"
+
+
+class ContextGate(Element):
+    """Pass a guarded command only while a global-view condition holds.
+
+    Fig. 5's policy is ``ContextGate(commands={"on"},
+    require={"env:occupancy": "present"})`` on the Wemo's µmbox: the "ON"
+    message flows "only if the global state identifies a person in the
+    room".  Unknown context (view returns None) fails closed.
+    """
+
+    name = "context_gate"
+
+    def __init__(self, commands: Iterable[str], require: dict[str, str]) -> None:
+        self.commands = frozenset(commands)
+        self.require = dict(require)
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        cmd = packet.payload.get("cmd")
+        if packet.meta.get("direction") != "to_device" or cmd not in self.commands:
+            return Verdict.PASS, packet
+        for key, wanted in self.require.items():
+            actual = ctx.view(key)
+            if actual != wanted:
+                ctx.alert(
+                    "context-gate-blocked",
+                    cmd=cmd,
+                    src=packet.src,
+                    condition=f"{key}={wanted}",
+                    actual=actual,
+                )
+                return Verdict.DROP, packet
+        return Verdict.PASS, packet
+
+    def describe(self) -> str:
+        conds = ", ".join(f"{k}={v}" for k, v in sorted(self.require.items()))
+        return f"context_gate({sorted(self.commands)} requires {conds})"
+
+
+class SourceFilter(Element):
+    """Allow device-bound traffic only from an approved set of sources."""
+
+    name = "source_filter"
+
+    def __init__(self, allowed_sources: Iterable[str]) -> None:
+        self.allowed_sources = frozenset(allowed_sources)
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        if packet.meta.get("direction") != "to_device":
+            return Verdict.PASS, packet
+        if packet.src not in self.allowed_sources:
+            ctx.alert("unapproved-source", src=packet.src, dport=packet.dport)
+            return Verdict.DROP, packet
+        return Verdict.PASS, packet
+
+    def describe(self) -> str:
+        return f"source_filter(allow={sorted(self.allowed_sources)})"
+
+
+@dataclass
+class LoggedPacket:
+    at: float
+    direction: str
+    src: str
+    dst: str
+    dport: int
+    cmd: str | None
+    size: int
+
+
+class PacketLogger(Element):
+    """Record traffic metadata (the raw material for anomaly profiles).
+
+    With ``capture=True`` it also retains full packet copies (bounded by
+    ``capture_limit``) -- the forensic capture a victim site mines
+    signatures from after an incident (:mod:`repro.learning.traceminer`).
+    """
+
+    name = "packet_logger"
+
+    def __init__(self, capture: bool = False, capture_limit: int = 1000) -> None:
+        self.log: list[LoggedPacket] = []
+        self.capture = capture
+        self.capture_limit = capture_limit
+        self.captured: list[Packet] = []
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        self.log.append(
+            LoggedPacket(
+                at=ctx.now,
+                direction=str(packet.meta.get("direction", "")),
+                src=packet.src,
+                dst=packet.dst,
+                dport=packet.dport,
+                cmd=packet.payload.get("cmd"),
+                size=packet.size,
+            )
+        )
+        if self.capture and len(self.captured) < self.capture_limit:
+            self.captured.append(packet.copy())
+        return Verdict.PASS, packet
+
+    def captured_from(self, src: str) -> list[Packet]:
+        return [p for p in self.captured if p.src == src]
+
+
+class TelemetryTap(Element):
+    """Mirror device telemetry into the controller's global view.
+
+    The controller learns device state and sensor readings from the traffic
+    the µmbox already sees -- no device cooperation needed.
+    """
+
+    name = "telemetry_tap"
+
+    def __init__(self) -> None:
+        self.reports = 0
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        if (
+            packet.meta.get("direction") == "from_device"
+            and packet.payload.get("action") == "telemetry"
+        ):
+            self.reports += 1
+            ctx.alert(
+                "telemetry",
+                state=packet.payload.get("state"),
+                readings=dict(packet.payload.get("readings", {})),
+            )
+        return Verdict.PASS, packet
+
+
+class LoginMonitor(Element):
+    """Alert on every management-login attempt toward the device.
+
+    The controller's escalation rules turn a storm of these into a
+    *suspicious* context (Fig. 3's "Window password brute-forced"
+    transition); a single attempt from the owner stays under threshold.
+    """
+
+    name = "login_monitor"
+
+    def __init__(self, mgmt_port: int = 80) -> None:
+        self.mgmt_port = mgmt_port
+        self.attempts = 0
+
+    def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
+        if (
+            packet.meta.get("direction") == "to_device"
+            and packet.dport == self.mgmt_port
+            and packet.payload.get("action") == "login"
+        ):
+            self.attempts += 1
+            ctx.alert(
+                "login-attempt",
+                src=packet.src,
+                username=packet.payload.get("username"),
+            )
+        return Verdict.PASS, packet
+
+
+@dataclass
+class ElementChainStats:
+    """Aggregated pipeline statistics (used by the agility bench)."""
+
+    elements: int = 0
+    passes: int = 0
+    drops: int = 0
+    rewrites: int = 0
+    per_element: dict[str, int] = field(default_factory=dict)

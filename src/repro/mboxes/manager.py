@@ -1,0 +1,322 @@
+"""µmbox lifecycle: instantiation, reconfiguration, pooling.
+
+Section 5.2's two data-plane challenges:
+
+1. *Resource management* -- "the actual computation that each
+   micro-middlebox performs will be lightweight ... we can create custom
+   micro VMs that can be rapidly booted/rebooted".  The manager models a
+   ClickOS-like cost structure: cold-boot a micro-VM in ~30 ms, attach a
+   pre-booted pooled VM in ~1 ms, reconfigure a live pipeline in ~5 ms
+   **without downtime** ("µmboxes must support frequent reconfigurations
+   without impacting the availability of IoT devices").
+
+2. *Programming abstractions* -- postures carry declarative
+   :class:`MboxSpec` entries; the :data:`MBOX_KINDS` registry materializes
+   them into element pipelines.
+
+:class:`MonolithicMiddlebox` is the comparison arm for bench E7: one
+enterprise-style appliance whose every policy change is a multi-second
+restart during which *all* devices lose protection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.learning.signatures import AttackSignature
+from repro.mboxes.base import Element, Mbox, MboxHost
+from repro.mboxes.dnsguard import DnsGuard
+from repro.mboxes.elements import (
+    CommandFilter,
+    CommandWhitelist,
+    ContextGate,
+    LoginMonitor,
+    PacketLogger,
+    SourceFilter,
+    TelemetryTap,
+)
+from repro.mboxes.firewall import StatefulFirewall
+from repro.mboxes.ids import SignatureIDS
+from repro.mboxes.proxy import PasswordProxy
+from repro.mboxes.ratelimit import RateLimiter
+from repro.policy.posture import MboxSpec, Posture
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+SignatureProvider = Callable[[str], list[AttackSignature]]
+
+
+def _build_element(
+    spec: MboxSpec, signature_provider: SignatureProvider | None
+) -> Element:
+    config: dict[str, Any] = spec.config_dict()
+    kind = spec.kind
+    if kind == "password_proxy":
+        return PasswordProxy(
+            new_password=str(config["new_password"]),
+            device_username=str(config.get("device_username", "admin")),
+            device_password=str(config.get("device_password", "admin")),
+            new_username=config.get("new_username"),
+            mgmt_port=int(config.get("mgmt_port", 80)),
+        )
+    if kind == "signature_ids":
+        signatures: list[AttackSignature] = []
+        sku = config.get("sku")
+        if sku and signature_provider is not None:
+            signatures = signature_provider(str(sku))
+        return SignatureIDS(
+            signatures=signatures,
+            drop_on_match=bool(config.get("drop_on_match", True)),
+            min_confidence=float(config.get("min_confidence", 0.0)),
+        )
+    if kind == "stateful_firewall":
+        return StatefulFirewall(
+            trusted_sources=config.get("trusted_sources", ()),
+            open_ports=config.get("open_ports", ()),
+            default=str(config.get("default", "drop")),
+        )
+    if kind == "command_filter":
+        return CommandFilter(deny=config.get("deny", ()))
+    if kind == "command_whitelist":
+        return CommandWhitelist(
+            allow=config.get("allow", ()),
+            allowed_sources=config.get("allowed_sources", ()),
+        )
+    if kind == "context_gate":
+        return ContextGate(
+            commands=config.get("commands", ()),
+            require=dict(config.get("require", {})),
+        )
+    if kind == "source_filter":
+        return SourceFilter(allowed_sources=config.get("allowed_sources", ()))
+    if kind == "rate_limiter":
+        return RateLimiter(
+            rate=float(config.get("rate", 1.0)),
+            burst=float(config.get("burst", 5.0)),
+            match_dport=config.get("match_dport"),
+            exempt_sources=tuple(config.get("exempt_sources", ())),
+        )
+    if kind == "dns_guard":
+        return DnsGuard(
+            local_sources=config.get("local_sources", ()),
+            max_queries_per_second=float(config.get("max_queries_per_second", 5.0)),
+        )
+    if kind == "telemetry_tap":
+        return TelemetryTap()
+    if kind == "packet_logger":
+        return PacketLogger(
+            capture=bool(config.get("capture", False)),
+            capture_limit=int(config.get("capture_limit", 1000)),
+        )
+    if kind == "login_monitor":
+        return LoginMonitor(mgmt_port=int(config.get("mgmt_port", 80)))
+    if kind == "anomaly_gate":
+        from repro.mboxes.anomaly_gate import AnomalyGate
+
+        return AnomalyGate(
+            device=str(config.get("device", "")),
+            training_window=float(config.get("training_window", 3600.0)),
+            context_key=str(config.get("context_key", "env:occupancy")),
+            threshold=float(config.get("threshold", 0.05)),
+            min_training=int(config.get("min_training", 10)),
+            enforce=bool(config.get("enforce", True)),
+        )
+    raise KeyError(f"unknown µmbox element kind {kind!r}")
+
+
+#: The registry of element kinds a posture may reference.
+MBOX_KINDS: tuple[str, ...] = (
+    "password_proxy",
+    "signature_ids",
+    "stateful_firewall",
+    "command_filter",
+    "command_whitelist",
+    "context_gate",
+    "source_filter",
+    "rate_limiter",
+    "dns_guard",
+    "telemetry_tap",
+    "packet_logger",
+    "login_monitor",
+    "anomaly_gate",
+)
+
+
+@dataclass
+class DeploymentRecord:
+    """One lifecycle operation, with its latency, for bench E7."""
+
+    device: str
+    posture: str
+    operation: str  # "boot" | "pool" | "reconfigure" | "teardown"
+    requested_at: float
+    ready_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.ready_at - self.requested_at
+
+
+class MboxManager:
+    """Creates, reconfigures and tears down µmboxes on one host."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: MboxHost,
+        boot_latency: float = 0.030,
+        pool_attach_latency: float = 0.001,
+        reconfig_latency: float = 0.005,
+        pool_size: int = 4,
+        capacity: int = 256,
+        signature_provider: SignatureProvider | None = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.boot_latency = boot_latency
+        self.pool_attach_latency = pool_attach_latency
+        self.reconfig_latency = reconfig_latency
+        self.capacity = capacity
+        self.signature_provider = signature_provider
+        self._pool = pool_size  # pre-booted spare micro-VMs
+        self._pool_max = pool_size
+        self._ids = itertools.count(1)
+        self.records: list[DeploymentRecord] = []
+        self.boots = 0
+        self.pool_hits = 0
+        self.reconfigs = 0
+
+    # ------------------------------------------------------------------
+    def active_count(self) -> int:
+        return len(self.host.mboxes)
+
+    def _elements_for(self, posture: Posture) -> list[Element]:
+        return [
+            _build_element(spec, self.signature_provider) for spec in posture.modules
+        ]
+
+    def deploy(self, device: str, posture: Posture) -> DeploymentRecord:
+        """Give ``device`` the µmbox its posture prescribes.
+
+        Reconfiguration of an existing µmbox is in-place and keeps the old
+        pipeline serving until the new one is loaded (no downtime); fresh
+        deployments come from the pool when possible, else cold-boot.
+        """
+        now = self.sim.now
+        existing = self.host.mboxes.get(device)
+        elements = self._elements_for(posture)
+
+        if existing is not None:
+            self.reconfigs += 1
+            ready_at = now + self.reconfig_latency
+
+            def swap() -> None:
+                existing.reconfigure(elements)
+                existing.kind = posture.name
+
+            self.sim.schedule(self.reconfig_latency, swap)
+            record = DeploymentRecord(device, posture.name, "reconfigure", now, ready_at)
+            self.records.append(record)
+            return record
+
+        if self.active_count() >= self.capacity:
+            raise RuntimeError(
+                f"µmbox capacity exhausted ({self.capacity}); "
+                "add cluster machines or collapse postures"
+            )
+
+        mbox = Mbox(
+            name=f"mbox-{next(self._ids)}",
+            device=device,
+            elements=elements,
+            kind=posture.name,
+        )
+        if self._pool > 0:
+            self._pool -= 1
+            self.pool_hits += 1
+            latency = self.pool_attach_latency
+            operation = "pool"
+            # Replenish the pool in the background (boot a fresh spare).
+            self.sim.schedule(self.boot_latency, self._replenish)
+        else:
+            self.boots += 1
+            latency = self.boot_latency
+            operation = "boot"
+
+        mbox.ready = False
+        self.host.bind(device, mbox)
+        self.sim.schedule(latency, self.host.mark_ready, device)
+        record = DeploymentRecord(device, posture.name, operation, now, now + latency)
+        self.records.append(record)
+        return record
+
+    def _replenish(self) -> None:
+        if self._pool < self._pool_max:
+            self._pool += 1
+
+    def teardown(self, device: str) -> None:
+        if device in self.host.mboxes:
+            self.host.unbind(device)
+            self.records.append(
+                DeploymentRecord(device, "-", "teardown", self.sim.now, self.sim.now)
+            )
+            # The freed micro-VM rejoins the pool after a reset cycle.
+            self.sim.schedule(self.pool_attach_latency, self._replenish)
+
+    # ------------------------------------------------------------------
+    def latency_stats(self) -> dict[str, list[float]]:
+        stats: dict[str, list[float]] = {}
+        for record in self.records:
+            stats.setdefault(record.operation, []).append(record.latency)
+        return stats
+
+
+class MonolithicMiddlebox:
+    """The enterprise-appliance baseline for bench E7.
+
+    One box filters for every device; any policy change is a restart of
+    ``restart_latency`` seconds during which nothing is protected.  The
+    class only models the control-plane cost -- the point of E7 is the
+    availability gap, not packet processing.
+    """
+
+    def __init__(self, sim: "Simulator", restart_latency: float = 5.0) -> None:
+        self.sim = sim
+        self.restart_latency = restart_latency
+        self.ready = True
+        self.config_version = 0
+        self.downtime_total = 0.0
+        self.restarts = 0
+        self._down_since: float | None = None
+        self.records: list[DeploymentRecord] = []
+
+    def apply_config(self, postures: dict[str, Posture]) -> DeploymentRecord:
+        """Any change = full restart; overlapping changes extend downtime."""
+        now = self.sim.now
+        self.restarts += 1
+        self.config_version += 1
+        version = self.config_version
+        if self.ready:
+            self.ready = False
+            self._down_since = now
+
+        def come_up() -> None:
+            if self.config_version == version:  # no newer restart pending
+                self.ready = True
+                if self._down_since is not None:
+                    self.downtime_total += self.sim.now - self._down_since
+                    self._down_since = None
+
+        self.sim.schedule(self.restart_latency, come_up)
+        record = DeploymentRecord(
+            device="*",
+            posture=f"config-v{version}",
+            operation="restart",
+            requested_at=now,
+            ready_at=now + self.restart_latency,
+        )
+        self.records.append(record)
+        return record

@@ -1,0 +1,118 @@
+"""Point-to-point links with latency, serialization delay, and queueing.
+
+A link connects exactly two nodes.  Delivery time is
+``latency + size / bandwidth`` (bandwidth in bytes/second; ``None`` means
+infinite capacity, which most IoT control-traffic experiments use since they
+are latency- not bandwidth-bound).
+
+Bandwidth-limited links serialize: concurrent transmissions in the same
+direction queue behind each other (per-direction FIFO), and a drop-tail
+bound (``max_queue_delay``) discards packets that would wait longer --
+which is what makes volumetric attacks (DNS reflection) physically
+meaningful: they do not just add bytes, they crowd benign traffic off the
+wire.  Links can be administratively downed to model failures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.node import Node
+    from repro.netsim.simulator import Simulator
+
+
+class Link:
+    """A bidirectional point-to-point link."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        a: "Node",
+        b: "Node",
+        latency: float = 0.001,
+        bandwidth: float | None = None,
+        port_a: int | None = None,
+        port_b: int | None = None,
+        max_queue_delay: float = 0.5,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0 (got {latency})")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive (got {bandwidth})")
+        if max_queue_delay < 0:
+            raise ValueError("max_queue_delay must be >= 0")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.max_queue_delay = max_queue_delay
+        self.up = True
+        self.delivered = 0
+        self.dropped = 0
+        self.queue_drops = 0
+        self._busy_until: dict[int, float] = {0: 0.0, 1: 0.0}  # per direction
+        self.port_a = port_a if port_a is not None else a.free_port()
+        self.port_b = port_b if port_b is not None else b.free_port()
+        a.attach(self.port_a, self)
+        b.attach(self.port_b, self)
+
+    def other_end(self, node: "Node") -> "Node":
+        """The node at the far side from ``node``."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not attached to this link")
+
+    def _ingress_port(self, receiver: "Node") -> int:
+        return self.port_a if receiver is self.a else self.port_b
+
+    def transmit(self, sender: "Node", packet: Packet) -> None:
+        """Schedule delivery of ``packet`` to the far end.
+
+        On bandwidth-limited links, transmissions in the same direction
+        serialize FIFO; a packet that would queue longer than
+        ``max_queue_delay`` is drop-tailed.
+        """
+        if not self.up:
+            self.dropped += 1
+            return
+        receiver = self.other_end(sender)
+        delay = self.latency
+        if self.bandwidth is not None:
+            direction = 0 if sender is self.a else 1
+            now = self.sim.now
+            start = max(now, self._busy_until[direction])
+            if start - now > self.max_queue_delay:
+                self.queue_drops += 1
+                self.dropped += 1
+                return
+            done = start + packet.size / self.bandwidth
+            self._busy_until[direction] = done
+            delay = (done - now) + self.latency
+        in_port = self._ingress_port(receiver)
+
+        def deliver() -> None:
+            if not self.up:
+                self.dropped += 1
+                return
+            self.delivered += 1
+            receiver.receive(packet, in_port)
+
+        self.sim.schedule(delay, deliver)
+
+    def fail(self) -> None:
+        """Administratively down the link; in-flight packets are dropped."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"Link({self.a.name}<->{self.b.name}, {self.latency * 1e3:.2f}ms, {state})"

@@ -1,0 +1,121 @@
+"""Network nodes.
+
+A :class:`Node` owns a set of numbered ports, each optionally attached to a
+:class:`~repro.netsim.link.Link`.  Subclasses (IoT devices, switches,
+µmboxes, attacker hosts) override :meth:`on_packet`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.link import Link
+    from repro.netsim.simulator import Simulator
+
+
+class Node:
+    """Base class for anything attached to the simulated network."""
+
+    def __init__(self, name: str, sim: "Simulator") -> None:
+        self.name = name
+        self.sim = sim
+        self.ports: dict[int, "Link"] = {}
+        self.rx_count = 0
+        self.tx_count = 0
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, port: int, link: "Link") -> None:
+        """Attach ``link`` to ``port``.  A port holds at most one link."""
+        if port in self.ports:
+            raise ValueError(f"{self.name}: port {port} already attached")
+        self.ports[port] = link
+
+    def free_port(self) -> int:
+        """The lowest unattached port number."""
+        port = 0
+        while port in self.ports:
+            port += 1
+        return port
+
+    def port_to(self, neighbor: str) -> Optional[int]:
+        """The port whose link leads to ``neighbor``, if any."""
+        for port, link in self.ports.items():
+            if link.other_end(self).name == neighbor:
+                return port
+        return None
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, port: int | None = None) -> bool:
+        """Transmit ``packet`` out of ``port`` (default: the only port).
+
+        Returns False when the node has no usable port, which models an
+        unplugged device rather than raising: callers in traffic generators
+        should tolerate partial topologies.
+        """
+        if port is None:
+            if not self.ports:
+                return False  # an unplugged node: traffic goes nowhere
+            if len(self.ports) > 1:
+                raise ValueError(
+                    f"{self.name}: port must be given explicitly "
+                    f"({len(self.ports)} ports attached)"
+                )
+            port = next(iter(self.ports))
+        link = self.ports.get(port)
+        if link is None:
+            return False
+        packet.created_at = packet.created_at or self.sim.now
+        packet.trace.append(self.name)
+        self.tx_count += 1
+        self.tx_bytes += packet.size
+        link.transmit(self, packet)
+        return True
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Entry point called by the link when a packet arrives."""
+        self.rx_count += 1
+        self.rx_bytes += packet.size
+        self.on_packet(packet, in_port)
+
+    def on_packet(self, packet: Packet, in_port: int) -> None:
+        """Handle a delivered packet.  Default: drop silently (a sink)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Host(Node):
+    """A general-purpose endpoint that records everything it receives.
+
+    Used for attacker machines, cloud endpoints, and test probes.  An
+    optional ``responder`` callable lets tests script replies.
+    """
+
+    def __init__(self, name: str, sim: "Simulator") -> None:
+        super().__init__(name, sim)
+        self.inbox: list[Packet] = []
+        self.responder = None  # type: ignore[assignment]
+
+    def on_packet(self, packet: Packet, in_port: int) -> None:
+        self.inbox.append(packet)
+        if self.responder is not None:
+            reply = self.responder(packet)
+            if reply is not None:
+                self.send(reply, in_port)
+
+    def received(self, **payload_filter: object) -> list[Packet]:
+        """Packets whose payload contains all the given key/value pairs."""
+        return [
+            pkt
+            for pkt in self.inbox
+            if all(pkt.payload.get(k) == v for k, v in payload_filter.items())
+        ]

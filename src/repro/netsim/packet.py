@@ -1,0 +1,112 @@
+"""Packets and flows.
+
+A :class:`Packet` carries both conventional header fields (addresses, ports,
+protocol) and an application-layer ``payload`` dictionary.  IoT protocols in
+this library are message-oriented (e.g. ``{"cmd": "on"}`` to a smart plug or
+``{"action": "login", "username": ..., "password": ...}`` to a camera), so a
+structured payload keeps device and µmbox logic explicit rather than buried
+in byte parsing, while ``size`` preserves the traffic-volume dimension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+_PACKET_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A 5-tuple flow identifier."""
+
+    src: str
+    dst: str
+    protocol: str = "tcp"
+    sport: int = 0
+    dport: int = 0
+
+    def reversed(self) -> "Flow":
+        """The flow for traffic in the opposite direction."""
+        return Flow(self.dst, self.src, self.protocol, self.dport, self.sport)
+
+
+@dataclass
+class Packet:
+    """A simulated packet / application message.
+
+    Attributes
+    ----------
+    src, dst:
+        Logical addresses (node names).
+    protocol:
+        Transport/app protocol label: ``"tcp"``, ``"udp"``, ``"http"``,
+        ``"dns"``, ``"iot"`` (vendor control protocols), etc.
+    sport, dport:
+        Port numbers; IoT management interfaces commonly sit on 80/8080.
+    payload:
+        Structured application content.  Never mutated in place by the
+        forwarding path; middleboxes that rewrite use :meth:`copy`.
+    size:
+        Bytes on the wire, used for bandwidth/volume accounting.
+    created_at:
+        Simulated send time, stamped by the sender.
+    trace:
+        Names of nodes the packet traversed, appended by the forwarding
+        path; used by tests and by taint-style analyses.
+    meta:
+        Free-form annotations added by µmboxes (e.g. ``{"verdict": "drop"}``).
+    """
+
+    src: str
+    dst: str
+    protocol: str = "tcp"
+    sport: int = 0
+    dport: int = 0
+    payload: dict[str, Any] = field(default_factory=dict)
+    size: int = 64
+    created_at: float = 0.0
+    pkt_id: int = field(default_factory=lambda: next(_PACKET_IDS))
+    trace: list[str] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def flow(self) -> Flow:
+        """The packet's 5-tuple flow."""
+        return Flow(self.src, self.dst, self.protocol, self.sport, self.dport)
+
+    def copy(self, **overrides: Any) -> "Packet":
+        """A deep-enough copy with a fresh packet id and optional overrides.
+
+        ``payload``, ``trace`` and ``meta`` are shallow-copied so the clone
+        can be rewritten without mutating the original.
+        """
+        clone = replace(
+            self,
+            payload=dict(self.payload),
+            trace=list(self.trace),
+            meta=dict(self.meta),
+            pkt_id=next(_PACKET_IDS),
+        )
+        for key, value in overrides.items():
+            setattr(clone, key, value)
+        return clone
+
+    def reply(self, payload: dict[str, Any] | None = None, size: int = 64) -> "Packet":
+        """Construct a response packet along the reversed flow."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            protocol=self.protocol,
+            sport=self.dport,
+            dport=self.sport,
+            payload=dict(payload or {}),
+            size=size,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet#{self.pkt_id}({self.src}->{self.dst} {self.protocol}"
+            f":{self.dport} {self.payload!r})"
+        )

@@ -1,0 +1,127 @@
+"""An OpenFlow-style switch / access point.
+
+Every IoT device's first-hop edge router "is configured to tunnel packets
+to/from the device to the cluster" (paper section 2.2).  The switch holds a
+prioritized flow table; unmatched packets are punted to the controller over
+the control channel (packet-in), exactly the reactive SDN model the paper
+assumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.sdn.flowrule import Action, FlowRule
+from repro.sdn.tunnel import TUNNEL_PROTOCOL, detunnel, tunnel_packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+
+class Switch(Node):
+    """A flow-table switch with controller punting and version filtering."""
+
+    def __init__(self, name: str, sim: "Simulator") -> None:
+        super().__init__(name, sim)
+        self.flow_table: list[FlowRule] = []
+        self.active_version: Optional[int] = None
+        self.packet_in_handler: Optional[Callable[["Switch", Packet, int], None]] = None
+        self.punted = 0
+        self.dropped = 0
+        self.miss_drops = 0
+
+    # ------------------------------------------------------------------
+    # Flow-table management (the controller calls these, via the channel)
+    # ------------------------------------------------------------------
+    def install(self, rule: FlowRule) -> None:
+        """Install a rule, keeping the table sorted for lookup."""
+        self.flow_table.append(rule)
+        self.flow_table.sort(key=FlowRule.sort_key)
+
+    def remove_where(self, predicate: Callable[[FlowRule], bool]) -> int:
+        """Remove rules satisfying ``predicate``; returns how many."""
+        before = len(self.flow_table)
+        self.flow_table = [r for r in self.flow_table if not predicate(r)]
+        return before - len(self.flow_table)
+
+    def remove_version(self, version: int) -> int:
+        """Remove all rules of a configuration epoch."""
+        return self.remove_where(lambda r: r.version == version)
+
+    def set_active_version(self, version: Optional[int]) -> None:
+        """Flip the active configuration epoch (two-phase update commit)."""
+        self.active_version = version
+
+    def lookup(self, packet: Packet, in_port: int) -> Optional[FlowRule]:
+        """Highest-priority live rule matching the packet, or None.
+
+        A rule is live when it is version-independent or tagged with the
+        active version.
+        """
+        for rule in self.flow_table:
+            if rule.version is not None and rule.version != self.active_version:
+                continue
+            if rule.match.matches(packet, in_port):
+                return rule
+        return None
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet, in_port: int) -> None:
+        if (
+            packet.protocol == TUNNEL_PROTOCOL
+            and packet.dst == self.name
+            and packet.payload.get("inspected")
+        ):
+            # A µmbox returned an inspected packet: decapsulate and run it
+            # through the table again.  The in_port is the cluster-facing
+            # port, which the orchestrator's bypass rules key on -- that is
+            # what prevents re-tunnelling loops.
+            inner, __ = detunnel(packet)
+            inner.meta["inspected"] = True
+            self.on_packet(inner, in_port)
+            return
+        rule = self.lookup(packet, in_port)
+        if rule is None:
+            self._table_miss(packet, in_port)
+            return
+        rule.record_hit(packet)
+        self._apply(rule.actions, packet, in_port)
+
+    def _table_miss(self, packet: Packet, in_port: int) -> None:
+        if self.packet_in_handler is not None:
+            self.punted += 1
+            self.packet_in_handler(self, packet, in_port)
+        else:
+            self.miss_drops += 1
+
+    def _apply(self, actions: tuple[Action, ...], packet: Packet, in_port: int) -> None:
+        for action in actions:
+            if action.kind == "drop":
+                self.dropped += 1
+            elif action.kind == "forward":
+                self.send(packet, action.port)
+            elif action.kind == "controller":
+                self._table_miss(packet, in_port)
+            elif action.kind == "tunnel":
+                outer = tunnel_packet(packet, self.name, action.target)
+                if action.via is not None:
+                    # Address the outer packet to the cluster host so that
+                    # intermediate switches can route it there.
+                    outer.dst = action.via
+                self.send(outer, action.port)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def table_size(self) -> int:
+        return len(self.flow_table)
+
+    def rules_for(self, device: str) -> list[FlowRule]:
+        """Rules whose match names ``device`` as src or dst."""
+        return [
+            r for r in self.flow_table if device in (r.match.src, r.match.dst)
+        ]

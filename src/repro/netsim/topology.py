@@ -1,0 +1,180 @@
+"""Topology construction helpers.
+
+The deployments the paper targets (section 2.2) are residential and
+commercial: devices hang off one or a few edge switches/APs, which uplink to
+an on-premise security cluster (enterprise) or an upgraded IoT router
+(home), and out to the Internet.  :meth:`Topology.smart_home` builds exactly
+that shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.switch import Switch
+
+
+class Topology:
+    """A named collection of nodes and links over one simulator."""
+
+    def __init__(self, sim: Simulator | None = None) -> None:
+        self.sim = sim or Simulator()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._route_cache: dict[tuple[str, str], int | None] = {}
+        self._route_fingerprint: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, node: Node) -> Node:
+        """Register a node (its name must be unique in the topology)."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_switch(self, name: str) -> Switch:
+        switch = Switch(name, self.sim)
+        self.add(switch)
+        return switch
+
+    def add_host(self, name: str) -> Host:
+        host = Host(name, self.sim)
+        self.add(host)
+        return host
+
+    def connect(
+        self,
+        a: str | Node,
+        b: str | Node,
+        latency: float = 0.001,
+        bandwidth: float | None = None,
+    ) -> Link:
+        """Link two nodes (by name or reference)."""
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+        link = Link(self.sim, node_a, node_b, latency=latency, bandwidth=bandwidth)
+        self.links.append(link)
+        return link
+
+    def _resolve(self, ref: str | Node) -> Node:
+        if isinstance(ref, Node):
+            return ref
+        node = self.nodes.get(ref)
+        if node is None:
+            raise KeyError(f"no node named {ref!r}")
+        return node
+
+    def __getitem__(self, name: str) -> Node:
+        return self._resolve(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    # ------------------------------------------------------------------
+    # Canned shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def smart_home(
+        cls,
+        device_names: Iterable[str] = (),
+        sim: Simulator | None = None,
+        edge_name: str = "edge",
+        cluster_name: str = "cluster",
+        internet_name: str = "internet",
+        device_latency: float = 0.002,
+        uplink_latency: float = 0.010,
+        cluster_latency: float = 0.001,
+    ) -> "Topology":
+        """Edge switch + device ports + cluster host + internet host.
+
+        The devices themselves are plain :class:`Host` placeholders; the
+        devices package replaces them with real device models via
+        :meth:`replace_node`.
+        """
+        topo = cls(sim)
+        edge = topo.add_switch(edge_name)
+        cluster = topo.add_host(cluster_name)
+        internet = topo.add_host(internet_name)
+        topo.connect(edge, cluster, latency=cluster_latency)
+        topo.connect(edge, internet, latency=uplink_latency)
+        for name in device_names:
+            device = topo.add_host(name)
+            topo.connect(edge, device, latency=device_latency)
+        return topo
+
+    def replace_node(self, name: str, replacement: Node) -> Node:
+        """Swap a placeholder for a richer node, preserving its links."""
+        old = self._resolve(name)
+        if replacement.name != name:
+            raise ValueError(
+                f"replacement must keep the name {name!r} "
+                f"(got {replacement.name!r})"
+            )
+        for port, link in old.ports.items():
+            replacement.attach(port, link)
+            if link.a is old:
+                link.a = replacement
+            else:
+                link.b = replacement
+        self.nodes[name] = replacement
+        return replacement
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def graph(self) -> nx.Graph:
+        """The topology as a networkx graph (edges carry the Link object)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes)
+        for link in self.links:
+            if link.up:
+                g.add_edge(link.a.name, link.b.name, link=link, weight=link.latency)
+        return g
+
+    def _fingerprint(self) -> tuple:
+        """A cheap digest of routing-relevant state (links and their
+        up/down status); when it changes, cached routes are stale."""
+        up_mask = 0
+        for i, link in enumerate(self.links):
+            if link.up:
+                up_mask |= 1 << i
+        return (len(self.nodes), len(self.links), up_mask)
+
+    def next_hop_port(self, at: str, toward: str) -> int | None:
+        """The output port at node ``at`` on a shortest path to ``toward``.
+
+        Cached: reactive forwarding calls this per packet, and rebuilding
+        the graph each time dominated simulation cost at scale.  The cache
+        invalidates whenever nodes/links are added or links change state.
+        """
+        if at == toward:
+            return None
+        fingerprint = self._fingerprint()
+        if fingerprint != self._route_fingerprint:
+            self._route_cache.clear()
+            self._route_fingerprint = fingerprint
+        key = (at, toward)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        g = self.graph()
+        try:
+            path = nx.shortest_path(g, at, toward, weight="weight")
+            port = self._resolve(at).port_to(path[1])
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            port = None
+        self._route_cache[key] = port
+        return port
+
+    def switches(self) -> list[Switch]:
+        return [n for n in self.nodes.values() if isinstance(n, Switch)]
+
+    def run(self, until: float | None = None) -> None:
+        """Convenience passthrough to the simulator."""
+        self.sim.run(until=until)

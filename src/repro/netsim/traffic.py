@@ -1,0 +1,156 @@
+"""Traffic and workload generation.
+
+Benign IoT traffic is periodic and low-rate (telemetry, keep-alives, app
+commands); attack traffic is bursty (brute force, DDoS fan-out).  These
+generators produce both, deterministically from a seeded
+:class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.node import Node
+    from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate accounting for one generator."""
+
+    packets: int = 0
+    bytes: int = 0
+    first_at: float | None = None
+    last_at: float | None = None
+
+    def record(self, packet: Packet, now: float) -> None:
+        self.packets += 1
+        self.bytes += packet.size
+        if self.first_at is None:
+            self.first_at = now
+        self.last_at = now
+
+
+class PeriodicSender:
+    """Sends a templated packet from a node every ``period`` seconds.
+
+    ``jitter`` (fraction of period) desynchronizes multiple senders, drawn
+    from the supplied RNG so runs stay reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        make_packet: Callable[[], Packet],
+        period: float,
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
+        port: int | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.sim = sim
+        self.node = node
+        self.make_packet = make_packet
+        self.period = period
+        self.jitter = jitter
+        self.rng = rng or random.Random(0)
+        self.port = port
+        self.stats = TrafficStats()
+        self._stopped = False
+
+    def start(self, initial_delay: float | None = None) -> "PeriodicSender":
+        delay = initial_delay
+        if delay is None:
+            delay = self.rng.uniform(0, self.period)
+        self.sim.schedule(delay, self._fire)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        packet = self.make_packet()
+        self.node.send(packet, self.port)
+        self.stats.record(packet, self.sim.now)
+        gap = self.period
+        if self.jitter:
+            gap *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        self.sim.schedule(gap, self._fire)
+
+
+class BurstSender:
+    """Sends ``count`` packets back-to-back at ``rate`` packets/second.
+
+    Models brute-force login storms and DDoS fan-out bursts.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        make_packet: Callable[[int], Packet],
+        count: int,
+        rate: float,
+        port: int | None = None,
+    ) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.node = node
+        self.make_packet = make_packet
+        self.count = count
+        self.rate = rate
+        self.port = port
+        self.stats = TrafficStats()
+
+    def start(self, initial_delay: float = 0.0) -> "BurstSender":
+        gap = 1.0 / self.rate
+        for i in range(self.count):
+            self.sim.schedule(initial_delay + i * gap, self._fire, i)
+        return self
+
+    def _fire(self, index: int) -> None:
+        packet = self.make_packet(index)
+        self.node.send(packet, self.port)
+        self.stats.record(packet, self.sim.now)
+
+
+@dataclass
+class TraceEntry:
+    """One labelled packet of a workload trace (ground truth for E8)."""
+
+    at: float
+    packet: Packet
+    label: str = "benign"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects labelled packets as they are injected, for scoring later."""
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEntry] = []
+
+    def record(self, at: float, packet: Packet, label: str = "benign") -> TraceEntry:
+        entry = TraceEntry(at=at, packet=packet, label=label)
+        self.entries.append(entry)
+        return entry
+
+    def labelled(self, label: str) -> list[TraceEntry]:
+        return [e for e in self.entries if e.label == label]
+
+    def __len__(self) -> int:
+        return len(self.entries)

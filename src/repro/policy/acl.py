@@ -1,0 +1,111 @@
+"""The traditional-IT strawman: static (stateful) ACLs.
+
+Section 3.1: "a simple policy abstraction used by firewalls and IDSes, is a
+set of Match -> Action pairs ... More advanced policies also include
+connection state (State, Match -> Action)".  These cannot see environmental
+or cross-device context -- which is exactly what bench E8 demonstrates by
+running the same attacks against an ACL-only defence and against IoTSec.
+
+The ACL compiles to edge-switch flow rules; the stateful variant is a tiny
+connection tracker usable inside a µmbox element as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.packet import Packet
+from repro.sdn.flowrule import Action, FlowMatch, FlowRule
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One Match -> permit/deny line."""
+
+    match: FlowMatch
+    permit: bool
+    priority: int = 100
+
+    def __str__(self) -> str:
+        verb = "permit" if self.permit else "deny"
+        return f"{verb} prio={self.priority} {self.match}"
+
+
+class StaticAcl:
+    """An ordered ACL with a default action, compilable to flow rules."""
+
+    def __init__(self, entries: list[AclEntry] | None = None, default_permit: bool = True) -> None:
+        self.entries: list[AclEntry] = sorted(
+            entries or [], key=lambda e: -e.priority
+        )
+        self.default_permit = default_permit
+
+    def add(self, entry: AclEntry) -> None:
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: -e.priority)
+
+    def permits(self, packet: Packet) -> bool:
+        for entry in self.entries:
+            if entry.match.matches(packet):
+                return True if entry.permit else False
+        return self.default_permit
+
+    def compile(self, forward_port_for: dict[str, int], controller_fallback: bool = False) -> list[FlowRule]:
+        """Materialize as switch flow rules.
+
+        ``forward_port_for`` maps destination node name -> output port for
+        permitted traffic.  Deny entries become drop rules.  The default
+        action becomes a lowest-priority wildcard.
+        """
+        rules: list[FlowRule] = []
+        for entry in self.entries:
+            if entry.permit:
+                dst = entry.match.dst
+                if dst is None or dst not in forward_port_for:
+                    continue  # a permit with no known egress is a no-op
+                action = Action.forward(forward_port_for[dst])
+            else:
+                action = Action.drop()
+            rules.append(
+                FlowRule(match=entry.match, actions=(action,), priority=entry.priority)
+            )
+        default = (
+            Action.controller()
+            if controller_fallback
+            else (Action.drop() if not self.default_permit else None)
+        )
+        if default is not None:
+            rules.append(
+                FlowRule(match=FlowMatch(), actions=(default,), priority=0)
+            )
+        return rules
+
+
+@dataclass
+class ConnectionTracker:
+    """Minimal stateful-firewall state: allow replies to outbound flows.
+
+    "a stateful firewall allows incoming traffic if an outgoing connection
+    was established earlier" (section 3.1).
+    """
+
+    established: set[tuple[str, str, str, int, int]] = field(default_factory=set)
+
+    def note_outbound(self, packet: Packet) -> None:
+        flow = packet.flow
+        self.established.add(
+            (flow.src, flow.dst, flow.protocol, flow.sport, flow.dport)
+        )
+
+    def is_reply(self, packet: Packet) -> bool:
+        flow = packet.flow.reversed()
+        return (
+            flow.src,
+            flow.dst,
+            flow.protocol,
+            flow.sport,
+            flow.dport,
+        ) in self.established
+
+    def __len__(self) -> int:
+        return len(self.established)

@@ -1,0 +1,112 @@
+"""A fluent DSL for writing IoTSec policies.
+
+The brute-force abstraction is expressive but verbose; the builder keeps
+policy definitions readable::
+
+    policy = (
+        PolicyBuilder()
+        .device("fire_alarm")
+        .device("window")
+        .env("smoke", ("clear", "detected"))
+        .when(ctx("fire_alarm"), SUSPICIOUS)
+            .give("window", block_commands("open"))
+        .when(ctx("window"), SUSPICIOUS)
+            .give("window", require_robot_check())
+        .build()
+    )
+
+Every ``when`` opens a rule scope; ``give`` closes it.  ``also`` adds an
+extra conjunct to the pending predicate.
+"""
+
+from __future__ import annotations
+
+from repro.policy.context import (
+    DEFAULT_CONTEXT_DOMAIN,
+    ContextDomain,
+    Variable,
+    ctx,
+)
+from repro.policy.fsm import PolicyFSM, PostureRule, StatePredicate
+from repro.policy.posture import ALLOW_ALL, Posture
+
+
+class _RuleScope:
+    """The object returned by ``when``: accumulates conjuncts, then binds
+    postures with ``give``."""
+
+    def __init__(self, builder: "PolicyBuilder", requirements: dict[str, str]) -> None:
+        self._builder = builder
+        self._requirements = requirements
+
+    def also(self, variable: Variable | str, value: str) -> "_RuleScope":
+        key = variable.key if isinstance(variable, Variable) else variable
+        self._requirements[key] = value
+        return self
+
+    def give(
+        self, device: str, posture: Posture, priority: int = 100
+    ) -> "PolicyBuilder":
+        self._builder._rules.append(
+            PostureRule(
+                predicate=StatePredicate.make(self._requirements),
+                device=device,
+                posture=posture,
+                priority=priority,
+            )
+        )
+        return self._builder
+
+
+class PolicyBuilder:
+    """Accumulates domains and rules; ``build()`` returns the FSM."""
+
+    def __init__(self) -> None:
+        self._domains: list[ContextDomain] = []
+        self._devices: list[str] = []
+        self._rules: list[PostureRule] = []
+        self._default = ALLOW_ALL
+
+    # ------------------------------------------------------------------
+    # Vocabulary
+    # ------------------------------------------------------------------
+    def device(
+        self, name: str, contexts: tuple[str, ...] = DEFAULT_CONTEXT_DOMAIN
+    ) -> "PolicyBuilder":
+        """Declare a device and its security-context domain."""
+        self._domains.append(ContextDomain(ctx(name), contexts))
+        self._devices.append(name)
+        return self
+
+    def env(self, name: str, levels: tuple[str, ...]) -> "PolicyBuilder":
+        """Declare an environment variable and its levels."""
+        self._domains.append(ContextDomain(Variable("env", name), levels))
+        return self
+
+    def default_posture(self, posture: Posture) -> "PolicyBuilder":
+        self._default = posture
+        return self
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    def when(self, variable: Variable | str, value: str) -> _RuleScope:
+        key = variable.key if isinstance(variable, Variable) else variable
+        return _RuleScope(self, {key: value})
+
+    def always(self) -> _RuleScope:
+        """A rule that applies in every state (baseline postures)."""
+        return _RuleScope(self, {})
+
+    def rule(self, rule: PostureRule) -> "PolicyBuilder":
+        self._rules.append(rule)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> PolicyFSM:
+        return PolicyFSM(
+            domains=self._domains,
+            rules=self._rules,
+            default_posture=self._default,
+            devices=self._devices,
+        )

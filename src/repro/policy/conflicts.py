@@ -1,0 +1,262 @@
+"""Policy conflict, shadowing, and safety analysis.
+
+Section 3.1 faults IFTTT-style recipes because "they assume recipes are
+independent, which can either lead to conflicts or safety violations", and
+section 3.2 notes "the state explosion makes it difficult to check for
+potential policy conflicts or correctness issues".  This module provides the
+checks, over both representations:
+
+- FSM rules: ambiguity (overlapping equal-precedence rules that disagree)
+  and shadowing (rules that can never fire).
+- Recipes: simultaneous-trigger actuation disagreements (the paper's smoke
+  alarm vs Sighthound lights example).
+- Safety invariants: requirements that in every state matching a predicate,
+  a device's posture carries a given module (e.g. "whenever the fire alarm
+  is suspicious, the window must have a command filter").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+from repro.policy.fsm import PolicyFSM, PostureRule, StatePredicate
+from repro.policy.posture import Posture
+
+#: Command pairs that drive an actuator in opposite directions.
+OPPOSING_COMMANDS: frozenset[frozenset[str]] = frozenset(
+    frozenset(pair)
+    for pair in (
+        ("on", "off"),
+        ("open", "close"),
+        ("lock", "unlock"),
+        ("heat", "cool"),
+        ("record", "stop"),
+        ("go", "stop"),
+    )
+)
+
+
+def commands_oppose(a: str, b: str) -> bool:
+    """True for antagonistic command pairs (on/off, open/close, ...)."""
+    return frozenset((a, b)) in OPPOSING_COMMANDS
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One detected problem."""
+
+    kind: str  # "ambiguity" | "shadowing" | "recipe-conflict" | "safety"
+    subject: str
+    detail: str
+    severity: str = "warning"  # "warning" | "error"
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.kind}: {self.subject} -- {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# FSM rule analysis
+# ----------------------------------------------------------------------
+def find_rule_ambiguities(fsm: PolicyFSM) -> list[Conflict]:
+    """Pairs of same-device rules that can match the same state with equal
+    precedence but different postures: the winner is decided only by
+    definition order, which is almost never what the author intended."""
+    conflicts = []
+    for device in fsm.devices:
+        rules = fsm.rules_for(device)
+        for i, a in enumerate(rules):
+            for b in rules[i + 1 :]:
+                if a.posture == b.posture:
+                    continue
+                if a.priority != b.priority:
+                    continue
+                if a.predicate.specificity != b.predicate.specificity:
+                    continue
+                if a.predicate.overlaps(b.predicate):
+                    conflicts.append(
+                        Conflict(
+                            kind="ambiguity",
+                            subject=device,
+                            detail=(
+                                f"rules #{a.rule_id} ({a.predicate}) and "
+                                f"#{b.rule_id} ({b.predicate}) overlap with equal "
+                                f"precedence but postures {a.posture.name!r} vs "
+                                f"{b.posture.name!r}"
+                            ),
+                            severity="error",
+                        )
+                    )
+    return conflicts
+
+
+def find_shadowed_rules(fsm: PolicyFSM) -> list[Conflict]:
+    """Rules that can never fire because an earlier-sorted rule for the same
+    device subsumes their predicate."""
+    conflicts = []
+    for device in fsm.devices:
+        rules = fsm.rules_for(device)  # already in lookup order
+        for i, later in enumerate(rules):
+            for earlier in rules[:i]:
+                if earlier.predicate.subsumes(later.predicate):
+                    conflicts.append(
+                        Conflict(
+                            kind="shadowing",
+                            subject=device,
+                            detail=(
+                                f"rule #{later.rule_id} ({later.predicate} -> "
+                                f"{later.posture.name}) is shadowed by rule "
+                                f"#{earlier.rule_id} ({earlier.predicate} -> "
+                                f"{earlier.posture.name})"
+                            ),
+                        )
+                    )
+                    break
+    return conflicts
+
+
+# ----------------------------------------------------------------------
+# Recipe analysis (duck-typed to avoid a circular import with ifttt)
+# ----------------------------------------------------------------------
+class RecipeLike(Protocol):  # pragma: no cover - typing helper
+    name: str
+    trigger_variable: str
+    trigger_value: str
+    action_device: str
+    action_command: str
+
+
+def _triggers_coincide(a: RecipeLike, b: RecipeLike) -> bool:
+    """Can both triggers hold at once?  Different variables: yes.  The same
+    variable: only if they require the same value."""
+    if a.trigger_variable != b.trigger_variable:
+        return True
+    return a.trigger_value == b.trigger_value
+
+
+def find_recipe_conflicts(recipes: Sequence[RecipeLike]) -> list[Conflict]:
+    """Recipe pairs that can fire together yet disagree about an actuator.
+
+    ``error`` severity for directly opposing commands (open vs close);
+    ``warning`` for merely different commands on the same actuator (the
+    paper's ambiguity example: two rules both recoloring the lights).
+    """
+    conflicts = []
+    for i, a in enumerate(recipes):
+        for b in recipes[i + 1 :]:
+            if a.action_device != b.action_device:
+                continue
+            if a.action_command == b.action_command:
+                continue
+            if not _triggers_coincide(a, b):
+                continue
+            severity = "error" if commands_oppose(a.action_command, b.action_command) else "warning"
+            conflicts.append(
+                Conflict(
+                    kind="recipe-conflict",
+                    subject=a.action_device,
+                    detail=(
+                        f"{a.name!r} ({a.trigger_variable}={a.trigger_value} -> "
+                        f"{a.action_command}) vs {b.name!r} "
+                        f"({b.trigger_variable}={b.trigger_value} -> "
+                        f"{b.action_command})"
+                    ),
+                    severity=severity,
+                )
+            )
+    return conflicts
+
+
+# ----------------------------------------------------------------------
+# Safety invariants
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SafetyInvariant:
+    """In every state matching ``condition``, ``device``'s posture must
+    include a module of ``required_module`` kind (or simply must not be
+    permissive when ``required_module`` is None)."""
+
+    name: str
+    condition: StatePredicate
+    device: str
+    required_module: str | None = None
+
+    def satisfied_by(self, posture: Posture) -> bool:
+        if self.required_module is None:
+            return not posture.is_permissive
+        return self.required_module in posture.module_kinds()
+
+
+def check_safety(
+    fsm: PolicyFSM,
+    invariants: Iterable[SafetyInvariant],
+    enumerate_limit: int = 200_000,
+) -> list[Conflict]:
+    """Verify every invariant over the (relevant slice of the) state space.
+
+    For tractability we enumerate only over the variables referenced by the
+    invariant's condition plus the device's rule variables -- sound for the
+    same projection argument as :mod:`repro.policy.pruning`.
+    """
+    from repro.policy.pruning import relevant_variables
+
+    violations = []
+    for invariant in invariants:
+        keys = sorted(
+            invariant.condition.variables()
+            | relevant_variables(fsm, invariant.device)
+        )
+        domains = [fsm.space.domain_of(key) for key in keys]
+        total = 1
+        for domain in domains:
+            total *= domain.size
+        if total > enumerate_limit:
+            violations.append(
+                Conflict(
+                    kind="safety",
+                    subject=invariant.name,
+                    detail=f"projected space too large to check ({total} states)",
+                )
+            )
+            continue
+
+        def rec(index: int, acc: dict[str, str]) -> bool:
+            """Returns True when a violation was found."""
+            if index == len(domains):
+                from repro.policy.context import SystemState
+
+                state = SystemState(acc)
+                if invariant.condition.matches(state):
+                    posture = fsm.posture_for(state, invariant.device)
+                    if not invariant.satisfied_by(posture):
+                        violations.append(
+                            Conflict(
+                                kind="safety",
+                                subject=invariant.name,
+                                detail=(
+                                    f"state {state} gives {invariant.device} "
+                                    f"posture {posture.name!r}, missing "
+                                    f"{invariant.required_module or 'any module'}"
+                                ),
+                                severity="error",
+                            )
+                        )
+                        return True
+                return False
+            for value in domains[index].values:
+                acc[keys[index]] = value
+                if rec(index + 1, acc):
+                    return True
+            acc.pop(keys[index], None)
+            return False
+
+        rec(0, {})
+    return violations
+
+
+def full_report(fsm: PolicyFSM, invariants: Iterable[SafetyInvariant] = ()) -> list[Conflict]:
+    """All three analyses in one pass."""
+    report = find_rule_ambiguities(fsm)
+    report.extend(find_shadowed_rules(fsm))
+    report.extend(check_safety(fsm, invariants))
+    return report

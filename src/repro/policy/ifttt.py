@@ -1,0 +1,294 @@
+"""The IFTTT strawman: recipes, the Table 2 corpus, and a runtime engine.
+
+Section 3.1 examines IF-This-Then-That recipes ("If smoke emergency, set
+lights to red color") as the natural IoT policy abstraction and finds three
+flaws: no security context, assumed independence (conflicts), and tedious
+manual reasoning.  We implement recipes faithfully -- including a runtime
+:class:`RecipeEngine` that *executes* them over the simulation, because the
+paper's section 2.1 break-in literally rides the victim's own automation --
+plus the translation of a recipe into FSM guard rules, which is how IoTSec
+subsumes the abstraction.
+
+Table 2's per-device cross-device recipe counts (NEST Protect 188, Wemo
+Insight 227, Scout Alarm 63) seed the synthetic corpus generator used by
+benches Table2 and E2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.devices import protocol
+from repro.netsim.node import Node
+from repro.policy.fsm import PostureRule, StatePredicate
+from repro.policy.posture import block_commands
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.devices.base import IoTDevice
+    from repro.environment.engine import Environment
+    from repro.netsim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """``IF <trigger_variable>=<trigger_value> THEN <action_device>.<command>``.
+
+    ``trigger_variable`` uses the unified policy-variable keys: ``env:smoke``
+    for environment levels, ``dev:fire_alarm`` for a device's FSM state.
+    """
+
+    name: str
+    trigger_variable: str
+    trigger_value: str
+    action_device: str
+    action_command: str
+
+    def __str__(self) -> str:
+        return (
+            f"IF {self.trigger_variable}={self.trigger_value} "
+            f"THEN {self.action_device}.{self.action_command}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 2: the published examples and corpus scales
+# ----------------------------------------------------------------------
+#: device -> number of cross-device recipes published for it (Table 2).
+TABLE2_COUNTS: dict[str, int] = {
+    "nest_protect": 188,
+    "wemo_insight": 227,
+    "scout_alarm": 63,
+}
+
+#: The "Typical Example" column of Table 2, as executable recipes.
+TABLE2_EXAMPLES: tuple[Recipe, ...] = (
+    Recipe(
+        name="nest-protect-smoke-lights",
+        trigger_variable="env:smoke",
+        trigger_value="detected",
+        action_device="hue_lights",
+        action_command="on",
+    ),
+    Recipe(
+        name="wemo-off-when-away",
+        trigger_variable="env:occupancy",
+        trigger_value="absent",
+        action_device="wemo_insight",
+        action_command="off",
+    ),
+    Recipe(
+        name="scout-alarm-camera",
+        trigger_variable="dev:scout_alarm",
+        trigger_value="alarm",
+        action_device="manything_camera",
+        action_command="record",
+    ),
+)
+
+
+def generate_corpus(
+    rng: random.Random,
+    trigger_pool: dict[str, tuple[str, ...]],
+    actuators: dict[str, tuple[str, ...]],
+    count: int,
+    conflict_fraction: float = 0.0,
+) -> list[Recipe]:
+    """Generate ``count`` synthetic recipes over the given vocabulary.
+
+    ``trigger_pool`` maps trigger variables to their possible values and
+    ``actuators`` maps actuatable devices to their command sets.  A
+    ``conflict_fraction`` of the corpus is generated as deliberate
+    conflicting pairs (same trigger, opposing commands) so conflict-
+    detection recall is measurable with known ground truth (bench E2).
+    """
+    if not trigger_pool or not actuators:
+        raise ValueError("need at least one trigger variable and one actuator")
+    if not 0.0 <= conflict_fraction <= 1.0:
+        raise ValueError("conflict_fraction must be in [0, 1]")
+    from repro.policy.conflicts import OPPOSING_COMMANDS
+
+    recipes: list[Recipe] = []
+    conflict_budget = int(count * conflict_fraction) // 2 * 2  # pairs
+
+    # Deliberate conflicting pairs first.
+    opposing = sorted(tuple(sorted(p)) for p in OPPOSING_COMMANDS)
+    pair_candidates = [
+        (device, a, b)
+        for device, commands in sorted(actuators.items())
+        for a, b in opposing
+        if a in commands and b in commands
+    ]
+    made = 0
+    while made < conflict_budget and pair_candidates:
+        device, cmd_a, cmd_b = pair_candidates[rng.randrange(len(pair_candidates))]
+        variable = rng.choice(sorted(trigger_pool))
+        value = rng.choice(trigger_pool[variable])
+        index = len(recipes)
+        recipes.append(
+            Recipe(f"conflict-{index}-a", variable, value, device, cmd_a)
+        )
+        recipes.append(
+            Recipe(f"conflict-{index}-b", variable, value, device, cmd_b)
+        )
+        made += 2
+
+    # Independent filler recipes: exact duplicates are avoided, but
+    # accidental conflicts may (realistically) occur -- users publishing
+    # recipes do not coordinate, which is exactly section 3.1's critique.
+    used: set[tuple[str, str, str, str]] = {
+        (r.action_device, r.trigger_variable, r.trigger_value, r.action_command)
+        for r in recipes
+    }
+    attempts = 0
+    while len(recipes) < count and attempts < count * 50:
+        attempts += 1
+        variable = rng.choice(sorted(trigger_pool))
+        value = rng.choice(trigger_pool[variable])
+        device = rng.choice(sorted(actuators))
+        command = rng.choice(actuators[device])
+        if (device, variable, value, command) in used:
+            continue
+        used.add((device, variable, value, command))
+        recipes.append(
+            Recipe(f"recipe-{len(recipes)}", variable, value, device, command)
+        )
+    return recipes
+
+
+# ----------------------------------------------------------------------
+# Translation into the FSM abstraction
+# ----------------------------------------------------------------------
+def recipe_to_guard_rules(
+    recipe: Recipe,
+    domain_values: tuple[str, ...],
+    priority: int = 100,
+) -> list[PostureRule]:
+    """Compile a recipe into FSM guard rules.
+
+    The security reading of "IF cond THEN device.cmd" is Fig. 5's: the
+    command may flow *only* while the condition holds.  For every other
+    value of the trigger variable we emit a rule giving the actuator a
+    command-filter posture that drops the command.
+
+    Only environment/context triggers translate directly (``dev:`` triggers
+    first need the device state mirrored into the global view; the
+    controller does that, see :mod:`repro.core.view`).
+    """
+    rules = []
+    for value in domain_values:
+        if value == recipe.trigger_value:
+            continue
+        rules.append(
+            PostureRule(
+                predicate=StatePredicate.make({recipe.trigger_variable: value}),
+                device=recipe.action_device,
+                posture=block_commands(
+                    recipe.action_command,
+                    name=f"guard-{recipe.name}-{value}",
+                ),
+                priority=priority,
+            )
+        )
+    return rules
+
+
+# ----------------------------------------------------------------------
+# Runtime engine
+# ----------------------------------------------------------------------
+@dataclass
+class RecipeFiring:
+    at: float
+    recipe: Recipe
+    delivered: bool = True
+
+
+class AutomationHub(Node):
+    """The user's automation endpoint (IFTTT/SmartThings stand-in).
+
+    It holds recipes and *executes* them by sending command packets through
+    the network -- which is what lets a µmbox on the path veto an unsafe
+    firing, and what lets an attacker weaponize a benign recipe (the
+    section 2.1 thermal break-in).
+
+    Pairing: the hub is assumed to have been paired out-of-band with each
+    actuator it controls, so it owns a valid session token per device
+    (:meth:`pair`).  Commands still travel the network.
+    """
+
+    def __init__(self, name: str, sim: "Simulator") -> None:
+        super().__init__(name, sim)
+        self.recipes: list[Recipe] = []
+        self.firings: list[RecipeFiring] = []
+        self._sessions: dict[str, str] = {}
+        self._device_state: Callable[[str], str | None] | None = None
+
+    def pair(self, device: "IoTDevice") -> None:
+        """Establish an owner session with a device (out-of-band setup)."""
+        token = f"{self.name}-pair-{device.name}"
+        device.sessions[token] = "owner"
+        self._sessions[device.name] = token
+
+    def add_recipe(self, recipe: Recipe) -> None:
+        self.recipes.append(recipe)
+
+    def watch_environment(self, env: "Environment") -> None:
+        """Fire env-triggered recipes on level changes."""
+        env.on_level_change(self._on_env_change)
+
+    def watch_devices(self, state_of: Callable[[str], str | None], poll: float = 1.0) -> None:
+        """Fire device-state recipes by polling a state accessor.
+
+        Edge-triggered: a recipe fires when the device *transitions into*
+        the trigger state, not merely because it is already there when the
+        watch starts (IFTTT semantics -- "If Alarm is Triggered", not
+        "while the alarm happens to be on").
+        """
+        self._device_state = state_of
+
+        def watched_devices() -> set[str]:
+            return {
+                recipe.trigger_variable[4:]
+                for recipe in self.recipes
+                if recipe.trigger_variable.startswith("dev:")
+            }
+
+        # Seed with the current states so startup is not a "transition".
+        last: dict[str, str | None] = {
+            device: state_of(device) for device in watched_devices()
+        }
+
+        def tick() -> None:
+            current_states = {
+                device: state_of(device) for device in watched_devices()
+            }
+            for recipe in self.recipes:
+                if not recipe.trigger_variable.startswith("dev:"):
+                    continue
+                device = recipe.trigger_variable[4:]
+                current = current_states[device]
+                if current == recipe.trigger_value and last.get(device) != current:
+                    self._fire(recipe)
+            last.update(current_states)
+
+        self.sim.every(poll, tick)
+
+    def _on_env_change(self, variable: str, level: str) -> None:
+        key = f"env:{variable}"
+        for recipe in self.recipes:
+            if recipe.trigger_variable == key and recipe.trigger_value == level:
+                self._fire(recipe)
+
+    def _fire(self, recipe: Recipe) -> None:
+        packet = protocol.command(
+            self.name,
+            recipe.action_device,
+            recipe.action_command,
+            session=self._sessions.get(recipe.action_device),
+        )
+        delivered = bool(self.ports) and self.send(packet, next(iter(self.ports)))
+        self.firings.append(RecipeFiring(self.sim.now, recipe, delivered))
+
+    def firings_of(self, recipe_name: str) -> list[RecipeFiring]:
+        return [f for f in self.firings if f.recipe.name == recipe_name]

@@ -1,0 +1,32 @@
+"""SDN substrate: flow rules, control channels, tunnels, consistent updates.
+
+Substitutes for the paper's OpenDaylight control plane (DESIGN.md section 2).
+The pieces:
+
+- :mod:`repro.sdn.flowrule` -- Match -> Action rules installed in switches.
+- :mod:`repro.sdn.channel` -- the controller <-> switch control channel,
+  with configurable latency (the control plane runs *in* simulated time,
+  which is what makes the responsiveness experiments of section 5.1 possible).
+- :mod:`repro.sdn.tunnel` -- encapsulation of device traffic toward µmboxes.
+- :mod:`repro.sdn.consistency` -- two-phase consistent updates of flow
+  tables (section 5.1's "critical state ... must be handled in a consistent
+  fashion").
+"""
+
+from repro.sdn.channel import ControlChannel, ControlMessage
+from repro.sdn.consistency import ConsistentUpdater, UpdateReport
+from repro.sdn.flowrule import Action, FlowMatch, FlowRule
+from repro.sdn.tunnel import TunnelTable, detunnel, tunnel_packet
+
+__all__ = [
+    "Action",
+    "ConsistentUpdater",
+    "ControlChannel",
+    "ControlMessage",
+    "FlowMatch",
+    "FlowRule",
+    "TunnelTable",
+    "UpdateReport",
+    "detunnel",
+    "tunnel_packet",
+]

@@ -1,0 +1,106 @@
+"""The controller <-> switch control channel.
+
+Control messages (packet-in, flow-mod, posture updates, context events)
+travel over this channel with a configurable one-way latency, so control-
+plane responsiveness is measurable in simulated time -- the core question of
+the paper's section 5.1.
+
+The channel is deliberately message-type agnostic: it delivers
+:class:`ControlMessage` envelopes and lets endpoints dispatch on ``kind``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+_MSG_IDS = itertools.count(1)
+
+
+@dataclass
+class ControlMessage:
+    """An envelope on the control channel."""
+
+    kind: str
+    sender: str
+    body: dict[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+
+
+class ControlChannel:
+    """A star-shaped control network between one controller and many peers.
+
+    Peers register a handler by name; ``send`` delivers after ``latency``
+    seconds.  Per-destination latency overrides model remote sites (e.g. a
+    cloud controller far from a home gateway).
+    """
+
+    def __init__(self, sim: "Simulator", latency: float = 0.002) -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.sim = sim
+        self.latency = latency
+        self._handlers: dict[str, Callable[[ControlMessage], None]] = {}
+        self._latency_override: dict[str, float] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.undeliverable = 0
+
+    def register(self, name: str, handler: Callable[[ControlMessage], None]) -> None:
+        """Register (or replace) the message handler for endpoint ``name``."""
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def set_latency_to(self, name: str, latency: float) -> None:
+        """Override the one-way latency for messages *to* ``name``."""
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self._latency_override[name] = latency
+
+    def latency_to(self, name: str) -> float:
+        return self._latency_override.get(name, self.latency)
+
+    def send(
+        self,
+        sender: str,
+        to: str,
+        kind: str,
+        body: dict[str, Any] | None = None,
+    ) -> ControlMessage:
+        """Send a control message; delivery is scheduled on the simulator."""
+        message = ControlMessage(
+            kind=kind, sender=sender, body=dict(body or {}), sent_at=self.sim.now
+        )
+        self.sent += 1
+
+        def deliver() -> None:
+            handler = self._handlers.get(to)
+            if handler is None:
+                self.undeliverable += 1
+                return
+            self.delivered += 1
+            handler(message)
+
+        self.sim.schedule(self.latency_to(to), deliver)
+        return message
+
+    def broadcast(
+        self,
+        sender: str,
+        kind: str,
+        body: dict[str, Any] | None = None,
+        exclude: set[str] | None = None,
+    ) -> int:
+        """Send to every registered endpoint except ``sender``/``exclude``."""
+        skip = {sender} | (exclude or set())
+        targets = [name for name in self._handlers if name not in skip]
+        for name in targets:
+            self.send(sender, name, kind, body)
+        return len(targets)

@@ -1,0 +1,70 @@
+"""Tunneling device traffic to µmboxes.
+
+Section 2.2: "Each IoT device's first-hop edge router or wireless access
+point (AP) is configured to tunnel packets to/from the device to the cluster
+or an IoT router."  We model encapsulation by wrapping the original packet
+in a new one addressed to the µmbox host; the inner packet rides in
+``payload["inner"]``.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import Packet
+
+TUNNEL_PROTOCOL = "iotsec-tunnel"
+TUNNEL_OVERHEAD_BYTES = 20
+
+
+def tunnel_packet(packet: Packet, ingress: str, target: str) -> Packet:
+    """Encapsulate ``packet`` toward the µmbox named ``target``.
+
+    ``ingress`` records which switch encapsulated it, so the µmbox host can
+    return the (possibly rewritten) packet to the right place.
+    """
+    return Packet(
+        src=ingress,
+        dst=target,
+        protocol=TUNNEL_PROTOCOL,
+        payload={"inner": packet, "ingress": ingress, "target": target},
+        size=packet.size + TUNNEL_OVERHEAD_BYTES,
+    )
+
+
+def detunnel(packet: Packet) -> tuple[Packet, str]:
+    """Unwrap a tunnelled packet; returns ``(inner, ingress_switch)``."""
+    if packet.protocol != TUNNEL_PROTOCOL:
+        raise ValueError(f"not a tunnel packet: {packet!r}")
+    return packet.payload["inner"], packet.payload["ingress"]
+
+
+def is_tunnelled(packet: Packet) -> bool:
+    return packet.protocol == TUNNEL_PROTOCOL
+
+
+class TunnelTable:
+    """Controller-side record of which device's traffic goes to which µmbox.
+
+    Maps device name -> µmbox name; the orchestrator compiles this into
+    tunnel flow rules at the device's edge switch.
+    """
+
+    def __init__(self) -> None:
+        self._by_device: dict[str, str] = {}
+
+    def bind(self, device: str, mbox: str) -> None:
+        self._by_device[device] = mbox
+
+    def unbind(self, device: str) -> None:
+        self._by_device.pop(device, None)
+
+    def mbox_for(self, device: str) -> str | None:
+        return self._by_device.get(device)
+
+    def devices_of(self, mbox: str) -> list[str]:
+        return [d for d, m in self._by_device.items() if m == mbox]
+
+    def __len__(self) -> int:
+        return len(self._by_device)
+
+    def __contains__(self, device: str) -> bool:
+        return device in self._by_device

@@ -1,0 +1,126 @@
+"""Tests for the abstract environment and the joint world."""
+
+import pytest
+
+from repro.devices.library import (
+    BULB_MODEL,
+    FIRE_ALARM_MODEL,
+    MOTION_SENSOR_MODEL,
+    THERMOSTAT_MODEL,
+    WINDOW_MODEL,
+    smart_plug_model,
+)
+from repro.learning.abstract_env import (
+    AbstractEnvironment,
+    AbstractWorld,
+    JointState,
+    ResponseRule,
+    default_world,
+)
+
+
+class TestAbstractEnvironment:
+    def test_baseline_levels(self):
+        world = default_world()
+        levels = world.settle({}, {})
+        assert levels["temperature"] == "normal"
+        assert levels["smoke"] == "clear"
+        assert levels["window"] == "closed"
+
+    def test_response_rule_activation(self):
+        world = default_world()
+        levels = world.settle({"heat_watts": 100.0}, {})
+        assert levels["temperature"] == "high"
+        levels = world.settle({"hazard": 1.0}, {})
+        assert levels["smoke"] == "detected"
+
+    def test_held_variables_beat_rules(self):
+        env = AbstractEnvironment.make(
+            variables={"window": ("closed", "open")},
+            baseline={"window": "closed"},
+        )
+        assert env.settle({}, {"window": "open"})["window"] == "open"
+
+    def test_exogenous_levels(self):
+        world = default_world()
+        levels = world.settle({}, {}, {"occupancy": "present"})
+        assert levels["occupancy"] == "present"
+
+    def test_baseline_validation(self):
+        with pytest.raises(ValueError):
+            AbstractEnvironment.make(
+                variables={"x": ("a", "b")}, baseline={"x": "zzz"}
+            )
+
+
+class TestAbstractWorld:
+    def make_world(self):
+        return AbstractWorld(
+            {
+                "fire_alarm": FIRE_ALARM_MODEL,
+                "window": WINDOW_MODEL,
+                "oven_plug": smart_plug_model(hazard=1.0, heat_watts=2000.0),
+            }
+        )
+
+    def test_initial_state(self):
+        world = self.make_world()
+        state = world.initial_state()
+        assert state.devices() == {
+            "fire_alarm": "ok",
+            "window": "closed",
+            "oven_plug": "off",
+        }
+        assert state.env()["smoke"] == "clear"
+
+    def test_actions_enumerate_commands_and_exogenous(self):
+        world = self.make_world()
+        actions = world.actions()
+        assert ("cmd", "oven_plug", "on") in actions
+        assert ("env", "occupancy", "present") in actions
+
+    def test_command_step(self):
+        world = self.make_world()
+        state = world.initial_state()
+        nxt = world.step(state, ("cmd", "window", "open"))
+        assert nxt.devices()["window"] == "open"
+        assert nxt.env()["window"] == "open"  # binding held
+
+    def test_implicit_coupling_cascade(self):
+        """Turning on the oven plug raises smoke, which trips the alarm --
+        the cross-device interaction with no message between the devices."""
+        world = self.make_world()
+        state = world.initial_state()
+        nxt = world.step(state, ("cmd", "oven_plug", "on"))
+        assert nxt.env()["smoke"] == "detected"
+        assert nxt.devices()["fire_alarm"] == "alarm"
+
+    def test_exogenous_step(self):
+        world = AbstractWorld({"motion": MOTION_SENSOR_MODEL})
+        state = world.initial_state()
+        nxt = world.step(state, ("env", "occupancy", "present"))
+        assert nxt.devices()["motion"] == "active"
+        back = world.step(nxt, ("env", "occupancy", "absent"))
+        assert back.devices()["motion"] == "idle"
+
+    def test_non_exogenous_env_action_rejected(self):
+        world = self.make_world()
+        with pytest.raises(ValueError):
+            world.step(world.initial_state(), ("env", "smoke", "detected"))
+
+    def test_unknown_action_kind_rejected(self):
+        world = self.make_world()
+        with pytest.raises(ValueError):
+            world.step(world.initial_state(), ("zzz", "a", "b"))
+
+    def test_joint_state_hashable_and_stable(self):
+        a = JointState.make({"d": "on"}, {"v": "x"})
+        b = JointState.make({"d": "on"}, {"v": "x"})
+        assert a == b and hash(a) == hash(b)
+
+    def test_thermostat_bulb_world_no_spurious_interactions(self):
+        world = AbstractWorld({"thermostat": THERMOSTAT_MODEL, "bulb": BULB_MODEL})
+        state = world.initial_state()
+        nxt = world.step(state, ("cmd", "bulb", "on"))
+        assert nxt.devices()["thermostat"] == state.devices()["thermostat"]
+        assert nxt.env()["illuminance"] == "bright"

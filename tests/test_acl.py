@@ -1,0 +1,87 @@
+"""Tests for the static-ACL strawman."""
+
+from repro.netsim.packet import Packet
+from repro.policy.acl import AclEntry, ConnectionTracker, StaticAcl
+from repro.sdn.flowrule import FlowMatch
+
+
+def pkt(**kw):
+    defaults = dict(src="attacker", dst="cam", protocol="http", dport=80)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestStaticAcl:
+    def test_default_permit(self):
+        acl = StaticAcl()
+        assert acl.permits(pkt())
+
+    def test_deny_entry(self):
+        acl = StaticAcl([AclEntry(FlowMatch(dst="cam", dport=80), permit=False)])
+        assert not acl.permits(pkt())
+        assert acl.permits(pkt(dport=443))
+
+    def test_priority_order(self):
+        acl = StaticAcl(
+            [
+                AclEntry(FlowMatch(dst="cam"), permit=False, priority=100),
+                AclEntry(FlowMatch(src="hub", dst="cam"), permit=True, priority=500),
+            ]
+        )
+        assert acl.permits(pkt(src="hub"))
+        assert not acl.permits(pkt(src="attacker"))
+
+    def test_default_deny(self):
+        acl = StaticAcl(default_permit=False)
+        assert not acl.permits(pkt())
+
+    def test_add_keeps_sorted(self):
+        acl = StaticAcl()
+        acl.add(AclEntry(FlowMatch(dst="cam"), permit=False, priority=10))
+        acl.add(AclEntry(FlowMatch(dst="cam"), permit=True, priority=20))
+        assert acl.permits(pkt())
+
+    def test_compile_to_flow_rules(self):
+        acl = StaticAcl(
+            [
+                AclEntry(FlowMatch(src="attacker", dst="cam"), permit=False, priority=300),
+                AclEntry(FlowMatch(dst="cam"), permit=True, priority=100),
+            ],
+            default_permit=False,
+        )
+        rules = acl.compile({"cam": 3})
+        kinds = [(r.priority, r.actions[0].kind) for r in rules]
+        assert (300, "drop") in kinds
+        assert (100, "forward") in kinds
+        assert (0, "drop") in kinds  # the default
+
+    def test_compile_skips_permit_without_egress(self):
+        acl = StaticAcl([AclEntry(FlowMatch(dst="ghost"), permit=True)])
+        assert acl.compile({}) == []
+
+    def test_compile_controller_fallback(self):
+        acl = StaticAcl()
+        rules = acl.compile({}, controller_fallback=True)
+        assert rules[-1].actions[0].kind == "controller"
+
+
+class TestConnectionTracker:
+    def test_reply_allowed_after_outbound(self):
+        tracker = ConnectionTracker()
+        outbound = pkt(src="cam", dst="cloud", sport=5000, dport=443)
+        tracker.note_outbound(outbound)
+        reply = pkt(src="cloud", dst="cam", sport=443, dport=5000)
+        assert tracker.is_reply(reply)
+
+    def test_unrelated_inbound_not_reply(self):
+        tracker = ConnectionTracker()
+        tracker.note_outbound(pkt(src="cam", dst="cloud", sport=5000, dport=443))
+        assert not tracker.is_reply(pkt(src="attacker", dst="cam", sport=443, dport=5000))
+        assert not tracker.is_reply(pkt(src="cloud", dst="cam", sport=443, dport=9999))
+
+    def test_len(self):
+        tracker = ConnectionTracker()
+        tracker.note_outbound(pkt(src="cam", dst="a"))
+        tracker.note_outbound(pkt(src="cam", dst="a"))  # same flow
+        tracker.note_outbound(pkt(src="cam", dst="b"))
+        assert len(tracker) == 2

@@ -1,0 +1,104 @@
+"""Tests for the privacy scrubber."""
+
+from repro.learning.anonymize import (
+    Anonymizer,
+    leaks_identity,
+    pseudonym,
+)
+from repro.learning.signatures import AttackSignature, SignatureMatch
+
+
+def make_signature(**match_kwargs):
+    return AttackSignature(
+        sku="dlink:cam:1.0",
+        flaw_class="exposed-credentials",
+        match=SignatureMatch.make(**match_kwargs),
+        reporter="acme-corp-network-ops",
+    )
+
+
+def test_pseudonym_stable_per_salt():
+    assert pseudonym("alice", "s1") == pseudonym("alice", "s1")
+    assert pseudonym("alice", "s1") != pseudonym("alice", "s2")
+    assert pseudonym("alice", "s1") != pseudonym("bob", "s1")
+    assert pseudonym("alice", "s1").startswith("anon-")
+
+
+def test_reporter_pseudonymized():
+    scrubbed = Anonymizer().scrub(make_signature())
+    assert scrubbed.reporter != "acme-corp-network-ops"
+    assert scrubbed.reporter.startswith("anon-")
+
+
+def test_vendor_default_credentials_survive():
+    signature = make_signature(
+        protocol="http",
+        dport=80,
+        payload_contains={"action": "login", "username": "admin", "password": "admin"},
+    )
+    scrubbed = Anonymizer().scrub(signature)
+    contains = dict(scrubbed.match.payload_contains)
+    assert contains.get("username") == "admin"
+    assert contains.get("password") == "admin"
+
+
+def test_user_chosen_secret_generalized_to_presence():
+    signature = make_signature(
+        protocol="http",
+        dport=80,
+        payload_contains={
+            "action": "login",
+            "username": "admin",
+            "password": "alices-real-secret",
+        },
+    )
+    scrubbed = Anonymizer().scrub(signature)
+    contains = dict(scrubbed.match.payload_contains)
+    assert "password" not in contains  # the literal never leaves the site
+    assert "password" in scrubbed.match.payload_keys  # but presence is kept
+
+
+def test_sensitive_keys_dropped():
+    signature = make_signature(
+        payload_contains={"session": "token-123", "action": "get"}
+    )
+    scrubbed = Anonymizer().scrub(signature)
+    contains = dict(scrubbed.match.payload_contains)
+    assert "session" not in contains
+    assert contains.get("action") == "get"
+
+
+def test_leaks_identity_audit():
+    raw = make_signature(
+        payload_contains={"password": "private-value"}
+    )
+    assert leaks_identity(raw, {"acme-corp-network-ops"})
+    scrubbed = Anonymizer().scrub(raw)
+    assert not leaks_identity(scrubbed, {"acme-corp-network-ops"})
+
+
+def test_scrub_trace():
+    anon = Anonymizer()
+    trace = ["cam", "edge", "internet", "attacker"]
+    out = anon.scrub_trace(trace, site_nodes={"cam", "edge"})
+    assert out == ["site-node", "site-node", "internet", "attacker"]
+
+
+def test_scrub_preserves_detection_power():
+    """The scrubbed signature must still match the attack it describes."""
+    from repro.netsim.packet import Packet
+
+    signature = make_signature(
+        protocol="http",
+        dport=80,
+        payload_contains={"action": "login", "username": "admin", "password": "admin"},
+    )
+    scrubbed = Anonymizer().scrub(signature)
+    attack = Packet(
+        src="attacker",
+        dst="cam",
+        protocol="http",
+        dport=80,
+        payload={"action": "login", "username": "admin", "password": "admin"},
+    )
+    assert scrubbed.match.matches(attack)

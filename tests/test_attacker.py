@@ -1,0 +1,56 @@
+"""Tests for the attacker host's correlation machinery."""
+
+from repro.attacks.attacker import Attacker
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+
+
+def wire(sim):
+    attacker = Attacker("attacker", sim)
+    target = Host("target", sim)
+    Link(sim, attacker, target, latency=0.001)
+    return attacker, target
+
+
+def test_request_reply_correlation(sim):
+    attacker, target = wire(sim)
+    target.responder = lambda pkt: pkt.reply({"status": "ok", "n": pkt.payload["n"]})
+    got = []
+    attacker.request(Packet(src="attacker", dst="target", payload={"n": 1}), got.append)
+    attacker.request(Packet(src="attacker", dst="target", payload={"n": 2}), got.append)
+    sim.run()
+    assert [p.payload["n"] for p in got] == [1, 2]  # FIFO per peer
+    assert attacker.requests_sent == 2
+    assert attacker.replies_seen == 2
+
+
+def test_fire_and_forget_no_callback(sim):
+    attacker, target = wire(sim)
+    target.responder = lambda pkt: pkt.reply({"status": "ok"})
+    attacker.fire_and_forget(Packet(src="attacker", dst="target"))
+    sim.run()
+    # reply arrives but no callback was registered: only counted
+    assert attacker.replies_seen == 1
+
+
+def test_unsolicited_packet_does_not_pop_callbacks(sim):
+    attacker, target = wire(sim)
+    got = []
+    attacker.request(Packet(src="attacker", dst="target"), got.append)
+    other = Host("other", sim)
+    Link(sim, attacker, other, latency=0.001)
+    other.send(Packet(src="other", dst="attacker"))
+    sim.run()
+    assert got == []  # the pending target-callback is still waiting
+
+
+def test_session_and_loot_bookkeeping(sim):
+    attacker = Attacker("attacker", sim)
+    attacker.store_session("cam", "tok-1")
+    assert attacker.session_for("cam") == "tok-1"
+    assert attacker.session_for("other") is None
+    attacker.record_loot("cam", "image", {"pixels": "..."})
+    attacker.record_loot("plug", "data", {})
+    assert len(attacker.loot_from("cam")) == 1
+    assert len(attacker.loot) == 2

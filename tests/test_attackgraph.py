@@ -1,0 +1,135 @@
+"""Tests for attack-graph generation and analysis."""
+
+from repro.devices.library import (
+    fire_alarm,
+    smart_camera,
+    smart_plug,
+    thermostat,
+    window_actuator,
+)
+from repro.learning.attackgraph import (
+    ATTACKER,
+    AttackGraphBuilder,
+    control,
+    envfact,
+    state,
+)
+from repro.netsim.simulator import Simulator
+from repro.policy.ifttt import Recipe
+
+
+def make_devices(sim, **overrides):
+    devices = {
+        "heater_plug": smart_plug("heater_plug", sim, load={"heat_watts": 1500.0}),
+        "alarm": fire_alarm("alarm", sim),
+        "window": window_actuator("window", sim),
+        "thermo": thermostat("thermo", sim),
+    }
+    devices.update(overrides)
+    return {d.name: (d.model, d.firmware) for d in devices.values()}
+
+
+def test_flaws_grant_control(sim):
+    builder = AttackGraphBuilder(make_devices(sim))
+    assert builder.graph.has_edge(ATTACKER, control("heater_plug"))
+    assert builder.graph.has_edge(ATTACKER, control("window"))  # weak password
+    # thermostat has strong creds and patchable firmware: no direct control
+    assert not builder.graph.has_edge(ATTACKER, control("thermo"))
+
+
+def test_direct_attack_path(sim):
+    builder = AttackGraphBuilder(make_devices(sim))
+    goal = envfact("window", "open")
+    paths = builder.paths_to(goal)
+    direct = [p for p in paths if p.facts[1] == control("window")]
+    assert direct
+    assert direct[0].stages == 3
+    assert "brute_force_login" in direct[0].exploits
+
+
+def test_multistage_physical_path_requires_recipe(sim):
+    devices = make_devices(sim)
+    goal = envfact("window", "open")
+    no_recipe = AttackGraphBuilder(devices)
+    paths = [
+        p for p in no_recipe.paths_to(goal) if control("heater_plug") in p.facts
+    ]
+    assert paths == []  # without the automation there is no thermal path
+
+    with_recipe = AttackGraphBuilder(
+        devices,
+        recipes=[Recipe("cool-down", "env:temperature", "high", "window", "open")],
+    )
+    paths = [
+        p for p in with_recipe.paths_to(goal) if control("heater_plug") in p.facts
+    ]
+    assert len(paths) == 1
+    assert envfact("temperature", "high") in paths[0].facts
+    assert "recipe" in paths[0].exploits
+
+
+def test_trigger_edges(sim):
+    builder = AttackGraphBuilder(make_devices(sim))
+    # oven-style hazard is absent here, but smoke trigger edge exists from
+    # env fact to alarm state regardless of who can produce the fact.
+    assert builder.graph.has_edge(
+        envfact("smoke", "detected"), state("alarm", "alarm")
+    )
+
+
+def test_unreachable_goal(sim):
+    builder = AttackGraphBuilder(make_devices(sim))
+    assert not builder.can_reach(envfact("door", "unlocked"))
+    assert builder.paths_to(envfact("door", "unlocked")) == []
+    assert builder.shortest_attack(envfact("door", "unlocked")) is None
+    assert builder.cut_devices(envfact("door", "unlocked")) == []
+
+
+def test_cut_devices_identify_single_chokepoint(sim):
+    sim2 = Simulator()
+    devices = {
+        "cam": smart_camera("cam", sim2),
+    }
+    mapped = {d: (m, f) for d, (m, f) in ((k, v) for k, v in (
+        (name, (dev.model, dev.firmware)) for name, dev in devices.items()
+    ))}
+    builder = AttackGraphBuilder(mapped)
+    goal = state("cam", "idle")  # attacker stops the recording
+    assert builder.can_reach(goal)
+    assert builder.cut_devices(goal) == ["cam"]
+
+
+def test_report(sim):
+    builder = AttackGraphBuilder(
+        make_devices(sim),
+        recipes=[Recipe("cool-down", "env:temperature", "high", "window", "open")],
+    )
+    report = builder.report(envfact("window", "open"))
+    assert report.paths_to_goal == 2
+    assert report.shortest_depth == 3
+    assert report.nodes > 10
+    assert report.cut_devices == []  # two disjoint paths -> no single cut
+
+
+def test_shortest_attack_is_minimal(sim):
+    builder = AttackGraphBuilder(
+        make_devices(sim),
+        recipes=[Recipe("cool-down", "env:temperature", "high", "window", "open")],
+    )
+    shortest = builder.shortest_attack(envfact("window", "open"))
+    assert shortest is not None
+    assert shortest.stages == 3  # the brute-force path, not the thermal one
+
+
+def test_paths_bounded(sim):
+    builder = AttackGraphBuilder(
+        make_devices(sim),
+        recipes=[Recipe("cool-down", "env:temperature", "high", "window", "open")],
+    )
+    assert len(builder.paths_to(envfact("window", "open"), max_paths=1)) == 1
+
+
+def test_devices_touched(sim):
+    builder = AttackGraphBuilder(make_devices(sim))
+    path = builder.shortest_attack(envfact("window", "open"))
+    assert path.devices_touched() == {"window"}

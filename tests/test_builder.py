@@ -1,0 +1,135 @@
+"""Dedicated tests for the policy-builder DSL."""
+
+import pytest
+
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import SUSPICIOUS, SystemState, ctx, env
+from repro.policy.fsm import PostureRule, StatePredicate
+from repro.policy.posture import ALLOW_ALL, Posture, block_commands, quarantine
+
+
+def test_device_and_env_declarations():
+    policy = (
+        PolicyBuilder()
+        .device("cam")
+        .device("plug", contexts=("normal", "weird"))
+        .env("smoke", ("clear", "detected"))
+        .build()
+    )
+    assert policy.space.domain_of("ctx:cam").size == 3
+    assert policy.space.domain_of("ctx:plug").values == ("normal", "weird")
+    assert policy.space.domain_of("env:smoke").size == 2
+    assert set(policy.devices) == {"cam", "plug"}
+
+
+def test_when_give_round_trip():
+    policy = (
+        PolicyBuilder()
+        .device("cam")
+        .when(ctx("cam"), SUSPICIOUS)
+        .give("cam", quarantine("cam"))
+        .build()
+    )
+    bad = SystemState({"ctx:cam": SUSPICIOUS})
+    good = SystemState({"ctx:cam": "normal"})
+    assert policy.posture_for(bad, "cam").name == "quarantine"
+    assert policy.posture_for(good, "cam") is ALLOW_ALL
+
+
+def test_also_builds_conjunctions():
+    policy = (
+        PolicyBuilder()
+        .device("oven")
+        .env("occupancy", ("absent", "present"))
+        .env("smoke", ("clear", "detected"))
+        .when("env:occupancy", "absent")
+        .also("env:smoke", "detected")
+        .give("oven", block_commands("on"))
+        .build()
+    )
+    rule = policy.rules[0]
+    assert rule.predicate.specificity == 2
+    both = SystemState(
+        {"ctx:oven": "normal", "env:occupancy": "absent", "env:smoke": "detected"}
+    )
+    one = SystemState(
+        {"ctx:oven": "normal", "env:occupancy": "absent", "env:smoke": "clear"}
+    )
+    assert not policy.posture_for(both, "oven").is_permissive
+    assert policy.posture_for(one, "oven").is_permissive
+
+
+def test_always_rule_applies_everywhere():
+    policy = (
+        PolicyBuilder()
+        .device("cam")
+        .always()
+        .give("cam", block_commands("stop", name="everywhere"))
+        .build()
+    )
+    for state in policy.enumerate_states():
+        assert policy.posture_for(state, "cam").name == "everywhere"
+
+
+def test_default_posture_override():
+    fallback = Posture.make("observe")
+    policy = (
+        PolicyBuilder().device("cam").default_posture(fallback).build()
+    )
+    state = next(policy.enumerate_states())
+    assert policy.posture_for(state, "cam") is fallback
+
+
+def test_raw_rule_injection():
+    rule = PostureRule(
+        predicate=StatePredicate.make({"env:smoke": "detected"}),
+        device="cam",
+        posture=quarantine("cam"),
+    )
+    policy = (
+        PolicyBuilder()
+        .device("cam")
+        .env("smoke", ("clear", "detected"))
+        .rule(rule)
+        .build()
+    )
+    assert policy.rules_for("cam") == [rule]
+
+
+def test_string_variable_keys_accepted():
+    policy = (
+        PolicyBuilder()
+        .device("cam")
+        .env("smoke", ("clear", "detected"))
+        .when("env:smoke", "detected")
+        .give("cam", quarantine("cam"))
+        .build()
+    )
+    assert policy.rules[0].predicate.variables() == {"env:smoke"}
+
+
+def test_invalid_rule_values_rejected_at_build():
+    builder = (
+        PolicyBuilder()
+        .device("cam")
+        .when(ctx("cam"), "bogus-context")
+        .give("cam", quarantine("cam"))
+    )
+    with pytest.raises(ValueError):
+        builder.build()
+
+
+def test_variable_objects_and_env_helper():
+    v = env("smoke")
+    assert v.key == "env:smoke"
+    policy = (
+        PolicyBuilder()
+        .device("cam")
+        .env("smoke", ("clear", "detected"))
+        .when(v, "detected")
+        .give("cam", quarantine("cam"))
+        .build()
+    )
+    assert policy.rules[0].predicate.matches(
+        SystemState({"env:smoke": "detected", "ctx:cam": "normal"})
+    )

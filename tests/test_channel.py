@@ -1,0 +1,82 @@
+"""Tests for the control channel."""
+
+import pytest
+
+from repro.sdn.channel import ControlChannel
+
+
+def test_delivery_after_latency(sim):
+    chan = ControlChannel(sim, latency=0.05)
+    got = []
+    chan.register("ctrl", lambda m: got.append((sim.now, m.kind, m.body)))
+    chan.send("sw1", "ctrl", "packet-in", {"dst": "cam"})
+    sim.run()
+    assert got == [(0.05, "packet-in", {"dst": "cam"})]
+
+
+def test_sent_at_stamped(sim):
+    chan = ControlChannel(sim, latency=0.01)
+    got = []
+    chan.register("ctrl", got.append)
+    sim.schedule(2.0, lambda: chan.send("a", "ctrl", "x"))
+    sim.run()
+    assert got[0].sent_at == 2.0
+
+
+def test_unregistered_destination_counts_undeliverable(sim):
+    chan = ControlChannel(sim)
+    chan.send("a", "ghost", "x")
+    sim.run()
+    assert chan.undeliverable == 1 and chan.delivered == 0
+
+
+def test_per_destination_latency_override(sim):
+    chan = ControlChannel(sim, latency=0.001)
+    chan.set_latency_to("cloud", 0.1)
+    times = {}
+    chan.register("cloud", lambda m: times.setdefault("cloud", sim.now))
+    chan.register("local", lambda m: times.setdefault("local", sim.now))
+    chan.send("a", "cloud", "x")
+    chan.send("a", "local", "x")
+    sim.run()
+    assert times["local"] == pytest.approx(0.001)
+    assert times["cloud"] == pytest.approx(0.1)
+
+
+def test_broadcast_excludes_sender(sim):
+    chan = ControlChannel(sim)
+    got = []
+    for name in ("a", "b", "c"):
+        chan.register(name, lambda m, n=name: got.append(n))
+    count = chan.broadcast("a", "hello")
+    sim.run()
+    assert count == 2
+    assert sorted(got) == ["b", "c"]
+
+
+def test_unregister(sim):
+    chan = ControlChannel(sim)
+    chan.register("x", lambda m: None)
+    chan.unregister("x")
+    chan.send("a", "x", "k")
+    sim.run()
+    assert chan.undeliverable == 1
+
+
+def test_message_bodies_are_copied(sim):
+    chan = ControlChannel(sim)
+    got = []
+    chan.register("ctrl", got.append)
+    body = {"k": 1}
+    chan.send("a", "ctrl", "x", body)
+    body["k"] = 2
+    sim.run()
+    assert got[0].body == {"k": 1}
+
+
+def test_negative_latency_rejected(sim):
+    with pytest.raises(ValueError):
+        ControlChannel(sim, latency=-1)
+    chan = ControlChannel(sim)
+    with pytest.raises(ValueError):
+        chan.set_latency_to("x", -0.5)

@@ -1,0 +1,193 @@
+"""Tests for conflict, shadowing, and safety analysis."""
+
+from repro.policy.builder import PolicyBuilder
+from repro.policy.conflicts import (
+    SafetyInvariant,
+    check_safety,
+    commands_oppose,
+    find_recipe_conflicts,
+    find_rule_ambiguities,
+    find_shadowed_rules,
+    full_report,
+)
+from repro.policy.context import SUSPICIOUS, ctx
+from repro.policy.fsm import StatePredicate
+from repro.policy.ifttt import Recipe
+from repro.policy.posture import block_commands, quarantine
+
+
+def test_commands_oppose():
+    assert commands_oppose("on", "off")
+    assert commands_oppose("close", "open")
+    assert not commands_oppose("on", "red")
+
+
+class TestRuleAmbiguity:
+    def test_equal_precedence_overlap_flagged(self):
+        policy = (
+            PolicyBuilder()
+            .device("win")
+            .env("smoke", ("clear", "detected"))
+            .when(ctx("win"), SUSPICIOUS).give("win", block_commands("open"))
+            .when("env:smoke", "detected").give("win", quarantine("win"))
+            .build()
+        )
+        conflicts = find_rule_ambiguities(policy)
+        assert len(conflicts) == 1
+        assert conflicts[0].severity == "error"
+
+    def test_different_priorities_not_ambiguous(self):
+        policy = (
+            PolicyBuilder()
+            .device("win")
+            .env("smoke", ("clear", "detected"))
+            .when(ctx("win"), SUSPICIOUS).give("win", block_commands("open"), priority=100)
+            .when("env:smoke", "detected").give("win", quarantine("win"), priority=200)
+            .build()
+        )
+        assert find_rule_ambiguities(policy) == []
+
+    def test_same_posture_not_ambiguous(self):
+        policy = (
+            PolicyBuilder()
+            .device("win")
+            .env("smoke", ("clear", "detected"))
+            .when(ctx("win"), SUSPICIOUS).give("win", block_commands("open"))
+            .when("env:smoke", "detected").give("win", block_commands("open"))
+            .build()
+        )
+        assert find_rule_ambiguities(policy) == []
+
+    def test_disjoint_predicates_not_ambiguous(self):
+        policy = (
+            PolicyBuilder()
+            .device("win")
+            .when(ctx("win"), SUSPICIOUS).give("win", block_commands("open"))
+            .when(ctx("win"), "compromised").give("win", quarantine("win"))
+            .build()
+        )
+        assert find_rule_ambiguities(policy) == []
+
+
+class TestShadowing:
+    def test_general_high_priority_shadows_specific(self):
+        policy = (
+            PolicyBuilder()
+            .device("win")
+            .env("smoke", ("clear", "detected"))
+            .when(ctx("win"), SUSPICIOUS)
+            .give("win", quarantine("win"), priority=500)
+            .when(ctx("win"), SUSPICIOUS)
+            .also("env:smoke", "detected")
+            .give("win", block_commands("open"), priority=100)
+            .build()
+        )
+        shadows = find_shadowed_rules(policy)
+        assert len(shadows) == 1
+        assert "shadowed" in shadows[0].detail
+
+    def test_no_false_shadow(self):
+        policy = (
+            PolicyBuilder()
+            .device("win")
+            .env("smoke", ("clear", "detected"))
+            .when("env:smoke", "detected").give("win", quarantine("win"), priority=500)
+            .when(ctx("win"), SUSPICIOUS).give("win", block_commands("open"))
+            .build()
+        )
+        assert find_shadowed_rules(policy) == []
+
+
+class TestRecipeConflicts:
+    def test_opposing_commands_same_trigger_is_error(self):
+        recipes = [
+            Recipe("a", "env:smoke", "detected", "window", "open"),
+            Recipe("b", "env:smoke", "detected", "window", "close"),
+        ]
+        conflicts = find_recipe_conflicts(recipes)
+        assert len(conflicts) == 1
+        assert conflicts[0].severity == "error"
+
+    def test_different_variables_can_coincide(self):
+        recipes = [
+            Recipe("a", "env:smoke", "detected", "plug", "on"),
+            Recipe("b", "env:occupancy", "absent", "plug", "off"),
+        ]
+        assert len(find_recipe_conflicts(recipes)) == 1
+
+    def test_same_variable_different_values_cannot_coincide(self):
+        recipes = [
+            Recipe("a", "env:occupancy", "present", "plug", "on"),
+            Recipe("b", "env:occupancy", "absent", "plug", "off"),
+        ]
+        assert find_recipe_conflicts(recipes) == []
+
+    def test_non_opposing_disagreement_is_warning(self):
+        recipes = [
+            Recipe("a", "env:smoke", "detected", "bulb", "red"),
+            Recipe("b", "env:occupancy", "absent", "bulb", "off"),
+        ]
+        conflicts = find_recipe_conflicts(recipes)
+        assert len(conflicts) == 1
+        assert conflicts[0].severity == "warning"
+
+    def test_same_command_no_conflict(self):
+        recipes = [
+            Recipe("a", "env:smoke", "detected", "bulb", "red"),
+            Recipe("b", "env:occupancy", "absent", "bulb", "red"),
+        ]
+        assert find_recipe_conflicts(recipes) == []
+
+
+class TestSafety:
+    def make_policy(self, protective=True):
+        builder = (
+            PolicyBuilder()
+            .device("fire_alarm")
+            .device("window")
+        )
+        if protective:
+            builder.when(ctx("fire_alarm"), SUSPICIOUS).give(
+                "window", block_commands("open")
+            )
+        return builder.build()
+
+    def invariant(self):
+        return SafetyInvariant(
+            name="window-guarded-when-alarm-suspicious",
+            condition=StatePredicate.make({"ctx:fire_alarm": SUSPICIOUS}),
+            device="window",
+            required_module="command_filter",
+        )
+
+    def test_satisfied_invariant(self):
+        violations = check_safety(self.make_policy(True), [self.invariant()])
+        assert violations == []
+
+    def test_violated_invariant(self):
+        violations = check_safety(self.make_policy(False), [self.invariant()])
+        assert len(violations) == 1
+        assert violations[0].severity == "error"
+
+    def test_any_module_requirement(self):
+        invariant = SafetyInvariant(
+            name="some-protection",
+            condition=StatePredicate.make({"ctx:fire_alarm": SUSPICIOUS}),
+            device="window",
+            required_module=None,
+        )
+        assert check_safety(self.make_policy(True), [invariant]) == []
+        assert len(check_safety(self.make_policy(False), [invariant])) == 1
+
+
+def test_full_report_aggregates():
+    policy = (
+        PolicyBuilder()
+        .device("win")
+        .env("smoke", ("clear", "detected"))
+        .when(ctx("win"), SUSPICIOUS).give("win", block_commands("open"))
+        .when("env:smoke", "detected").give("win", quarantine("win"))
+        .build()
+    )
+    report = full_report(policy)
+    assert any(c.kind == "ambiguity" for c in report)

@@ -1,0 +1,198 @@
+"""Tests for the executable IoT device node."""
+
+import pytest
+
+from repro.devices import protocol
+from repro.devices.base import IoTDevice
+from repro.devices.firmware import Credential, Firmware
+from repro.devices.model import DeviceModel, EnvEffect, EnvTrigger
+from repro.environment.engine import Environment
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+
+
+PLUG_MODEL = DeviceModel(
+    kind="plug",
+    states=("off", "on"),
+    initial="off",
+    transitions={("off", "on"): "on", ("on", "off"): "off"},
+    effects=(EnvEffect.make("on", heat_watts=1000.0),),
+)
+
+
+def make_device(sim, firmware=None, model=PLUG_MODEL, env=None):
+    firmware = firmware or Firmware(
+        vendor="v", model="m", credentials=[Credential("owner", "secret")]
+    )
+    device = IoTDevice("dev", sim, model, firmware, env=env)
+    client = Host("client", sim)
+    Link(sim, device, client, latency=0.001)
+    return device, client
+
+
+def test_login_success_creates_session(sim):
+    device, client = make_device(sim)
+    client.send(protocol.login("client", "dev", "owner", "secret"))
+    sim.run()
+    reply = client.inbox[-1]
+    assert protocol.is_ok(reply)
+    assert reply.payload["session"] in device.sessions
+
+
+def test_login_failure_denied_and_logged(sim):
+    device, client = make_device(sim)
+    client.send(protocol.login("client", "dev", "owner", "wrong"))
+    sim.run()
+    assert protocol.is_denied(client.inbox[-1])
+    assert device.login_log[-1][3] is False
+
+
+def test_control_requires_session(sim):
+    device, client = make_device(sim)
+    client.send(protocol.command("client", "dev", "on"))
+    sim.run()
+    assert device.state == "off"
+    assert protocol.is_denied(client.inbox[-1])
+    assert not device.is_compromised()
+
+
+def test_control_with_session(sim):
+    device, client = make_device(sim)
+    client.send(protocol.login("client", "dev", "owner", "secret"))
+    sim.run()
+    token = client.inbox[-1].payload["session"]
+    client.send(protocol.command("client", "dev", "on", session=token))
+    sim.run()
+    assert device.state == "on"
+    assert not device.is_compromised()  # authenticated control is legit
+
+
+def test_backdoor_bypasses_auth_and_marks_compromise(sim):
+    firmware = Firmware(vendor="v", model="m", backdoor_port=49153)
+    device, client = make_device(sim, firmware=firmware)
+    client.send(protocol.command("client", "dev", "on", dport=49153))
+    sim.run()
+    assert device.state == "on"
+    assert device.compromised_by == ["client"]
+    assert device.accepted_commands(via="backdoor")
+
+
+def test_no_auth_firmware_accepts_any_command(sim):
+    firmware = Firmware(vendor="v", model="m", requires_auth_for_control=False)
+    device, client = make_device(sim, firmware=firmware)
+    client.send(protocol.command("client", "dev", "on"))
+    sim.run()
+    assert device.state == "on"
+    assert device.is_compromised()
+
+
+def test_open_port_acts_as_control_channel(sim):
+    firmware = Firmware(vendor="v", model="m", open_ports=(9999,))
+    device, client = make_device(sim, firmware=firmware)
+    client.send(protocol.command("client", "dev", "on", dport=9999))
+    sim.run()
+    assert device.state == "on"
+
+
+def test_closed_port_silently_drops(sim):
+    device, client = make_device(sim)
+    client.send(protocol.command("client", "dev", "on", dport=31337))
+    sim.run()
+    assert device.state == "off"
+    assert len(client.inbox) == 0
+
+
+def test_mgmt_get_requires_session_unless_exposed(sim):
+    device, client = make_device(sim)
+    client.send(protocol.get_resource("client", "dev", "status"))
+    sim.run()
+    assert protocol.is_denied(client.inbox[-1])
+
+    exposed = Firmware(vendor="v", model="m", open_ports=(80,))
+    device2 = IoTDevice("dev2", sim, PLUG_MODEL, exposed)
+    Link(sim, device2, client, latency=0.001)
+    client.send(
+        protocol.get_resource("client", "dev2", "status"), client.port_to("dev2")
+    )
+    sim.run()
+    assert protocol.is_ok(client.inbox[-1])
+    assert client.inbox[-1].payload["data"]["state"] == "off"
+
+
+def test_dns_resolver_amplifies_only_when_service_present(sim):
+    device, client = make_device(sim)
+    client.send(protocol.dns_query("client", "dev", "example.com"))
+    sim.run()
+    assert client.inbox == []  # no resolver service
+
+    fw = Firmware(vendor="v", model="m", services=("open_dns_resolver",))
+    resolver = IoTDevice("resolver", sim, PLUG_MODEL, fw)
+    Link(sim, resolver, client, latency=0.001)
+    query = protocol.dns_query("client", "resolver", "example.com")
+    client.send(query, client.port_to("resolver"))
+    sim.run()
+    assert len(client.inbox) == 1
+    assert client.inbox[0].size == query.size * 8
+    assert resolver.dns_replies == 1
+
+
+def test_effects_published_to_environment(sim):
+    env = Environment(sim)
+    env.add_continuous("temperature", initial=20.0)
+    device, client = make_device(sim, env=env)
+    device.apply_command("on", src="test", via="local")
+    assert env.inputs.get("heat_watts") == 1000.0
+    device.apply_command("off", src="test", via="local")
+    assert env.inputs.get("heat_watts") == 0.0
+
+
+def test_env_trigger_fires_command(sim):
+    env = Environment(sim)
+    env.add_discrete("smoke", ("clear", "detected"))
+    model = DeviceModel(
+        kind="alarm",
+        states=("ok", "alarm"),
+        initial="ok",
+        transitions={("ok", "test"): "alarm"},
+        triggers=(EnvTrigger("smoke", "detected", "test"),),
+    )
+    device = IoTDevice("alarm", sim, model, Firmware(vendor="v", model="m"), env=env)
+    env.discrete("smoke").set("detected")
+    assert device.state == "alarm"
+    assert device.command_log[-1].via == "trigger"
+
+
+def test_sensor_readings(sim):
+    env = Environment(sim)
+    env.add_discrete("occupancy", ("absent", "present"), initial="present")
+    model = DeviceModel(
+        kind="cam",
+        states=("on",),
+        initial="on",
+        sensors=(("person", "occupancy"),),
+    )
+    device = IoTDevice("cam", sim, model, Firmware(vendor="v", model="m"), env=env)
+    assert device.sensor_readings() == {"person": "present"}
+
+
+def test_telemetry_reports(sim):
+    device, client = make_device(sim)
+    device.report_to = "client"
+    device.telemetry_period = 5.0
+    device.start_telemetry()
+    sim.run(until=11.0)
+    reports = [p for p in client.inbox if p.payload.get("action") == "telemetry"]
+    assert len(reports) == 2
+    assert reports[0].payload["state"] == "off"
+    device.stop_telemetry()
+    sim.run(until=30.0)
+    assert len([p for p in client.inbox if p.payload.get("action") == "telemetry"]) == 2
+
+
+def test_rejected_command_logged_not_applied(sim):
+    device, client = make_device(sim)
+    client.send(protocol.command("client", "dev", "on"))
+    sim.run()
+    record = device.command_log[-1]
+    assert record.accepted is False
+    assert record.state_before == record.state_after == "off"

@@ -1,0 +1,128 @@
+"""Tests for the concrete device library and Table 1 registry."""
+
+import pytest
+
+from repro.devices.library import (
+    FACTORIES,
+    MODEL_LIBRARY,
+    WEMO_BACKDOOR_PORT,
+    fire_alarm,
+    smart_camera,
+    smart_plug,
+    traffic_light,
+    window_actuator,
+)
+from repro.devices.vulnerabilities import (
+    TABLE1,
+    by_flaw_class,
+    total_affected_devices,
+)
+
+
+def test_every_factory_builds(sim):
+    for name, factory in FACTORIES.items():
+        device = factory(f"dev-{name}", sim)
+        assert device.name == f"dev-{name}"
+        assert device.state == device.model.initial
+
+
+def test_model_library_covers_major_kinds():
+    expected = {
+        "camera",
+        "smart_plug",
+        "thermostat",
+        "fire_alarm",
+        "window_actuator",
+        "door_lock",
+        "smart_bulb",
+        "motion_sensor",
+        "smart_oven",
+        "traffic_light",
+    }
+    assert expected <= set(MODEL_LIBRARY)
+
+
+def test_models_are_valid():
+    for kind, model in MODEL_LIBRARY.items():
+        model.validate_deterministic()
+        assert model.initial in model.states
+
+
+def test_camera_hardcoded_credential(sim):
+    cam = smart_camera("cam", sim)
+    assert cam.firmware.check_login("admin", "admin")
+    assert cam.firmware.patch_credentials("admin", "better") is False
+    assert "exposed-credentials" in cam.firmware.flaw_classes()
+
+
+def test_wemo_flaw_set(sim):
+    plug = smart_plug("plug", sim)
+    flaws = plug.firmware.flaw_classes()
+    assert {"backdoor", "open-dns-resolver", "exposed-access"} <= flaws
+    assert plug.firmware.backdoor_port == WEMO_BACKDOOR_PORT
+
+
+def test_wemo_options_disable_flaws(sim):
+    plug = smart_plug(
+        "plug", sim, with_backdoor=False, with_open_dns=False, internet_exposed=False
+    )
+    assert plug.firmware.flaw_classes() == set()
+
+
+def test_plug_load_parameterizes_effects(sim):
+    heater = smart_plug("heater", sim, load={"heat_watts": 1500.0})
+    assert heater.model.effect_inputs("on") == {"heat_watts": 1500.0}
+    bare = smart_plug("bare", sim)
+    assert bare.model.effect_inputs("on") == {}
+
+
+def test_traffic_light_no_credentials(sim):
+    light = traffic_light("tl", sim)
+    assert not light.firmware.requires_auth_for_control
+    assert "no-credentials" in light.firmware.flaw_classes()
+
+
+def test_fire_alarm_smoke_trigger(sim, env):
+    alarm = fire_alarm("alarm", sim, env=env)
+    assert alarm.state == "ok"
+    env.continuous("smoke").set(0.9)
+    assert alarm.state == "alarm"
+
+
+def test_window_binds_environment_variable(sim, env):
+    window = window_actuator("win", sim, env=env)
+    assert env.level("window") == "closed"
+    window.apply_command("open", src="test", via="local")
+    assert env.level("window") == "open"
+
+
+class TestTable1:
+    def test_seven_rows(self):
+        assert len(TABLE1) == 7
+        assert [r.row for r in TABLE1] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_rows_reference_real_factories_and_exploits(self):
+        from repro.attacks.exploits import EXPLOITS
+
+        for record in TABLE1:
+            assert record.factory in FACTORIES, record.factory
+            assert record.exploit in EXPLOITS, record.exploit
+
+    def test_devices_exhibit_their_flaw(self, sim):
+        for record in TABLE1:
+            device = FACTORIES[record.factory](f"t1-{record.row}", sim)
+            assert record.flaw_class in device.firmware.flaw_classes(), record
+
+    def test_device_counts_parse(self):
+        counts = {r.row: r.device_count_numeric() for r in TABLE1}
+        assert counts[1] == 130_000
+        assert counts[3] == 146
+        assert counts[5] == 219
+        assert counts[6] == 500_000
+
+    def test_total_affected(self):
+        assert total_affected_devices() > 1_000_000
+
+    def test_by_flaw_class(self):
+        assert len(by_flaw_class("exposed-access")) == 2
+        assert by_flaw_class("nonexistent") == []

@@ -1,0 +1,120 @@
+"""Tests for abstract device models."""
+
+import pytest
+
+from repro.devices.model import DeviceModel, EnvEffect, EnvTrigger
+
+
+def simple_plug():
+    return DeviceModel(
+        kind="plug",
+        states=("off", "on"),
+        initial="off",
+        transitions={("off", "on"): "on", ("on", "off"): "off"},
+        effects=(EnvEffect.make("on", heat_watts=1000.0),),
+    )
+
+
+def test_next_state():
+    model = simple_plug()
+    assert model.next_state("off", "on") == "on"
+    assert model.next_state("on", "off") == "off"
+
+
+def test_inapplicable_command_self_loops():
+    model = simple_plug()
+    assert model.next_state("off", "off") == "off"
+    assert model.next_state("off", "frobnicate") == "off"
+
+
+def test_commands_derived():
+    model = simple_plug()
+    assert set(model.commands) == {"on", "off"}
+
+
+def test_trigger_commands_included():
+    model = DeviceModel(
+        kind="alarm",
+        states=("ok", "alarm"),
+        initial="ok",
+        transitions={("ok", "test"): "alarm"},
+        triggers=(EnvTrigger("smoke", "detected", "test"),),
+    )
+    assert "test" in model.commands
+
+
+def test_effect_inputs_aggregate():
+    model = DeviceModel(
+        kind="x",
+        states=("s",),
+        initial="s",
+        effects=(
+            EnvEffect.make("s", heat_watts=100.0),
+            EnvEffect.make("s", heat_watts=50.0, hazard=1.0),
+        ),
+    )
+    assert model.effect_inputs("s") == {"heat_watts": 150.0, "hazard": 1.0}
+    assert model.effect_inputs("other") == {}
+
+
+def test_affected_inputs():
+    assert simple_plug().affected_inputs() == {"heat_watts"}
+
+
+def test_state_bindings():
+    model = DeviceModel(
+        kind="window",
+        states=("closed", "open"),
+        initial="closed",
+        transitions={("closed", "open"): "open"},
+        state_bindings=(("open", "window", "open"), ("closed", "window", "closed")),
+    )
+    assert model.binding_for("open") == [("window", "open")]
+    assert model.bound_variables() == {"window"}
+
+
+def test_sensed_variables():
+    model = DeviceModel(
+        kind="cam",
+        states=("on",),
+        initial="on",
+        sensors=(("person", "occupancy"),),
+        triggers=(EnvTrigger("smoke", "detected", "noop"),),
+    )
+    assert model.sensed_variables() == {"occupancy", "smoke"}
+
+
+def test_reachable_states():
+    model = DeviceModel(
+        kind="x",
+        states=("a", "b", "c", "island"),
+        initial="a",
+        transitions={("a", "go"): "b", ("b", "go"): "c"},
+    )
+    assert model.reachable_states() == {"a", "b", "c"}
+    assert model.reachable_states("b") == {"b", "c"}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DeviceModel(kind="x", states=("a",), initial="nope")
+    with pytest.raises(ValueError):
+        DeviceModel(
+            kind="x", states=("a",), initial="a", transitions={("ghost", "c"): "a"}
+        )
+    with pytest.raises(ValueError):
+        DeviceModel(
+            kind="x", states=("a",), initial="a", transitions={("a", "c"): "ghost"}
+        )
+    with pytest.raises(ValueError):
+        DeviceModel(
+            kind="x",
+            states=("a",),
+            initial="a",
+            effects=(EnvEffect.make("ghost", x=1.0),),
+        )
+
+
+def test_env_effect_frozen_and_dict():
+    effect = EnvEffect.make("on", heat_watts=10.0, hazard=1.0)
+    assert effect.as_dict() == {"heat_watts": 10.0, "hazard": 1.0}

@@ -1,0 +1,237 @@
+"""Tests for environment variables, physics, and the engine."""
+
+import pytest
+
+from repro.environment.engine import Environment
+from repro.environment.physics import (
+    LightProcess,
+    OccupancySchedule,
+    SmokeProcess,
+    ThermalProcess,
+)
+from repro.environment.variables import ContinuousVariable, DiscreteVariable
+
+
+class TestDiscreteVariable:
+    def test_initial_defaults_to_first(self):
+        var = DiscreteVariable("window", ("closed", "open"))
+        assert var.level == "closed"
+
+    def test_set_and_domain_enforcement(self):
+        var = DiscreteVariable("window", ("closed", "open"))
+        var.set("open")
+        assert var.value == "open"
+        with pytest.raises(ValueError):
+            var.set("ajar")
+
+    def test_observer_fires_only_on_change(self):
+        var = DiscreteVariable("window", ("closed", "open"))
+        events = []
+        var.observe(lambda v: events.append(v.level))
+        var.set("open")
+        var.set("open")
+        var.set("closed")
+        assert events == ["open", "closed"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteVariable("x", ())
+        with pytest.raises(ValueError):
+            DiscreteVariable("x", ("a", "a"))
+        with pytest.raises(ValueError):
+            DiscreteVariable("x", ("a",), initial="b")
+
+
+class TestContinuousVariable:
+    def make_temp(self, initial=21.0):
+        return ContinuousVariable(
+            "temperature",
+            initial=initial,
+            thresholds=(10.0, 26.0),
+            level_names=("low", "normal", "high"),
+        )
+
+    def test_discretization(self):
+        temp = self.make_temp()
+        assert temp.level == "normal"
+        temp.set(5.0)
+        assert temp.level == "low"
+        temp.set(30.0)
+        assert temp.level == "high"
+
+    def test_boundary_belongs_to_upper_level(self):
+        # a value exactly at a threshold counts as having crossed it
+        temp = self.make_temp()
+        temp.set(26.0)
+        assert temp.level == "high"
+        temp.set(25.9999)
+        assert temp.level == "normal"
+
+    def test_observer_on_level_crossing_only(self):
+        temp = self.make_temp()
+        events = []
+        temp.observe(lambda v: events.append(v.level))
+        temp.set(22.0)  # still normal
+        temp.set(27.0)  # -> high
+        temp.add(1.0)   # still high
+        assert events == ["high"]
+
+    def test_clamping(self):
+        var = ContinuousVariable("smoke", initial=0.0, minimum=0.0, maximum=1.0)
+        var.add(-5.0)
+        assert var.value == 0.0
+        var.set(9.0)
+        assert var.value == 1.0
+
+    def test_history(self):
+        var = ContinuousVariable("x", initial=0.0)
+        var.set(1.0, at=10.0)
+        var.add(1.0, at=20.0)
+        assert var.history == [(10.0, 1.0), (20.0, 2.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousVariable("x", thresholds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            ContinuousVariable("x", thresholds=(1.0,), level_names=("only",))
+
+
+class TestEngine:
+    def test_input_contributions_sum_per_source(self, sim):
+        env = Environment(sim)
+        env.set_input("heat_watts", 1000.0, source="heater1")
+        env.set_input("heat_watts", 500.0, source="heater2")
+        assert env.inputs["heat_watts"] == 1500.0
+        env.set_input("heat_watts", 0.0, source="heater1")
+        assert env.inputs["heat_watts"] == 500.0
+        env.clear_input("heat_watts", source="heater2")
+        assert env.inputs["heat_watts"] == 0.0
+
+    def test_snapshot_levels(self, sim):
+        env = Environment(sim)
+        env.add_discrete("occupancy", ("absent", "present"))
+        env.add_continuous(
+            "temperature", initial=21.0, thresholds=(26.0,), level_names=("ok", "hot")
+        )
+        assert env.snapshot() == {"occupancy": "absent", "temperature": "ok"}
+
+    def test_duplicate_variable_rejected(self, sim):
+        env = Environment(sim)
+        env.add_discrete("x", ("a",))
+        with pytest.raises(ValueError):
+            env.add_discrete("x", ("b",))
+
+    def test_typed_accessors(self, sim):
+        env = Environment(sim)
+        env.add_discrete("d", ("a",))
+        env.add_continuous("c", initial=0.0)
+        with pytest.raises(TypeError):
+            env.continuous("d")
+        with pytest.raises(TypeError):
+            env.discrete("c")
+
+    def test_level_change_subscription(self, sim):
+        env = Environment(sim)
+        env.add_discrete("occupancy", ("absent", "present"))
+        seen = []
+        env.on_level_change(lambda name, level: seen.append((name, level)))
+        env.discrete("occupancy").set("present")
+        assert seen == [("occupancy", "present")]
+
+    def test_ticker_runs_on_simulator(self, sim):
+        env = Environment(sim, tick=1.0)
+        env.add_continuous("temperature", initial=20.0)
+        env.add_process(ThermalProcess(outside=20.0))
+        env.set_input("heat_watts", 1000.0)
+        env.start()
+        sim.run(until=10.0)
+        assert env.continuous("temperature").value > 20.0
+        env.stop()
+
+    def test_tick_validation(self, sim):
+        with pytest.raises(ValueError):
+            Environment(sim, tick=0.0)
+
+
+class TestPhysics:
+    def test_thermal_heats_toward_equilibrium(self, sim):
+        env = Environment(sim)
+        env.add_continuous("temperature", initial=20.0)
+        process = ThermalProcess(outside=10.0)
+        env.add_process(process)
+        env.set_input("heat_watts", 1500.0)
+        for __ in range(5000):
+            env.step_once(1.0)
+        # equilibrium = outside + heat*gain/leak = 10 + 1500*0.00004/0.002 = 40
+        assert env.continuous("temperature").value == pytest.approx(40.0, abs=1.0)
+
+    def test_thermal_cools_to_outside_without_input(self, sim):
+        env = Environment(sim)
+        env.add_continuous("temperature", initial=30.0)
+        env.add_process(ThermalProcess(outside=10.0))
+        for __ in range(5000):
+            env.step_once(1.0)
+        assert env.continuous("temperature").value == pytest.approx(10.0, abs=0.5)
+
+    def test_open_window_accelerates_cooling(self, sim):
+        def run(window_level):
+            env = Environment(sim)
+            env.add_continuous("temperature", initial=30.0)
+            env.add_discrete("window", ("closed", "open"), initial=window_level)
+            env.add_process(ThermalProcess(outside=10.0))
+            for __ in range(60):
+                env.step_once(1.0)
+            return env.continuous("temperature").value
+
+        assert run("open") < run("closed")
+
+    def test_smoke_accumulates_under_hazard_and_decays(self, sim):
+        env = Environment(sim)
+        env.add_continuous("smoke", initial=0.0, minimum=0.0)
+        env.add_process(SmokeProcess())
+        env.set_input("hazard", 1.0)
+        for __ in range(60):
+            env.step_once(1.0)
+        peak = env.continuous("smoke").value
+        assert peak > 0.5
+        env.set_input("hazard", 0.0)
+        for __ in range(600):
+            env.step_once(1.0)
+        assert env.continuous("smoke").value < peak / 2
+
+    def test_light_follows_lamp(self, sim):
+        env = Environment(sim)
+        env.add_continuous("illuminance", initial=0.0)
+        env.add_process(LightProcess())
+        env.set_input("lamp_lux", 400.0)
+        for __ in range(10):
+            env.step_once(1.0)
+        assert env.continuous("illuminance").value == pytest.approx(400.0, abs=1.0)
+        env.set_input("lamp_lux", 0.0)
+        for __ in range(10):
+            env.step_once(1.0)
+        assert env.continuous("illuminance").value == pytest.approx(0.0, abs=1.0)
+
+    def test_occupancy_schedule(self, sim):
+        env = Environment(sim, tick=1.0)
+        env.add_discrete("occupancy", ("absent", "present"))
+        env.add_process(
+            OccupancySchedule([(5.0, "present"), (10.0, "absent")])
+        )
+        env.start()
+        sim.run(until=4.0)
+        assert env.level("occupancy") == "absent"
+        sim.run(until=6.0)
+        assert env.level("occupancy") == "present"
+        sim.run(until=11.0)
+        assert env.level("occupancy") == "absent"
+
+
+def test_continuous_history_bounded():
+    var = ContinuousVariable("x", initial=0.0)
+    var.history_limit = 100
+    for i in range(1000):
+        var.set(float(i), at=float(i))
+    assert len(var.history) <= 100
+    # the most recent samples are retained
+    assert var.history[-1] == (999.0, 999.0)

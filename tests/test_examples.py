@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run clean and tell its story."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # it narrated something
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "smart_home_gateway",
+        "cross_device_policy",
+        "crowdsourced_defense",
+        "attack_graph_audit",
+        "enterprise_deployment",
+    } <= names
+
+
+def test_quickstart_story(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "CURRENT WORLD" in out and "WITH IoTSec" in out
+    assert "camera hijacked:        True" in out
+    assert "camera hijacked:        False" in out
+
+
+def test_enterprise_story(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "enterprise_deployment")
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.count("blocked") >= 3
+    assert "EXPLOITED" not in out

@@ -1,0 +1,94 @@
+"""Tests for firmware/credential metadata."""
+
+from repro.devices.firmware import Credential, Firmware
+
+
+def make_camera_firmware():
+    return Firmware(
+        vendor="dlink",
+        model="DCS-930L",
+        credentials=[Credential("admin", "admin", hardcoded=True, weak=True)],
+    )
+
+
+def test_sku_format():
+    fw = make_camera_firmware()
+    assert fw.sku == "dlink:DCS-930L:1.0"
+
+
+def test_check_login():
+    fw = make_camera_firmware()
+    assert fw.check_login("admin", "admin")
+    assert not fw.check_login("admin", "wrong")
+    assert not fw.check_login("nobody", "admin")
+
+
+def test_hardcoded_credentials_cannot_be_patched():
+    fw = make_camera_firmware()
+    assert fw.patch_credentials("admin", "newpass") is False
+    assert fw.check_login("admin", "admin")  # still the vendor default
+
+
+def test_unpatchable_firmware_refuses_any_change():
+    fw = Firmware(
+        vendor="x",
+        model="y",
+        credentials=[Credential("user", "old")],
+        patchable=False,
+    )
+    assert fw.patch_credentials("user", "new") is False
+
+
+def test_patchable_firmware_changes_password():
+    fw = Firmware(
+        vendor="x",
+        model="y",
+        credentials=[Credential("user", "old")],
+        patchable=True,
+    )
+    assert fw.patch_credentials("user", "new") is True
+    assert fw.check_login("user", "new")
+    assert not fw.check_login("user", "old")
+
+
+def test_patch_unknown_user():
+    fw = make_camera_firmware()
+    assert fw.patch_credentials("ghost", "x") is False
+
+
+def test_flaw_classes_census():
+    fw = Firmware(
+        vendor="belkin",
+        model="wemo",
+        credentials=[],
+        backdoor_port=49153,
+        services=("open_dns_resolver",),
+        open_ports=(8080,),
+    )
+    assert fw.flaw_classes() == {"backdoor", "open-dns-resolver", "exposed-access"}
+    assert fw.is_vulnerable()
+
+
+def test_no_credentials_flaw():
+    fw = Firmware(vendor="city", model="light", requires_auth_for_control=False)
+    assert "no-credentials" in fw.flaw_classes()
+
+
+def test_embedded_keys_flaw():
+    fw = Firmware(vendor="c", model="cctv", embedded_keys={"rsa": "xxx"})
+    assert "embedded-keys" in fw.flaw_classes()
+
+
+def test_clean_firmware_not_vulnerable():
+    fw = Firmware(
+        vendor="good", model="device", credentials=[Credential("owner", "strong-pass")]
+    )
+    assert fw.flaw_classes() == set()
+    assert not fw.is_vulnerable()
+
+
+def test_weak_credentials_include_hardcoded():
+    fw = make_camera_firmware()
+    assert len(fw.weak_credentials()) == 1
+    assert "exposed-credentials" in fw.flaw_classes()
+    assert "weak-credentials" in fw.flaw_classes()

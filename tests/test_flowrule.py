@@ -1,0 +1,86 @@
+"""Tests for flow matches, actions, and rules."""
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.sdn.flowrule import Action, FlowMatch, FlowRule
+
+
+def pkt(**kw):
+    defaults = dict(src="a", dst="b", protocol="tcp", sport=1, dport=80)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestFlowMatch:
+    def test_wildcard_matches_everything(self):
+        assert FlowMatch().matches(pkt())
+
+    def test_exact_fields(self):
+        match = FlowMatch(src="a", dst="b", protocol="tcp", dport=80)
+        assert match.matches(pkt())
+        assert not match.matches(pkt(dst="c"))
+        assert not match.matches(pkt(dport=81))
+        assert not match.matches(pkt(protocol="udp"))
+
+    def test_in_port(self):
+        match = FlowMatch(in_port=3)
+        assert match.matches(pkt(), in_port=3)
+        assert not match.matches(pkt(), in_port=4)
+        assert not match.matches(pkt(), in_port=None)
+
+    def test_specificity(self):
+        assert FlowMatch().specificity() == 0
+        assert FlowMatch(src="a", dport=80).specificity() == 2
+
+    def test_overlaps(self):
+        assert FlowMatch(src="a").overlaps(FlowMatch(dst="b"))
+        assert FlowMatch(src="a").overlaps(FlowMatch(src="a", dport=80))
+        assert not FlowMatch(src="a").overlaps(FlowMatch(src="b"))
+
+    def test_subsumes(self):
+        general = FlowMatch(dst="b")
+        specific = FlowMatch(src="a", dst="b", dport=80)
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+        assert general.subsumes(general)
+
+
+class TestAction:
+    def test_factories(self):
+        assert Action.forward(2).kind == "forward"
+        assert Action.drop().kind == "drop"
+        assert Action.controller().kind == "controller"
+        tun = Action.tunnel("cam", 1)
+        assert tun.target == "cam" and tun.port == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Action("bogus")
+        with pytest.raises(ValueError):
+            Action("forward")  # missing port
+        with pytest.raises(ValueError):
+            Action("tunnel", port=1)  # missing target
+
+
+class TestFlowRule:
+    def test_requires_actions(self):
+        with pytest.raises(ValueError):
+            FlowRule(match=FlowMatch(), actions=())
+
+    def test_hit_counters(self):
+        rule = FlowRule(match=FlowMatch(), actions=(Action.drop(),))
+        rule.record_hit(pkt(size=100))
+        rule.record_hit(pkt(size=50))
+        assert rule.hits == 2 and rule.hit_bytes == 150
+
+    def test_sort_key_priority_then_specificity_then_age(self):
+        low = FlowRule(match=FlowMatch(), actions=(Action.drop(),), priority=10)
+        high = FlowRule(match=FlowMatch(), actions=(Action.drop(),), priority=500)
+        specific = FlowRule(
+            match=FlowMatch(src="a", dst="b"), actions=(Action.drop(),), priority=10
+        )
+        ordered = sorted([low, high, specific], key=FlowRule.sort_key)
+        assert ordered[0] is high
+        assert ordered[1] is specific  # same priority, more specific wins
+        assert ordered[2] is low

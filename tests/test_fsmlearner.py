@@ -1,0 +1,77 @@
+"""Tests for FSM learning by systematic actuation."""
+
+import pytest
+
+from repro.core.deployment import default_home_environment
+from repro.devices.library import (
+    FACTORIES,
+    smart_bulb,
+    smart_plug,
+    thermostat,
+)
+from repro.learning.fsmlearner import (
+    FsmLearner,
+    behaviourally_equivalent,
+)
+
+
+def test_learns_plug_fsm(sim):
+    plug = smart_plug("plug", sim)
+    learner = FsmLearner(plug.model.commands)
+    report = learner.learn(plug)
+    assert report.states == {"off", "on"}
+    assert report.transitions == {("off", "on"): "on", ("on", "off"): "off"}
+    assert plug.state == "off"  # restored
+
+
+def test_learns_thermostat_fsm(sim):
+    thermo = thermostat("t", sim)
+    learner = FsmLearner(thermo.model.commands)
+    report = learner.learn(thermo)
+    model = learner.to_model(report, initial="idle")
+    assert behaviourally_equivalent(model, thermo.model, thermo.model.commands)
+
+
+def test_all_library_devices_learnable(sim):
+    """The learned command-core of every library device matches the
+    declared model -- the section 4.2 future-work loop, closed."""
+    for name, factory in FACTORIES.items():
+        device = factory(f"learn-{name}", sim)
+        vocabulary = device.model.commands
+        if not vocabulary:
+            continue  # pure sensors have no command core to learn
+        learner = FsmLearner(vocabulary)
+        report = learner.learn(device)
+        model = learner.to_model(report, initial=device.model.initial)
+        assert behaviourally_equivalent(model, device.model, vocabulary), name
+
+
+def test_learns_effects_with_environment(sim):
+    env = default_home_environment(sim)
+    heater = smart_plug("heater", sim, env=env, load={"heat_watts": 1500.0})
+    learner = FsmLearner(heater.model.commands)
+    report = learner.learn(heater, env=env)
+    assert report.effects.get("on", {}).get("heat_watts") == 1500.0
+    assert "off" not in report.effects
+    model = learner.to_model(report, initial="off")
+    assert model.effect_inputs("on") == {"heat_watts": 1500.0}
+
+
+def test_unknown_commands_discover_nothing_extra(sim):
+    bulb = smart_bulb("b", sim)
+    learner = FsmLearner(tuple(bulb.model.commands) + ("frobnicate", "explode"))
+    report = learner.learn(bulb)
+    assert report.states == set(bulb.model.states)
+    assert all(cmd != "frobnicate" for (__, cmd) in report.transitions)
+
+
+def test_empty_vocabulary_rejected():
+    with pytest.raises(ValueError):
+        FsmLearner([])
+
+
+def test_probe_count_bounded(sim):
+    thermo = thermostat("t", sim)
+    learner = FsmLearner(thermo.model.commands)
+    report = learner.learn(thermo)
+    assert report.probes == len(report.states) * len(learner.vocabulary)

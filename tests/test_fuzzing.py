@@ -1,0 +1,114 @@
+"""Tests for model-based fuzzing."""
+
+import random
+
+import pytest
+
+from repro.devices.library import (
+    BULB_MODEL,
+    FIRE_ALARM_MODEL,
+    MOTION_SENSOR_MODEL,
+    THERMOSTAT_MODEL,
+    WINDOW_MODEL,
+    smart_plug_model,
+)
+from repro.learning.abstract_env import AbstractWorld
+from repro.learning.fuzzing import (
+    InteractionEdge,
+    ModelFuzzer,
+    PassiveObserver,
+    exhaustive_edges,
+    interaction_sparsity,
+)
+
+DEVICES = {
+    "fire_alarm": FIRE_ALARM_MODEL,
+    "window": WINDOW_MODEL,
+    "oven_plug": smart_plug_model(hazard=1.0, heat_watts=2000.0),
+    "bulb": BULB_MODEL,
+    "motion": MOTION_SENSOR_MODEL,
+}
+
+
+@pytest.fixture(scope="module")
+def world():
+    return AbstractWorld(DEVICES)
+
+
+@pytest.fixture(scope="module")
+def truth(world):
+    interactions, env_edges, states = exhaustive_edges(world)
+    return interactions, env_edges, states
+
+
+def test_exhaustive_finds_oven_alarm_coupling(truth):
+    interactions, __, __states = truth
+    assert InteractionEdge("oven_plug", "on", "fire_alarm") in interactions
+
+
+def test_exhaustive_env_edges_include_physics(truth):
+    __, env_edges, __states = truth
+    assert any(
+        e.actor == "oven_plug" and e.variable == "smoke" and e.level == "detected"
+        for e in env_edges
+    )
+    assert any(
+        e.actor == "window" and e.variable == "window" and e.level == "open"
+        for e in env_edges
+    )
+
+
+def test_fuzzer_reaches_full_coverage_with_budget(world, truth):
+    interactions, __, __states = truth
+    report = ModelFuzzer(world, random.Random(42)).run(3000)
+    assert report.coverage_against(interactions) == 1.0
+    assert report.steps == 3000
+    assert report.states_visited > 1
+
+
+def test_fuzzer_deterministic_per_seed(world):
+    a = ModelFuzzer(world, random.Random(7)).run(500)
+    b = ModelFuzzer(world, random.Random(7)).run(500)
+    assert a.interaction_edges == b.interaction_edges
+    assert a.discovery_curve == b.discovery_curve
+
+
+def test_discovery_curve_monotone(world):
+    report = ModelFuzzer(world, random.Random(1)).run(2000)
+    counts = [c for __, c in report.discovery_curve]
+    assert counts == sorted(counts)
+
+
+def test_passive_observer_misses_implicit_coupling(world, truth):
+    interactions, __, __states = truth
+    benign = [
+        ("cmd", "bulb", "on"),
+        ("cmd", "bulb", "off"),
+        ("cmd", "window", "open"),
+        ("cmd", "window", "close"),
+    ]
+    report = PassiveObserver(world, benign, random.Random(3)).run(2000)
+    assert report.coverage_against(interactions) < 1.0
+    assert InteractionEdge("oven_plug", "on", "fire_alarm") not in report.interaction_edges
+
+
+def test_coverage_of_empty_truth_is_one(world):
+    report = ModelFuzzer(world, random.Random(0)).run(10)
+    assert report.coverage_against(set()) == 1.0
+
+
+def test_sparsity(truth):
+    interactions, __, __states = truth
+    sparsity = interaction_sparsity(DEVICES, interactions)
+    assert 0.0 < sparsity < 0.2  # the paper's expectation: sparse
+
+
+def test_fuzzer_restart_interval_validation(world):
+    with pytest.raises(ValueError):
+        ModelFuzzer(world, random.Random(0), restart_every=0)
+
+
+def test_exhaustive_state_budget():
+    big = AbstractWorld(DEVICES)
+    with pytest.raises(RuntimeError):
+        exhaustive_edges(big, max_states=2)

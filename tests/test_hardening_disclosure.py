@@ -1,0 +1,144 @@
+"""Tests for attack-graph hardening plans and the disclosure feed."""
+
+import pytest
+
+from repro.devices.library import (
+    fire_alarm,
+    smart_camera,
+    smart_plug,
+    window_actuator,
+)
+from repro.learning.attackgraph import ATTACKER, AttackGraphBuilder, control, envfact
+from repro.learning.disclosure import DisclosureFeed
+from repro.policy.ifttt import Recipe
+
+
+class TestHardeningPlan:
+    def build(self, sim, with_recipe=True):
+        devices = {
+            d.name: (d.model, d.firmware)
+            for d in (
+                smart_plug("heater_plug", sim, load={"heat_watts": 1500.0}),
+                fire_alarm("alarm", sim),
+                window_actuator("window", sim),
+            )
+        }
+        recipes = (
+            [Recipe("cool-down", "env:temperature", "high", "window", "open")]
+            if with_recipe
+            else []
+        )
+        return AttackGraphBuilder(devices, recipes=recipes)
+
+    def test_plan_severs_all_paths(self, sim):
+        builder = self.build(sim)
+        goal = envfact("window", "open")
+        assert builder.can_reach(goal)
+        plan = builder.hardening_plan(goal)
+        assert plan  # something to do
+        g = builder.graph.copy()
+        for device, __mitigation in plan:
+            g.remove_node(control(device))
+        import networkx as nx
+
+        assert not (goal in g and nx.has_path(g, ATTACKER, goal))
+
+    def test_plan_names_sensible_mitigations(self, sim):
+        builder = self.build(sim)
+        plan = dict(builder.hardening_plan(envfact("window", "open")))
+        # the window's weak password needs the proxy; the plug's exposed
+        # access needs the firewall
+        if "window" in plan:
+            assert plan["window"] == "password_proxy"
+        if "heater_plug" in plan:
+            assert plan["heater_plug"] == "stateful_firewall"
+        assert len(plan) >= 2  # two disjoint paths here
+
+    def test_single_path_needs_single_fix(self, sim):
+        builder = self.build(sim, with_recipe=False)
+        plan = builder.hardening_plan(envfact("window", "open"))
+        assert len(plan) == 1
+        assert plan[0][0] == "window"
+
+    def test_unreachable_goal_empty_plan(self, sim):
+        builder = self.build(sim)
+        assert builder.hardening_plan(envfact("door", "unlocked")) == []
+
+
+class TestDisclosureFeed:
+    def test_publish_and_delayed_delivery(self, sim):
+        feed = DisclosureFeed(sim, propagation_delay=60.0)
+        got = []
+        feed.subscribe(got.append)
+        feed.publish("dlink:DCS-930L:1.0", "exposed-credentials")
+        sim.run(until=30.0)
+        assert got == []
+        sim.run(until=61.0)
+        assert len(got) == 1
+        assert got[0].sku == "dlink:DCS-930L:1.0"
+
+    def test_backlog_replayed_to_late_subscribers(self, sim):
+        feed = DisclosureFeed(sim, propagation_delay=1.0)
+        feed.publish("a:b:1", "backdoor")
+        sim.run()
+        got = []
+        feed.subscribe(got.append)
+        sim.run()
+        assert len(got) == 1
+
+    def test_disclosures_for(self, sim):
+        feed = DisclosureFeed(sim)
+        feed.publish("a:b:1", "backdoor")
+        feed.publish("c:d:1", "exposed-access")
+        assert len(feed.disclosures_for("a:b:1")) == 1
+
+    def test_controller_marks_devices_unpatched(self, sim):
+        from repro.core.deployment import SecuredDeployment
+        from repro.policy.builder import PolicyBuilder
+        from repro.policy.context import UNPATCHED
+        from repro.policy.posture import block_commands
+
+        dep = SecuredDeployment.build(sim=sim)
+        policy = (
+            PolicyBuilder()
+            .device("cam", contexts=("normal", "unpatched", "suspicious", "compromised"))
+            .env("occupancy", ("absent", "present"))
+            .when("ctx:cam", UNPATCHED)
+            .give("cam", block_commands("record", name="harden-unpatched"))
+            .build()
+        )
+        dep.policy = policy
+        cam = dep.add_device(smart_camera, "cam")
+        dep.finalize()
+        feed = DisclosureFeed(sim, propagation_delay=10.0)
+        dep.controller.watch_disclosures(feed)
+        feed.publish(cam.sku, "exposed-credentials")
+        dep.run(until=20.0)
+        assert dep.controller.context_of("cam") == UNPATCHED
+        assert dep.orchestrator.posture_of("cam").name == "harden-unpatched"
+
+    def test_disclosure_for_other_sku_ignored(self, sim):
+        from repro.core.deployment import SecuredDeployment
+
+        dep = SecuredDeployment.build(sim=sim)
+        dep.add_device(smart_camera, "cam")
+        dep.finalize()
+        feed = DisclosureFeed(sim, propagation_delay=1.0)
+        dep.controller.watch_disclosures(feed)
+        feed.publish("totally:different:sku", "backdoor")
+        dep.run(until=5.0)
+        assert dep.controller.context_of("cam") == "normal"
+
+    def test_suspicious_not_downgraded_by_disclosure(self, sim):
+        from repro.core.deployment import SecuredDeployment
+        from repro.policy.context import SUSPICIOUS
+
+        dep = SecuredDeployment.build(sim=sim)
+        cam = dep.add_device(smart_camera, "cam")
+        dep.finalize()
+        feed = DisclosureFeed(sim, propagation_delay=1.0)
+        dep.controller.watch_disclosures(feed)
+        dep.controller.set_context("cam", SUSPICIOUS)
+        feed.publish(cam.sku, "exposed-credentials")
+        dep.run(until=5.0)
+        assert dep.controller.context_of("cam") == SUSPICIOUS

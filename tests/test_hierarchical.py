@@ -1,0 +1,136 @@
+"""Tests for hierarchical control."""
+
+import pytest
+
+from repro.core.hierarchical import (
+    ControllerQueue,
+    FlatControl,
+    HierarchicalControl,
+    crossing_devices,
+    latency_percentiles,
+    partition_by_independence,
+)
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import SUSPICIOUS, ctx
+from repro.policy.posture import block_commands
+
+
+def clustered_policy():
+    """Two clusters: (alarm->window) and (sensor->oven); bulb standalone."""
+    return (
+        PolicyBuilder()
+        .device("alarm")
+        .device("window")
+        .device("sensor")
+        .device("oven")
+        .device("bulb")
+        .when(ctx("alarm"), SUSPICIOUS).give("window", block_commands("open"))
+        .when(ctx("sensor"), SUSPICIOUS).give("oven", block_commands("on"))
+        .when(ctx("bulb"), SUSPICIOUS).give("bulb", block_commands("on"))
+        .build()
+    )
+
+
+class TestControllerQueue:
+    def test_fifo_service(self, sim):
+        queue = ControllerQueue(sim, "q", service_time=0.01, channel_latency=0.001)
+        t1 = queue.submit(sim.now)
+        t2 = queue.submit(sim.now)
+        assert t1 == pytest.approx(0.011)
+        assert t2 == pytest.approx(0.021)  # queued behind the first
+
+    def test_idle_queue_resets(self, sim):
+        queue = ControllerQueue(sim, "q", 0.01, 0.001)
+        queue.submit(sim.now)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        t = queue.submit(sim.now)
+        assert t == pytest.approx(1.011)
+
+    def test_utilization(self, sim):
+        queue = ControllerQueue(sim, "q", 0.01, 0.0)
+        for __ in range(10):
+            queue.submit(sim.now)
+        assert queue.utilization(1.0) == pytest.approx(0.1)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            ControllerQueue(sim, "q", -0.1, 0.0)
+
+
+class TestPartitioning:
+    def test_partition_groups_coupled_devices(self):
+        policy = clustered_policy()
+        partition = partition_by_independence(policy)
+        assert partition["alarm"] == partition["window"]
+        assert partition["sensor"] == partition["oven"]
+        assert partition["alarm"] != partition["sensor"]
+
+    def test_no_crossing_devices_in_clean_partition(self):
+        policy = clustered_policy()
+        partition = partition_by_independence(policy)
+        assert crossing_devices(policy, partition) == set()
+
+    def test_crossing_detected_for_forced_split(self):
+        policy = clustered_policy()
+        partition = partition_by_independence(policy)
+        # force alarm and window apart
+        partition["window"] = max(partition.values()) + 1
+        crossing = crossing_devices(policy, partition)
+        assert "window" in crossing or "alarm" in crossing
+
+
+class TestFlatVsHierarchical:
+    def test_local_events_faster_in_hierarchy(self, sim):
+        policy = clustered_policy()
+        partition = partition_by_independence(policy)
+        crossing = crossing_devices(policy, partition)
+        flat = FlatControl(sim, service_time=0.0005, global_latency=0.02)
+        hier = HierarchicalControl(
+            sim, partition, crossing,
+            service_time=0.0005, local_latency=0.001, global_latency=0.02,
+        )
+        flat_rec = flat.emit("window")
+        hier_rec = hier.emit("window")
+        assert hier_rec.latency < flat_rec.latency
+        assert not hier_rec.escalated
+
+    def test_hierarchy_offloads_global_controller(self, sim):
+        policy = clustered_policy()
+        partition = partition_by_independence(policy)
+        crossing = crossing_devices(policy, partition)
+        flat = FlatControl(sim)
+        hier = HierarchicalControl(sim, partition, crossing)
+        for __ in range(100):
+            for device in policy.devices:
+                flat.emit(device)
+                hier.emit(device)
+        assert flat.global_load() == 500
+        assert hier.global_load() == 0  # no crossing devices
+        assert hier.local_load() == 500
+
+    def test_crossing_devices_escalate(self, sim):
+        partition = {"a": 0, "b": 1}
+        hier = HierarchicalControl(sim, partition, crossing={"a"})
+        record = hier.emit("a")
+        assert record.escalated and record.handled_by == "global"
+        assert hier.global_load() == 1
+
+    def test_unknown_device_escalates(self, sim):
+        hier = HierarchicalControl(sim, {"a": 0}, crossing=set())
+        record = hier.emit("mystery")
+        assert record.escalated
+
+
+def test_latency_percentiles():
+    from repro.core.hierarchical import HandledEvent
+
+    records = [
+        HandledEvent(i, "d", emitted_at=0.0, handled_at=float(i + 1), handled_by="g", escalated=False)
+        for i in range(100)
+    ]
+    stats = latency_percentiles(records)
+    assert stats["p50"] == pytest.approx(51.0)
+    assert stats["p99"] == pytest.approx(100.0)
+    assert stats["max"] == 100.0
+    assert latency_percentiles([]) == {"p50": 0.0, "p99": 0.0, "max": 0.0}

@@ -1,0 +1,48 @@
+"""Tests for the honeypot baseline."""
+
+import random
+
+from repro.learning.honeypot import HoneypotFarm
+
+
+def test_covers_most_popular_skus():
+    population = {"sku-a": 1000, "sku-b": 500, "sku-c": 10, "sku-d": 5}
+    farm = HoneypotFarm.covering_most_popular(population, n_honeypots=2)
+    assert set(farm.skus) == {"sku-a", "sku-b"}
+
+
+def test_campaign_against_emulated_sku_learned_after_delay():
+    farm = HoneypotFarm(skus=("sku-a",), detection_delay=100.0)
+    rng = random.Random(0)
+    assert farm.observe_campaign("sku-a", at=10.0, rng=rng)
+    assert farm.covered_skus(now=50.0) == set()     # still analyzing
+    assert farm.covered_skus(now=110.0) == {"sku-a"}
+
+
+def test_campaign_against_unemulated_sku_missed():
+    farm = HoneypotFarm(skus=("sku-a",))
+    rng = random.Random(0)
+    assert not farm.observe_campaign("sku-z", at=10.0, rng=rng)
+    assert farm.covered_skus(now=1e9) == set()
+
+
+def test_hit_probability():
+    farm = HoneypotFarm(skus=("sku-a",), hit_probability=0.0)
+    assert not farm.observe_campaign("sku-a", at=0.0, rng=random.Random(0))
+
+
+def test_already_learned_is_idempotent():
+    farm = HoneypotFarm(skus=("sku-a",), detection_delay=10.0)
+    rng = random.Random(0)
+    farm.observe_campaign("sku-a", at=0.0, rng=rng)
+    first_ready = farm.learned["sku-a"]
+    farm.observe_campaign("sku-a", at=100.0, rng=rng)
+    assert farm.learned["sku-a"] == first_ready
+
+
+def test_coverage_fraction():
+    farm = HoneypotFarm(skus=("a", "b"), detection_delay=0.0)
+    rng = random.Random(0)
+    farm.observe_campaign("a", at=0.0, rng=rng)
+    assert farm.coverage(["a", "b", "c", "d"], now=1.0) == 0.25
+    assert farm.coverage([], now=1.0) == 1.0

@@ -1,0 +1,107 @@
+"""Tests for the launchpad threat (Figure 1) and insider escalation.
+
+A compromised device attacking inward carries a *trusted internal* source
+address.  Perimeter thinking fails completely here; the victim's own µmbox
+plus the controller's insider escalation (flag the source device, not just
+the target) is the IoTSec answer.
+"""
+
+import pytest
+
+from repro.attacks.exploits import EXPLOITS
+from repro.core.deployment import SecuredDeployment
+from repro.core.orchestrator import build_recommended_posture
+from repro.devices.library import WEMO_BACKDOOR_PORT, smart_camera, smart_plug
+from repro.policy.context import SUSPICIOUS
+from repro.policy.posture import block_commands
+
+
+def build(protect_victim: bool):
+    dep = SecuredDeployment.build()
+    dep.add_device(smart_plug, "launchpad")      # has the Wemo backdoor
+    dep.add_device(smart_plug, "victim_plug", with_backdoor=False,
+                   with_open_dns=False)          # victim: only 8080 exposed
+    attacker = dep.add_attacker()
+    dep.finalize()
+    if protect_victim:
+        dep.secure(
+            "victim_plug",
+            build_recommended_posture(
+                "stateful_firewall",
+                "victim_plug",
+                trusted_sources=(dep.HUB, dep.CONTROLLER),
+            ),
+            pin=False,
+        )
+    return dep, attacker
+
+
+def launch(dep, attacker):
+    return EXPLOITS["lateral_movement"].launch(
+        attacker,
+        "launchpad",
+        dep.sim,
+        backdoor_port=WEMO_BACKDOOR_PORT,
+        victim="victim_plug",
+        victim_port=8080,
+        inner_payload={"cmd": "on"},
+    )
+
+
+def test_pivot_reaches_internal_victim_unprotected():
+    dep, attacker = build(protect_victim=False)
+    result = launch(dep, attacker)
+    dep.run(until=10.0)
+    assert result.succeeded
+    assert dep.devices["victim_plug"].state == "on"
+    # the victim's log shows the *launchpad* as the source, not the attacker
+    record = dep.devices["victim_plug"].command_log[-1]
+    assert record.src == "launchpad"
+    assert dep.devices["launchpad"].compromised_by == ["attacker"]
+
+
+def test_victim_mbox_blocks_pivot_despite_internal_source():
+    dep, attacker = build(protect_victim=True)
+    result = launch(dep, attacker)
+    dep.run(until=10.0)
+    assert result.succeeded  # the pivot itself worked...
+    assert dep.devices["victim_plug"].state == "off"  # ...the attack did not
+    alerts = dep.alerts("victim_plug")
+    assert any(
+        a.kind == "firewall-blocked" and a.detail.get("src") == "launchpad"
+        for a in alerts
+    )
+
+
+def test_insider_escalation_flags_the_launchpad():
+    dep, attacker = build(protect_victim=True)
+    launch(dep, attacker)
+    dep.run(until=10.0)
+    # the *source* device is now suspicious, not just observed
+    assert dep.controller.context_of("launchpad") == SUSPICIOUS
+    # and the default policy therefore walls it off
+    posture = dep.orchestrator.posture_of("launchpad")
+    assert posture is not None and posture.name == "stateful_firewall"
+
+
+def test_quarantined_launchpad_cannot_pivot_again():
+    dep, attacker = build(protect_victim=True)
+    launch(dep, attacker)
+    dep.run(until=10.0)
+    assert dep.controller.context_of("launchpad") == SUSPICIOUS
+    second = launch(dep, attacker)
+    dep.run(until=20.0)
+    # the launchpad's new firewall posture eats the backdoor packet
+    assert not second.succeeded
+
+
+def test_external_attacker_source_does_not_trigger_insider_rule():
+    dep, attacker = build(protect_victim=True)
+    from repro.devices import protocol
+
+    attacker.fire_and_forget(
+        protocol.command("attacker", "victim_plug", "on", dport=8080)
+    )
+    dep.run(until=10.0)
+    # "attacker" is not a registered device: no insider escalation happens
+    assert dep.controller.context_of("launchpad") == "normal"

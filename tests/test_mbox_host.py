@@ -1,0 +1,160 @@
+"""Tests for the µmbox host node (tunnel termination, boot queue)."""
+
+import pytest
+
+from repro.mboxes.base import Mbox, MboxHost, Verdict
+from repro.mboxes.elements import CommandFilter
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.sdn.tunnel import tunnel_packet
+
+
+@pytest.fixture
+def rig(sim):
+    host = MboxHost("cluster", sim)
+    switch_side = Host("edge", sim)
+    Link(sim, switch_side, host, latency=0.001)
+    return host, switch_side
+
+
+def send_tunnelled(sim, switch_side, payload=None, target="dev", dport=8080):
+    inner = Packet(src="attacker", dst=target, dport=dport, payload=payload or {})
+    outer = tunnel_packet(inner, ingress="edge", target=target)
+    switch_side.send(outer)
+    return inner
+
+
+def test_non_tunnel_traffic_ignored(sim, rig):
+    host, switch_side = rig
+    switch_side.send(Packet(src="edge", dst="cluster", payload={"x": 1}))
+    sim.run()
+    assert host.tunnelled_in == 0
+
+
+def test_unbound_device_fail_closed_by_default(sim, rig):
+    host, switch_side = rig
+    send_tunnelled(sim, switch_side)
+    sim.run()
+    assert host.unbound_drops == 1
+    assert host.returned == 0
+
+
+def test_unbound_device_pass_mode(sim, rig):
+    host, switch_side = rig
+    host.default_verdict = Verdict.PASS
+    send_tunnelled(sim, switch_side)
+    sim.run()
+    assert host.returned == 1
+    outer = switch_side.inbox[-1]
+    assert outer.payload["inspected"] is True
+    assert outer.dst == "edge"
+
+
+def test_bound_mbox_processes_and_returns(sim, rig):
+    host, switch_side = rig
+    host.bind("dev", Mbox("m1", "dev", [CommandFilter(deny=["on"])]))
+    send_tunnelled(sim, switch_side, {"cmd": "off"})
+    sim.run()
+    assert host.returned == 1
+    inner = switch_side.inbox[-1].payload["inner"]
+    assert inner.meta["inspected_devices"] == ["dev"]
+
+
+def test_bound_mbox_drop_verdict(sim, rig):
+    host, switch_side = rig
+    host.bind("dev", Mbox("m1", "dev", [CommandFilter(deny=["on"])]))
+    send_tunnelled(sim, switch_side, {"cmd": "on"})
+    sim.run()
+    assert host.returned == 0
+    assert len(host.alerts_for("dev")) == 1
+
+
+def test_direction_annotation(sim, rig):
+    host, switch_side = rig
+    seen = []
+
+    class Spy(CommandFilter):
+        def process(self, packet, ctx):
+            seen.append(packet.meta.get("direction"))
+            return super().process(packet, ctx)
+
+    host.bind("dev", Mbox("m1", "dev", [Spy(deny=[])]))
+    # to the device
+    send_tunnelled(sim, switch_side, {"cmd": "x"})
+    # from the device
+    inner = Packet(src="dev", dst="cloud", payload={})
+    switch_side.send(tunnel_packet(inner, ingress="edge", target="dev"))
+    sim.run()
+    assert seen == ["to_device", "from_device"]
+
+
+def test_boot_queue_holds_packets_until_ready(sim, rig):
+    host, switch_side = rig
+    mbox = Mbox("m1", "dev", [])
+    mbox.ready = False
+    host.bind("dev", mbox)
+    send_tunnelled(sim, switch_side, {"cmd": "a"})
+    send_tunnelled(sim, switch_side, {"cmd": "b"})
+    sim.run()
+    assert host.returned == 0
+    host.mark_ready("dev")
+    sim.run()
+    assert host.returned == 2
+
+
+def test_boot_queue_overflow_drops(sim, rig):
+    host, switch_side = rig
+    host.boot_queue_limit = 3
+    mbox = Mbox("m1", "dev", [])
+    mbox.ready = False
+    host.bind("dev", mbox)
+    for i in range(5):
+        send_tunnelled(sim, switch_side, {"cmd": str(i)})
+    sim.run()
+    assert host.unbound_drops == 2
+    host.mark_ready("dev")
+    sim.run()
+    assert host.returned == 3
+
+
+def test_unbind_clears_queue(sim, rig):
+    host, switch_side = rig
+    mbox = Mbox("m1", "dev", [])
+    mbox.ready = False
+    host.bind("dev", mbox)
+    send_tunnelled(sim, switch_side, {"cmd": "x"})
+    sim.run()
+    host.unbind("dev")
+    host.mark_ready("dev")  # no-op after unbind
+    sim.run()
+    assert host.returned == 0
+
+
+def test_inner_packet_not_mutated_across_inspection(sim, rig):
+    host, switch_side = rig
+    host.bind("dev", Mbox("m1", "dev", []))
+    inner = send_tunnelled(sim, switch_side, {"cmd": "x"})
+    sim.run()
+    # the original inner packet is untouched; the returned copy carries meta
+    assert "direction" not in inner.meta
+    returned = switch_side.inbox[-1].payload["inner"]
+    assert returned.pkt_id != inner.pkt_id
+
+
+def test_processing_latency_defers_inspection(sim, rig):
+    host, switch_side = rig
+    host.processing_latency = 0.010
+    host.bind("dev", Mbox("m1", "dev", []))
+    send_tunnelled(sim, switch_side, {"cmd": "x"})
+    sim.run(until=0.005)
+    assert host.returned == 0  # still "computing"
+    sim.run()
+    assert host.returned == 1
+    # one-way: link (1ms) + processing (10ms) + link back (1ms)
+    assert sim.now == pytest.approx(0.012)
+
+
+def test_processing_latency_validation(sim):
+    with pytest.raises(ValueError):
+        MboxHost("c", sim, processing_latency=-0.1)

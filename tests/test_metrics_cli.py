@@ -1,0 +1,137 @@
+"""Tests for the metrics module and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.deployment import SecuredDeployment
+from repro.core.metrics import summarize
+from repro.core.orchestrator import build_recommended_posture
+from repro.devices import protocol
+from repro.devices.library import smart_camera, smart_plug
+from repro.policy.context import SUSPICIOUS
+
+
+class TestMetrics:
+    def make_dep(self):
+        dep = SecuredDeployment.build()
+        dep.add_device(smart_camera, "cam")
+        dep.add_device(smart_plug, "plug")
+        dep.add_attacker()
+        dep.finalize()
+        return dep
+
+    def test_summarize_empty_deployment(self):
+        dep = self.make_dep()
+        report = summarize(dep)
+        assert len(report.devices) == 2
+        assert report.compromised_devices() == []
+        assert report.alerts_by_kind == {}
+        assert report.mbox_active == 0
+
+    def test_summarize_after_attack_and_enforcement(self):
+        dep = self.make_dep()
+        dep.secure(
+            "cam",
+            build_recommended_posture("password_proxy", "cam", new_password="S3c!"),
+        )
+        attacker = dep.attackers["attacker"]
+        attacker.fire_and_forget(protocol.login("attacker", "cam", "admin", "admin"))
+        dep.run(until=5.0)
+        report = summarize(dep)
+        assert report.alerts_by_kind.get("login-rejected") == 1
+        cam = next(d for d in report.devices if d.name == "cam")
+        assert cam.posture == "password_proxy"
+        assert cam.alerts == 1
+        assert "exposed-credentials" in cam.flaws
+        assert report.mbox_active == 1
+        assert report.packets_tunnelled >= 1
+
+    def test_summarize_context_and_reactions(self):
+        dep = self.make_dep()
+        dep.controller.set_context("cam", SUSPICIOUS)
+        dep.run(until=1.0)
+        report = summarize(dep)
+        assert "cam" in report.devices_not_normal()
+        assert report.reaction_p50_ms is not None
+
+    def test_render_and_as_dict(self):
+        dep = self.make_dep()
+        dep.controller.set_context("plug", SUSPICIOUS)
+        report = summarize(dep)
+        text = report.render()
+        assert "cam" in text and "plug" in text and "suspicious" in text
+        data = report.as_dict()
+        assert data["mbox"]["active"] == report.mbox_active
+        assert len(data["devices"]) == 2
+
+    def test_ground_truth_compromise_visible(self):
+        dep = self.make_dep()
+        attacker = dep.attackers["attacker"]
+        attacker.fire_and_forget(
+            protocol.command("attacker", "plug", "on", dport=8080)
+        )
+        dep.run(until=5.0)
+        report = summarize(dep)
+        assert report.compromised_devices() == ["plug"]
+
+
+class TestCli:
+    def test_demo_fig4(self, capsys):
+        assert main(["demo", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "current world" in out and "IoTSec" in out
+        assert "hijack=True" in out and "hijack=False" in out
+
+    def test_demo_fig5(self, capsys):
+        assert main(["demo", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "oven=on" in out and "oven=off" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Belkin Wemo" in out
+
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "ATTACKER" in out
+        assert "hardening plan" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Deployment report" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+def test_cli_policy_export(capsys):
+    from repro.policy.serialization import loads
+
+    assert main(["policy"]) == 0
+    out = capsys.readouterr().out
+    policy = loads(out)
+    assert set(policy.devices) == {"cam", "plug"}
+
+
+def test_cli_fleet(capsys):
+    assert main(["fleet", "--sites", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "site 0" in out and "COMPROMISED" in out
+    assert out.count("safe (signature blocked it)") == 2
+    assert "fleet losses: 1/3" in out
+
+
+def test_cli_demo_fig3(capsys):
+    assert main(["demo", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "breached=True" in out and "breached=False" in out
+
+
+def test_cli_demo_thermal(capsys):
+    assert main(["demo", "thermal"]) == 0
+    out = capsys.readouterr().out
+    assert "window=open" in out and "window=closed" in out

@@ -1,0 +1,75 @@
+"""Tests for empirical model extraction."""
+
+from repro.core.deployment import default_home_environment
+from repro.devices.library import (
+    smart_bulb,
+    smart_plug,
+    temperature_sensor,
+    window_actuator,
+)
+from repro.learning.modelextract import (
+    ModelExtractor,
+    validate_against_model,
+)
+
+
+def test_extracts_thermal_effect(sim):
+    env = default_home_environment(sim)
+    heater = smart_plug("heater", sim, env=env, load={"heat_watts": 1500.0})
+    extractor = ModelExtractor(env, settle_time=2000.0)
+    report = extractor.extract(heater)
+    assert "on" in report.states_probed
+    effects = report.effects_for_state("on")
+    assert any(e.variable == "temperature" and e.level == "high" for e in effects)
+    # the off state matches baseline: no observed effect
+    assert report.effects_for_state("off") == []
+
+
+def test_extracts_binding_effect(sim):
+    env = default_home_environment(sim)
+    window = window_actuator("win", sim, env=env)
+    report = ModelExtractor(env, settle_time=10.0).extract(window)
+    assert any(
+        e.state == "open" and e.variable == "window" and e.level == "open"
+        for e in report.effects
+    )
+
+
+def test_extracts_light_effect(sim):
+    env = default_home_environment(sim)
+    bulb = smart_bulb("bulb", sim, env=env)
+    report = ModelExtractor(env, settle_time=30.0).extract(bulb)
+    assert any(
+        e.state == "on" and e.variable == "illuminance" and e.level == "bright"
+        for e in report.effects
+    )
+
+
+def test_pure_sensor_has_no_effects(sim):
+    env = default_home_environment(sim)
+    sensor = temperature_sensor("temp", sim, env=env)
+    report = ModelExtractor(env, settle_time=30.0).extract(sensor)
+    assert report.effects == []
+
+
+def test_extraction_resets_device_and_environment(sim):
+    env = default_home_environment(sim)
+    heater = smart_plug("heater", sim, env=env, load={"heat_watts": 1500.0})
+    ModelExtractor(env, settle_time=2000.0).extract(heater)
+    assert heater.state == "off"
+    assert env.level("temperature") in ("low", "normal")  # cooled back down
+
+
+def test_validation_agrees_with_declared_model(sim):
+    env = default_home_environment(sim)
+    heater = smart_plug("heater", sim, env=env, load={"heat_watts": 1500.0})
+    report = ModelExtractor(env, settle_time=2000.0).extract(heater)
+    assert validate_against_model(report, heater) == []
+
+
+def test_as_response_rules(sim):
+    env = default_home_environment(sim)
+    heater = smart_plug("heater", sim, env=env, load={"heat_watts": 1500.0})
+    report = ModelExtractor(env, settle_time=2000.0).extract(heater)
+    rules = report.as_response_rules()
+    assert any(r.variable == "temperature" and r.level == "high" for r in rules)

@@ -1,0 +1,184 @@
+"""Tests for nodes, hosts, and links."""
+
+import pytest
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Node
+from repro.netsim.packet import Packet
+
+
+def make_pair(sim, latency=0.01, bandwidth=None):
+    a, b = Host("a", sim), Host("b", sim)
+    link = Link(sim, a, b, latency=latency, bandwidth=bandwidth)
+    return a, b, link
+
+
+def test_link_delivers_after_latency(sim):
+    a, b, __ = make_pair(sim, latency=0.25)
+    a.send(Packet(src="a", dst="b"))
+    sim.run()
+    assert len(b.inbox) == 1
+    assert sim.now == 0.25
+
+
+def test_serialization_delay_with_bandwidth(sim):
+    a, b, __ = make_pair(sim, latency=0.1, bandwidth=1000.0)
+    a.send(Packet(src="a", dst="b", size=500))
+    sim.run()
+    assert sim.now == pytest.approx(0.1 + 0.5)
+
+
+def test_bidirectional(sim):
+    a, b, __ = make_pair(sim)
+    b.send(Packet(src="b", dst="a"))
+    sim.run()
+    assert len(a.inbox) == 1
+
+
+def test_counters(sim):
+    a, b, __ = make_pair(sim)
+    a.send(Packet(src="a", dst="b", size=100))
+    sim.run()
+    assert a.tx_count == 1 and a.tx_bytes == 100
+    assert b.rx_count == 1 and b.rx_bytes == 100
+
+
+def test_trace_records_sender(sim):
+    a, b, __ = make_pair(sim)
+    a.send(Packet(src="a", dst="b"))
+    sim.run()
+    assert b.inbox[0].trace == ["a"]
+
+
+def test_failed_link_drops(sim):
+    a, b, link = make_pair(sim)
+    link.fail()
+    a.send(Packet(src="a", dst="b"))
+    sim.run()
+    assert b.inbox == [] and link.dropped == 1
+
+
+def test_restore_after_failure(sim):
+    a, b, link = make_pair(sim)
+    link.fail()
+    link.restore()
+    a.send(Packet(src="a", dst="b"))
+    sim.run()
+    assert len(b.inbox) == 1
+
+
+def test_in_flight_packet_dropped_on_failure(sim):
+    a, b, link = make_pair(sim, latency=1.0)
+    a.send(Packet(src="a", dst="b"))
+    sim.schedule(0.5, link.fail)
+    sim.run()
+    assert b.inbox == []
+
+
+def test_send_requires_explicit_port_with_multiple_links(sim):
+    a, b, __ = make_pair(sim)
+    c = Host("c", sim)
+    Link(sim, a, c)
+    with pytest.raises(ValueError):
+        a.send(Packet(src="a", dst="b"))
+    assert a.send(Packet(src="a", dst="b"), a.port_to("b"))
+
+
+def test_send_on_unattached_port_returns_false(sim):
+    a = Host("a", sim)
+    assert a.send(Packet(src="a", dst="b"), 7) is False
+
+
+def test_port_to_and_free_port(sim):
+    a, b, __ = make_pair(sim)
+    assert a.port_to("b") == 0
+    assert a.port_to("zzz") is None
+    assert a.free_port() == 1
+
+
+def test_duplicate_port_attach_rejected(sim):
+    a, b, link = make_pair(sim)
+    with pytest.raises(ValueError):
+        a.attach(0, link)
+
+
+def test_other_end_validates_membership(sim):
+    a, b, link = make_pair(sim)
+    stranger = Node("stranger", sim)
+    with pytest.raises(ValueError):
+        link.other_end(stranger)
+
+
+def test_host_responder(sim):
+    a, b, __ = make_pair(sim)
+    b.responder = lambda pkt: pkt.reply({"status": "ok"})
+    a.send(Packet(src="a", dst="b", payload={"q": 1}))
+    sim.run()
+    assert len(a.inbox) == 1
+    assert a.inbox[0].payload == {"status": "ok"}
+
+
+def test_host_received_filter(sim):
+    a, b, __ = make_pair(sim)
+    a.send(Packet(src="a", dst="b", payload={"cmd": "on"}))
+    a.send(Packet(src="a", dst="b", payload={"cmd": "off"}))
+    sim.run()
+    assert len(b.received(cmd="on")) == 1
+
+
+def test_link_validation(sim):
+    a, b = Host("a", sim), Host("b", sim)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, latency=-1.0)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth=0.0)
+
+
+def test_same_direction_transmissions_serialize(sim):
+    a, b, __ = make_pair(sim, latency=0.0, bandwidth=1000.0)
+    times = []
+    b.responder = None
+    orig = b.on_packet
+    b.on_packet = lambda pkt, ip: (times.append(sim.now), orig(pkt, ip))
+    a.send(Packet(src="a", dst="b", size=500))  # 0.5 s on the wire
+    a.send(Packet(src="a", dst="b", size=500))  # queues behind the first
+    sim.run()
+    assert times == [pytest.approx(0.5), pytest.approx(1.0)]
+
+
+def test_opposite_directions_do_not_contend(sim):
+    a, b, __ = make_pair(sim, latency=0.0, bandwidth=1000.0)
+    a.send(Packet(src="a", dst="b", size=500))
+    b.send(Packet(src="b", dst="a", size=500))
+    sim.run()
+    assert sim.now == pytest.approx(0.5)  # both finish together
+
+
+def test_drop_tail_under_overload(sim):
+    a, b, link = make_pair(sim, latency=0.0, bandwidth=1000.0)
+    link.max_queue_delay = 1.0
+    # each packet takes 0.5 s; the 4th would wait 1.5 s > 1.0 -> dropped
+    for __ in range(4):
+        a.send(Packet(src="a", dst="b", size=500))
+    sim.run()
+    assert len(b.inbox) == 3
+    assert link.queue_drops == 1
+
+
+def test_queue_drains_over_time(sim):
+    a, b, link = make_pair(sim, latency=0.0, bandwidth=1000.0)
+    link.max_queue_delay = 0.4
+    a.send(Packet(src="a", dst="b", size=500))
+    sim.schedule(0.6, lambda: a.send(Packet(src="a", dst="b", size=500)))
+    sim.run()
+    assert len(b.inbox) == 2  # the wire was free again by 0.6 s
+    assert link.queue_drops == 0
+
+
+def test_unlimited_links_never_queue(sim):
+    a, b, link = make_pair(sim, latency=0.01, bandwidth=None)
+    for __ in range(100):
+        a.send(Packet(src="a", dst="b", size=10_000))
+    sim.run()
+    assert len(b.inbox) == 100
+    assert sim.now == pytest.approx(0.01)

@@ -1,0 +1,54 @@
+"""Dedicated tests for administrative posture pinning."""
+
+from repro.core.deployment import SecuredDeployment
+from repro.devices.library import smart_camera
+from repro.policy.context import COMPROMISED, SUSPICIOUS
+from repro.policy.posture import block_commands
+
+
+def make():
+    dep = SecuredDeployment.build()
+    dep.add_device(smart_camera, "cam")
+    dep.finalize()
+    return dep
+
+
+def test_pinned_posture_survives_escalation():
+    dep = make()
+    dep.secure("cam", block_commands("stop", name="admin-choice"))  # pins
+    dep.controller.set_context("cam", COMPROMISED)
+    assert dep.orchestrator.posture_of("cam").name == "admin-choice"
+
+
+def test_unpinned_posture_follows_policy():
+    dep = make()
+    dep.secure("cam", block_commands("stop", name="admin-choice"), pin=False)
+    dep.controller.set_context("cam", COMPROMISED)
+    assert dep.orchestrator.posture_of("cam").name == "quarantine"
+
+
+def test_unpin_reenables_policy_control():
+    dep = make()
+    dep.secure("cam", block_commands("stop", name="admin-choice"))
+    dep.controller.set_context("cam", SUSPICIOUS)
+    assert dep.orchestrator.posture_of("cam").name == "admin-choice"
+    dep.orchestrator.unpin("cam")
+    # next context change re-engages the policy
+    dep.controller.set_context("cam", COMPROMISED)
+    assert dep.orchestrator.posture_of("cam").name == "quarantine"
+
+
+def test_enforce_all_respects_pins():
+    dep = make()
+    dep.secure("cam", block_commands("stop", name="admin-choice"))
+    dep.controller.view.set("ctx:cam", COMPROMISED)
+    dep.controller.enforce_all()
+    assert dep.orchestrator.posture_of("cam").name == "admin-choice"
+
+
+def test_pin_without_posture_change_is_allowed():
+    dep = make()
+    dep.orchestrator.pin("cam")
+    dep.controller.set_context("cam", COMPROMISED)
+    assert dep.orchestrator.posture_of("cam") is None or \
+        dep.orchestrator.posture_of("cam").is_permissive

@@ -1,0 +1,115 @@
+"""Tests for contexts, system states, and the state space."""
+
+import pytest
+
+from repro.policy.context import (
+    ContextDomain,
+    StateSpace,
+    SystemState,
+    Variable,
+    ctx,
+    env,
+)
+
+
+class TestVariable:
+    def test_keys(self):
+        assert ctx("cam").key == "ctx:cam"
+        assert env("smoke").key == "env:smoke"
+
+    def test_parse_roundtrip(self):
+        assert Variable.parse("ctx:cam") == ctx("cam")
+        assert Variable.parse("env:smoke") == env("smoke")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Variable("dev", "x")
+
+
+class TestContextDomain:
+    def test_size(self):
+        domain = ContextDomain(ctx("cam"), ("normal", "suspicious"))
+        assert domain.size == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContextDomain(ctx("cam"), ())
+        with pytest.raises(ValueError):
+            ContextDomain(ctx("cam"), ("a", "a"))
+
+
+class TestSystemState:
+    def test_mapping_interface(self):
+        state = SystemState({"ctx:cam": "normal", "env:smoke": "clear"})
+        assert state["ctx:cam"] == "normal"
+        assert len(state) == 2
+        assert set(state) == {"ctx:cam", "env:smoke"}
+        with pytest.raises(KeyError):
+            state["ghost"]
+
+    def test_equality_and_hash_order_independent(self):
+        a = SystemState({"x": "1", "y": "2"})
+        b = SystemState({"y": "2", "x": "1"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_updated(self):
+        state = SystemState({"x": "1", "y": "2"})
+        new = state.updated({"x": "9", "z": "3"})
+        assert new["x"] == "9" and new["z"] == "3"
+        assert state["x"] == "1" and "z" not in state
+
+    def test_project(self):
+        state = SystemState({"x": "1", "y": "2", "z": "3"})
+        assert state.project(["x", "z"]) == SystemState({"x": "1", "z": "3"})
+        assert state.project([]) == SystemState({})
+
+
+class TestStateSpace:
+    def space(self):
+        return StateSpace(
+            [
+                ContextDomain(ctx("a"), ("n", "s", "c")),
+                ContextDomain(ctx("b"), ("n", "s")),
+                ContextDomain(env("smoke"), ("clear", "detected")),
+            ]
+        )
+
+    def test_size_is_product(self):
+        assert self.space().size() == 3 * 2 * 2
+
+    def test_enumerate_complete_and_unique(self):
+        states = list(self.space().enumerate())
+        assert len(states) == 12
+        assert len(set(states)) == 12
+        for state in states:
+            assert set(state) == {"ctx:a", "ctx:b", "env:smoke"}
+
+    def test_enumerate_limit(self):
+        assert len(list(self.space().enumerate(limit=5))) == 5
+
+    def test_size_without_materialization_scales(self):
+        # 20 devices x 3 contexts, 6 env vars x 4 levels: 3^20 * 4^6 states
+        domains = [ContextDomain(ctx(f"d{i}"), ("a", "b", "c")) for i in range(20)]
+        domains += [
+            ContextDomain(env(f"e{i}"), ("1", "2", "3", "4")) for i in range(6)
+        ]
+        space = StateSpace(domains)
+        assert space.size() == 3**20 * 4**6  # ~1.4e13, computed instantly
+
+    def test_domain_lookup(self):
+        space = self.space()
+        assert space.domain_of("ctx:a").size == 3
+        assert space.domain_of(ctx("b")).size == 2
+        with pytest.raises(KeyError):
+            space.domain_of("ctx:ghost")
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpace(
+                [
+                    ContextDomain(ctx("a"), ("n",)),
+                    ContextDomain(ctx("a"), ("n", "s")),
+                ]
+            )

@@ -1,0 +1,170 @@
+"""Tests for the FSM policy abstraction."""
+
+import pytest
+
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import (
+    COMPROMISED,
+    NORMAL,
+    SUSPICIOUS,
+    ContextDomain,
+    SystemState,
+    ctx,
+    env,
+)
+from repro.policy.fsm import PolicyFSM, PostureRule, StatePredicate
+from repro.policy.posture import ALLOW_ALL, Posture, block_commands, quarantine
+
+
+def fig3_policy():
+    """The Fig. 3 policy: fire alarm + window."""
+    return (
+        PolicyBuilder()
+        .device("fire_alarm")
+        .device("window")
+        .env("smoke", ("clear", "detected"))
+        .when(ctx("fire_alarm"), SUSPICIOUS)
+        .give("window", block_commands("open", name="block-open"))
+        .when(ctx("window"), SUSPICIOUS)
+        .give("window", block_commands("open", "close", name="robot-check"), priority=200)
+        .build()
+    )
+
+
+def state(fa=NORMAL, win=NORMAL, smoke="clear"):
+    return SystemState(
+        {"ctx:fire_alarm": fa, "ctx:window": win, "env:smoke": smoke}
+    )
+
+
+class TestStatePredicate:
+    def test_empty_matches_all(self):
+        assert StatePredicate.make({}).matches(state())
+
+    def test_conjunction(self):
+        pred = StatePredicate.make({"ctx:fire_alarm": SUSPICIOUS, "env:smoke": "clear"})
+        assert pred.matches(state(fa=SUSPICIOUS))
+        assert not pred.matches(state(fa=SUSPICIOUS, smoke="detected"))
+        assert not pred.matches(state())
+
+    def test_overlaps(self):
+        a = StatePredicate.make({"ctx:fire_alarm": SUSPICIOUS})
+        b = StatePredicate.make({"ctx:window": SUSPICIOUS})
+        c = StatePredicate.make({"ctx:fire_alarm": NORMAL})
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.overlaps(a)
+
+    def test_subsumes(self):
+        general = StatePredicate.make({"ctx:fire_alarm": SUSPICIOUS})
+        specific = StatePredicate.make(
+            {"ctx:fire_alarm": SUSPICIOUS, "env:smoke": "detected"}
+        )
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+        assert StatePredicate.make({}).subsumes(general)
+
+
+class TestPolicyFSM:
+    def test_state_count(self):
+        policy = fig3_policy()
+        assert policy.state_count() == 3 * 3 * 2
+
+    def test_default_posture_when_no_rule(self):
+        policy = fig3_policy()
+        assert policy.posture_for(state(), "window") is ALLOW_ALL
+        assert policy.posture_for(state(), "fire_alarm") is ALLOW_ALL
+
+    def test_rule_fires_on_matching_state(self):
+        policy = fig3_policy()
+        posture = policy.posture_for(state(fa=SUSPICIOUS), "window")
+        assert posture.name == "block-open"
+
+    def test_priority_wins(self):
+        policy = fig3_policy()
+        # both rules match; robot-check has priority 200
+        posture = policy.posture_for(state(fa=SUSPICIOUS, win=SUSPICIOUS), "window")
+        assert posture.name == "robot-check"
+
+    def test_specificity_breaks_priority_ties(self):
+        domains = [
+            ContextDomain(ctx("d"), ("n", "s")),
+            ContextDomain(env("e"), ("0", "1")),
+        ]
+        general = PostureRule(
+            StatePredicate.make({"ctx:d": "s"}), "d", Posture(name="general")
+        )
+        specific = PostureRule(
+            StatePredicate.make({"ctx:d": "s", "env:e": "1"}),
+            "d",
+            Posture(name="specific"),
+        )
+        policy = PolicyFSM(domains, [general, specific])
+        result = policy.posture_for(SystemState({"ctx:d": "s", "env:e": "1"}), "d")
+        assert result.name == "specific"
+
+    def test_postures_covers_all_devices(self):
+        policy = fig3_policy()
+        assignment = policy.postures(state(fa=SUSPICIOUS))
+        assert set(assignment) == {"fire_alarm", "window"}
+
+    def test_materialize_full_table(self):
+        policy = fig3_policy()
+        table = policy.materialize()
+        assert len(table) == policy.state_count()
+        blocked = sum(
+            1 for postures in table.values() if postures["window"].name != "allow"
+        )
+        # window is non-allow whenever fire_alarm or window is suspicious/compromised?
+        # block-open fires only on fa=suspicious; robot-check on win=suspicious.
+        # states: fa=susp (1 of 3) x win(3) x smoke(2) = 6; win=susp: 3x1x2=6; overlap 2
+        assert blocked == 10
+
+    def test_rule_hit_counter(self):
+        policy = fig3_policy()
+        rule = policy.rules_for("window")[-1]
+        before = rule.hits
+        policy.posture_for(state(fa=SUSPICIOUS), "window")
+        total_hits = sum(r.hits for r in policy.rules)
+        assert total_hits > before
+
+    def test_validation_unknown_variable(self):
+        with pytest.raises(ValueError):
+            PolicyFSM(
+                [ContextDomain(ctx("a"), ("n",))],
+                [
+                    PostureRule(
+                        StatePredicate.make({"ctx:ghost": "n"}), "a", ALLOW_ALL
+                    )
+                ],
+            )
+
+    def test_validation_unknown_value(self):
+        with pytest.raises(ValueError):
+            PolicyFSM(
+                [ContextDomain(ctx("a"), ("n",))],
+                [PostureRule(StatePredicate.make({"ctx:a": "zzz"}), "a", ALLOW_ALL)],
+            )
+
+    def test_add_rule_keeps_order(self):
+        policy = fig3_policy()
+        policy.add_rule(
+            PostureRule(
+                StatePredicate.make({"ctx:window": COMPROMISED}),
+                "window",
+                quarantine("window"),
+                priority=500,
+            )
+        )
+        posture = policy.posture_for(
+            state(fa=SUSPICIOUS, win=COMPROMISED), "window"
+        )
+        assert posture.name == "quarantine"
+
+    def test_referenced_variables(self):
+        policy = fig3_policy()
+        assert policy.referenced_variables() == {"ctx:fire_alarm", "ctx:window"}
+
+    def test_devices_inferred_from_rules_and_domains(self):
+        policy = fig3_policy()
+        assert set(policy.devices) == {"fire_alarm", "window"}

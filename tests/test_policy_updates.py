@@ -1,0 +1,121 @@
+"""Tests for runtime policy updates and the graph-to-deployment loop."""
+
+from repro.attacks.exploits import EXPLOITS
+from repro.core.deployment import SecuredDeployment
+from repro.devices import protocol
+from repro.devices.library import smart_camera, smart_plug, window_actuator
+from repro.learning.attackgraph import AttackGraphBuilder, envfact
+from repro.policy.context import SUSPICIOUS
+from repro.policy.fsm import PostureRule, StatePredicate
+from repro.policy.ifttt import Recipe
+from repro.policy.posture import block_commands
+
+
+class TestLivePolicyUpdate:
+    def test_new_rule_takes_effect_immediately(self):
+        dep = SecuredDeployment.build()
+        dep.add_device(window_actuator, "window")
+        dep.add_device(smart_camera, "cam")
+        dep.finalize()
+        # context already suspicious, but no rule cares yet
+        dep.controller.set_context("cam", SUSPICIOUS)
+        current = dep.orchestrator.posture_of("window")
+        assert current is None or current.is_permissive
+        # the operator ships a new cross-device rule at runtime
+        dep.controller.update_policy(
+            PostureRule(
+                predicate=StatePredicate.make({"ctx:cam": SUSPICIOUS}),
+                device="window",
+                posture=block_commands("open", name="late-rule"),
+                priority=400,
+            )
+        )
+        assert dep.orchestrator.posture_of("window").name == "late-rule"
+
+    def test_pruned_structure_rebuilt(self):
+        dep = SecuredDeployment.build()
+        dep.add_device(window_actuator, "window")
+        dep.add_device(smart_camera, "cam")
+        dep.finalize()
+        from repro.policy.pruning import relevant_variables
+
+        assert "ctx:cam" not in relevant_variables(dep.controller.policy, "window")
+        dep.controller.update_policy(
+            PostureRule(
+                predicate=StatePredicate.make({"ctx:cam": SUSPICIOUS}),
+                device="window",
+                posture=block_commands("open", name="late-rule"),
+                priority=400,
+            )
+        )
+        assert "ctx:cam" in relevant_variables(dep.controller.policy, "window")
+        # the pruned lookup agrees with the updated brute-force lookup
+        state = dep.controller.view.system_state(
+            (v.key for v in dep.controller.policy.space.variables()),
+            dep.controller._defaults,
+        )
+        assert dep.controller.pruned.posture_for(
+            state, "window"
+        ) == dep.controller.policy.posture_for(state, "window")
+
+
+class TestGraphToDeploymentLoop:
+    def build(self):
+        dep = SecuredDeployment.build()
+        dep.add_device(smart_plug, "heater_plug", load={"heat_watts": 1500.0})
+        dep.add_device(window_actuator, "window")
+        attacker = dep.add_attacker()
+        dep.finalize()
+        dep.hub.add_recipe(
+            Recipe("cool-down", "env:temperature", "high", "window", "open")
+        )
+        return dep, attacker
+
+    def test_plan_applies_and_blocks_the_paths(self):
+        dep, attacker = self.build()
+        builder = AttackGraphBuilder(
+            {n: (d.model, d.firmware) for n, d in dep.devices.items()},
+            recipes=[Recipe("cool-down", "env:temperature", "high", "window", "open")],
+        )
+        plan = builder.hardening_plan(envfact("window", "open"))
+        hardened = dep.apply_hardening_plan(plan)
+        assert set(hardened) == {d for d, __ in plan}
+        dep.run(until=0.5)
+
+        # path 1: brute-force the window directly -> blocked by the proxy
+        brute = EXPLOITS["brute_force_login"].launch(
+            attacker, "window", dep.sim, command="open"
+        )
+        # path 2: backdoor the plug to start the thermal chain -> firewall
+        backdoor = EXPLOITS["backdoor_command"].launch(
+            attacker, "heater_plug", dep.sim, backdoor_port=49153, command="on"
+        )
+        dep.run(until=60.0)
+        assert not brute.succeeded
+        assert not backdoor.succeeded
+        assert dep.devices["window"].state == "closed"
+        assert dep.devices["heater_plug"].state == "off"
+
+    def test_owner_still_operates_hardened_window(self):
+        dep, __ = self.build()
+        builder = AttackGraphBuilder(
+            {n: (d.model, d.firmware) for n, d in dep.devices.items()},
+        )
+        dep.apply_hardening_plan(
+            builder.hardening_plan(envfact("window", "open")),
+            new_password="Owner!pass",
+        )
+        dep.run(until=0.5)
+        owner = dep.add_attacker("owner_phone", latency=0.001)
+        replies = []
+        owner.request(
+            protocol.login("owner_phone", "window", "admin", "Owner!pass"),
+            replies.append,
+        )
+        dep.run(until=10.0)
+        assert len(replies) == 1 and protocol.is_ok(replies[0])
+
+    def test_unknown_devices_in_plan_skipped(self):
+        dep, __ = self.build()
+        hardened = dep.apply_hardening_plan([("ghost", "quarantine")])
+        assert hardened == []

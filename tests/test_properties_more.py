@@ -1,0 +1,204 @@
+"""Additional property-based tests: abstract world, miner, anonymizer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.library import (
+    BULB_MODEL,
+    FIRE_ALARM_MODEL,
+    MOTION_SENSOR_MODEL,
+    WINDOW_MODEL,
+    smart_plug_model,
+)
+from repro.learning.abstract_env import AbstractWorld
+from repro.learning.anonymize import Anonymizer, leaks_identity
+from repro.learning.signatures import AttackSignature, SignatureMatch
+from repro.learning.traceminer import LabelledTrace, MiningError, mine_signature
+from repro.netsim.packet import Packet
+
+WORLD_DEVICES = {
+    "alarm": FIRE_ALARM_MODEL,
+    "window": WINDOW_MODEL,
+    "plug": smart_plug_model(hazard=1.0),
+    "bulb": BULB_MODEL,
+    "motion": MOTION_SENSOR_MODEL,
+}
+WORLD = AbstractWorld(WORLD_DEVICES)
+ACTIONS = WORLD.actions()
+
+
+@st.composite
+def action_sequences(draw):
+    indices = draw(st.lists(st.integers(0, len(ACTIONS) - 1), max_size=25))
+    return [ACTIONS[i] for i in indices]
+
+
+@given(action_sequences())
+@settings(max_examples=60, deadline=None)
+def test_abstract_world_deterministic(seq):
+    a = WORLD.initial_state()
+    b = WORLD.initial_state()
+    for action in seq:
+        a = WORLD.step(a, action)
+        b = WORLD.step(b, action)
+    assert a == b
+
+
+@given(action_sequences())
+@settings(max_examples=60, deadline=None)
+def test_abstract_world_states_are_closed(seq):
+    """After any step, no enabled trigger remains unfired (fixpoint)."""
+    state = WORLD.initial_state()
+    for action in seq:
+        state = WORLD.step(state, action)
+    devices = state.devices()
+    env = state.env()
+    for name, model in WORLD.devices.items():
+        for trigger in model.triggers:
+            if env.get(trigger.variable) == trigger.level:
+                assert (
+                    model.next_state(devices[name], trigger.command)
+                    == devices[name]
+                ), f"{name} has an unfired enabled trigger"
+
+
+@given(action_sequences())
+@settings(max_examples=40, deadline=None)
+def test_abstract_world_window_binding_invariant(seq):
+    """The window env variable always mirrors the window device state."""
+    state = WORLD.initial_state()
+    for action in seq:
+        state = WORLD.step(state, action)
+        assert state.env()["window"] == (
+            "open" if state.devices()["window"] == "open" else "closed"
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace miner
+# ----------------------------------------------------------------------
+payload_values = st.sampled_from(["on", "off", "open", "login", "admin", "x"])
+
+
+@st.composite
+def attack_packets(draw):
+    n = draw(st.integers(1, 6))
+    base_port = draw(st.sampled_from([80, 8080, 49153]))
+    packets = []
+    for __ in range(n):
+        payload = {
+            "cmd": draw(payload_values),
+            "action": draw(payload_values),
+        }
+        packets.append(
+            Packet(src="attacker", dst="dev", protocol="iot", dport=base_port, payload=payload)
+        )
+    return packets
+
+
+@given(attack_packets())
+@settings(max_examples=60, deadline=None)
+def test_mined_signature_matches_every_attack_packet(packets):
+    trace = LabelledTrace.make(attack=packets)
+    signature = mine_signature(trace, sku="s")
+    assert all(signature.match.matches(p) for p in packets)
+
+
+@given(attack_packets(), attack_packets())
+@settings(max_examples=60, deadline=None)
+def test_mined_signature_never_matches_given_benign(attack, benign):
+    trace = LabelledTrace.make(attack=attack, benign=benign)
+    try:
+        signature = mine_signature(trace, sku="s")
+    except MiningError:
+        return  # refusing is always acceptable
+    assert all(signature.match.matches(p) for p in attack)
+    assert not any(signature.match.matches(p) for p in benign)
+
+
+# ----------------------------------------------------------------------
+# Anonymizer
+# ----------------------------------------------------------------------
+@st.composite
+def signatures(draw):
+    contains = {}
+    for key in draw(
+        st.lists(
+            st.sampled_from(["action", "username", "password", "session", "cmd"]),
+            unique=True,
+            max_size=4,
+        )
+    ):
+        contains[key] = draw(st.sampled_from(["admin", "secret-thing", "login", "on"]))
+    return AttackSignature(
+        sku="v:m:1",
+        flaw_class="x",
+        match=SignatureMatch.make(
+            protocol=draw(st.sampled_from([None, "http", "iot"])),
+            dport=draw(st.sampled_from([None, 80, 8080])),
+            payload_contains=contains,
+        ),
+        reporter=draw(st.sampled_from(["acme-corp", "site-77", "alice"])),
+    )
+
+
+@given(signatures())
+@settings(max_examples=80, deadline=None)
+def test_scrub_never_leaks(sig):
+    identities = {sig.reporter}
+    scrubbed = Anonymizer().scrub(sig)
+    assert not leaks_identity(scrubbed, identities)
+
+
+@given(signatures())
+@settings(max_examples=80, deadline=None)
+def test_scrub_idempotent_on_match(sig):
+    anonymizer = Anonymizer()
+    once = anonymizer.scrub(sig)
+    twice = anonymizer.scrub(once)
+    assert once.match == twice.match
+    assert once.sku == twice.sku
+
+
+@given(signatures())
+@settings(max_examples=80, deadline=None)
+def test_scrub_only_generalizes_never_narrows(sig):
+    """Any packet the scrubbed signature matches with extra keys present,
+    plus: every packet matching the original *with its sensitive fields*
+    still matches the scrubbed version (detection power preserved)."""
+    scrubbed = Anonymizer().scrub(sig)
+    packet = Packet(
+        src="a",
+        dst="b",
+        protocol=sig.match.protocol or "http",
+        dport=sig.match.dport or 80,
+        payload=dict(sig.match.payload_contains),
+    )
+    if sig.match.matches(packet):
+        assert scrubbed.match.matches(packet)
+
+
+# ----------------------------------------------------------------------
+# Serialization: random policies round-trip losslessly
+# ----------------------------------------------------------------------
+from repro.policy import serialization as policy_serialization  # noqa: E402
+
+
+def _random_policies_strategy():
+    from tests.test_properties import random_policies
+
+    return random_policies()
+
+
+@given(_random_policies_strategy())
+@settings(max_examples=30, deadline=None)
+def test_policy_serialization_round_trip(policy):
+    restored = policy_serialization.loads(policy_serialization.dumps(policy))
+    assert restored.state_count() == policy.state_count()
+    for state in policy.enumerate_states(limit=128):
+        for device in policy.devices:
+            assert restored.posture_for(state, device) == policy.posture_for(
+                state, device
+            )

@@ -1,0 +1,53 @@
+"""Tests for the IoT protocol message constructors."""
+
+from repro.devices import protocol
+from repro.devices.protocol import CTRL_PORT, DNS_PORT, MGMT_PORT, TELEMETRY_PORT
+
+
+def test_login_shape():
+    pkt = protocol.login("a", "cam", "admin", "secret")
+    assert pkt.dport == MGMT_PORT
+    assert pkt.protocol == "http"
+    assert pkt.payload == {"action": "login", "username": "admin", "password": "secret"}
+
+
+def test_get_resource_with_and_without_session():
+    anon = protocol.get_resource("a", "cam", "image")
+    assert "session" not in anon.payload
+    authed = protocol.get_resource("a", "cam", "image", session="tok")
+    assert authed.payload["session"] == "tok"
+    assert authed.payload["resource"] == "image"
+
+
+def test_command_defaults_and_params():
+    pkt = protocol.command("a", "plug", "on")
+    assert pkt.dport == CTRL_PORT and pkt.protocol == "iot"
+    assert pkt.payload == {"cmd": "on"}
+    custom = protocol.command("a", "plug", "set", session="t", dport=9999, level=5)
+    assert custom.dport == 9999
+    assert custom.payload == {"cmd": "set", "level": 5, "session": "t"}
+
+
+def test_telemetry_copies_readings():
+    readings = {"person": "present"}
+    pkt = protocol.telemetry("cam", "hub", "recording", readings)
+    readings["person"] = "absent"
+    assert pkt.payload["readings"] == {"person": "present"}
+    assert pkt.dport == TELEMETRY_PORT
+
+
+def test_dns_query_spoofing():
+    honest = protocol.dns_query("attacker", "plug", "x.com")
+    assert honest.src == "attacker" and honest.dport == DNS_PORT
+    spoofed = protocol.dns_query("attacker", "plug", "x.com", spoofed_src="victim")
+    assert spoofed.src == "victim"
+
+
+def test_status_helpers():
+    from repro.netsim.packet import Packet
+
+    ok = Packet(src="a", dst="b", payload={"status": "ok"})
+    denied = Packet(src="a", dst="b", payload={"status": "denied"})
+    other = Packet(src="a", dst="b", payload={})
+    assert protocol.is_ok(ok) and not protocol.is_ok(denied)
+    assert protocol.is_denied(denied) and not protocol.is_denied(other)

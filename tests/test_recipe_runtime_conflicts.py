@@ -1,0 +1,131 @@
+"""Runtime demonstration of section 3.1's recipe-conflict problem.
+
+Static analysis (tests/test_conflicts.py) finds conflicting recipes; this
+module shows what they *do* at runtime -- the actuator receives
+contradictory commands and its final state depends on network timing --
+and that the FSM guard translation resolves the ambiguity deterministically.
+"""
+
+from repro.core.deployment import SecuredDeployment
+from repro.devices.library import smart_plug, window_actuator
+from repro.policy.conflicts import find_recipe_conflicts
+from repro.policy.ifttt import Recipe, recipe_to_guard_rules
+
+
+def build_home(recipes, with_iotsec=False, policy=None):
+    dep = SecuredDeployment.build(with_iotsec=with_iotsec, policy=policy)
+    window = dep.add_device(window_actuator, "window")
+    dep.add_device(smart_plug, "plug")
+    for recipe in recipes:
+        dep.hub.add_recipe(recipe)
+    dep.finalize()
+    return dep, window
+
+
+CONFLICTING = [
+    # smoke -> open the window (ventilation)
+    Recipe("ventilate", "env:smoke", "detected", "window", "open"),
+    # smoke -> close the window (keep oxygen from the fire)
+    Recipe("starve-fire", "env:smoke", "detected", "window", "close"),
+]
+
+
+def test_static_analysis_flags_the_pair():
+    conflicts = find_recipe_conflicts(CONFLICTING)
+    assert len(conflicts) == 1
+    assert conflicts[0].severity == "error"
+
+
+def test_runtime_conflict_sends_contradictory_commands():
+    dep, window = build_home(CONFLICTING)
+    dep.env.continuous("smoke").set(0.9)
+    dep.run(until=10.0)
+    commands = [r.cmd for r in window.command_log if r.accepted]
+    # both commands arrived; the final state is an accident of ordering
+    assert "open" in commands and "close" in commands
+    assert len(dep.hub.firings) == 2
+
+
+def test_runtime_conflict_outcome_depends_on_recipe_order():
+    dep_a, window_a = build_home(CONFLICTING)
+    dep_b, window_b = build_home(list(reversed(CONFLICTING)))
+    dep_a.env.continuous("smoke").set(0.9)
+    dep_b.env.continuous("smoke").set(0.9)
+    dep_a.run(until=10.0)
+    dep_b.run(until=10.0)
+    # identical homes, identical trigger -- opposite outcomes
+    assert window_a.state != window_b.state
+
+
+def test_reactive_posture_loses_the_race_to_instant_automation():
+    """A posture that only deploys *after* the controller senses the smoke
+    arrives ~50 ms too late: the hub's recipe fires on the same event and
+    its command crosses the (not-yet-guarded) path first.  This race is
+    why context conditions belong in an always-on gate, not in a reactive
+    posture swap (next test)."""
+    from repro.policy.builder import PolicyBuilder
+    from repro.policy.fsm import PostureRule, StatePredicate
+    from repro.policy.posture import block_commands
+
+    builder = (
+        PolicyBuilder()
+        .device("window")
+        .device("plug")
+        .env("smoke", ("clear", "detected"))
+        .env("occupancy", ("absent", "present"))
+    )
+    builder.rule(
+        PostureRule(
+            predicate=StatePredicate.make({"env:smoke": "detected"}),
+            device="window",
+            posture=block_commands("open", name="no-open-during-smoke"),
+            priority=400,
+        )
+    )
+    policy = builder.build()
+    dep, window = build_home(CONFLICTING, with_iotsec=True, policy=policy)
+    dep.enforce_baseline(monitor=False)
+    dep.run(until=0.5)
+    dep.env.continuous("smoke").set(0.9)
+    dep.run(until=10.0)
+    accepted = [r.cmd for r in window.command_log if r.accepted]
+    assert "open" in accepted  # the race was lost
+    # ...but the posture did engage, just late:
+    assert dep.orchestrator.posture_of("window").name == "no-open-during-smoke"
+
+
+def test_always_on_context_gate_resolves_the_ambiguity():
+    """The race-free form: the window is *always* tunnelled through a gate
+    that admits 'open' only while the view says smoke=clear.  With the
+    controller sensing at zero latency (on-premise), the gate's view is
+    fresh before any recipe command can cross the network."""
+    from repro.policy.posture import MboxSpec, Posture
+
+    dep, window = build_home(CONFLICTING, with_iotsec=True)
+    dep.finalize()
+    # on-premise sensing: the view updates in the same instant as the event
+    dep.controller.watch_environment(dep.env, sensing_latency=0.0)
+    dep.secure(
+        "window",
+        Posture.make(
+            "smoke-gate",
+            MboxSpec.make(
+                "context_gate", commands=["open"], require={"env:smoke": "clear"}
+            ),
+        ),
+    )
+    dep.run(until=0.5)
+    dep.env.continuous("smoke").set(0.9)
+    dep.run(until=10.0)
+    accepted = [r.cmd for r in window.command_log if r.accepted]
+    assert accepted == ["close"]  # deterministic, safe outcome
+    assert window.state == "closed"
+    assert any(a.kind == "context-gate-blocked" for a in dep.alerts("window"))
+
+
+def test_guard_translation_matches_hand_written_rule():
+    recipe = Recipe("safety", "env:smoke", "clear", "window", "open")
+    rules = recipe_to_guard_rules(recipe, ("clear", "detected"))
+    assert len(rules) == 1
+    predicate = rules[0].predicate
+    assert dict(predicate.requirements) == {"env:smoke": "detected"}

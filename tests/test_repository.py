@@ -1,0 +1,131 @@
+"""Tests for the crowdsourced signature repository."""
+
+from repro.learning.repository import CrowdRepository
+from repro.learning.signatures import (
+    backdoor_signature,
+    default_credential_signature,
+)
+
+
+def test_publish_and_subscribe_delivery(sim):
+    repo = CrowdRepository(sim, free_rider_delay=300.0, base_delay=1.0)
+    got = []
+    repo.subscribe("site-b", "dlink:cam:1.0", got.append)
+    sig_id = repo.publish(default_credential_signature("dlink:cam:1.0"), reporter="site-a")
+    assert sig_id is not None
+    sim.run()
+    assert len(got) == 1
+    assert got[0].sku == "dlink:cam:1.0"
+
+
+def test_sku_isolation(sim):
+    repo = CrowdRepository(sim)
+    got = []
+    repo.subscribe("site-b", "other:sku:1.0", got.append)
+    repo.publish(default_credential_signature("dlink:cam:1.0"), reporter="site-a")
+    sim.run()
+    assert got == []
+
+
+def test_contributor_priority_notification(sim):
+    repo = CrowdRepository(sim, free_rider_delay=300.0, base_delay=1.0)
+    times = {}
+    sig_id = repo.publish(
+        backdoor_signature("belkin:wemo:1.0", 49153), reporter="contrib-site"
+    )
+    sim.run()
+    contributor = repo.signatures[sig_id].reporter  # the stored pseudonym
+    repo.subscribe(
+        contributor, "dlink:cam:1.0", lambda s: times.setdefault("contrib", sim.now)
+    )
+    repo.subscribe(
+        "freeloader", "dlink:cam:1.0", lambda s: times.setdefault("free", sim.now)
+    )
+    start = sim.now
+    repo.publish(default_credential_signature("dlink:cam:1.0"), reporter="another-site")
+    sim.run()
+    assert times["contrib"] - start < times["free"] - start
+    assert times["free"] - start >= 300.0
+
+
+def test_deduplication_counts_as_validation(sim):
+    repo = CrowdRepository(sim)
+    first = default_credential_signature("dlink:cam:1.0")
+    sig_id = repo.publish(first, reporter="site-a")
+    reporter_pseudo = repo.signatures[sig_id].reporter
+    score_before = repo.reputation.score_of(reporter_pseudo)
+    assert repo.publish(default_credential_signature("dlink:cam:1.0"), reporter="site-b") is None
+    assert repo.duplicates == 1
+    assert repo.reputation.score_of(reporter_pseudo) > score_before
+
+
+def test_votes_can_revoke(sim):
+    repo = CrowdRepository(sim)
+    sig = default_credential_signature("dlink:cam:1.0")
+    sig_id = repo.publish(sig, reporter="site-a")
+    sim.run()
+    for i in range(8):
+        voter = f"v{i}"
+        for __ in range(10):
+            repo.reputation.feedback(voter, validated=True)
+        repo.vote(sig_id, voter, helpful=False)
+    assert repo.is_revoked(sig_id)
+    assert repo.signatures_for("dlink:cam:1.0") == []
+    assert repo.signatures_for("dlink:cam:1.0", include_revoked=True)
+
+
+def test_revoked_not_delivered_to_new_subscribers(sim):
+    repo = CrowdRepository(sim)
+    sig_id = repo.publish(default_credential_signature("dlink:cam:1.0"), reporter="a")
+    for i in range(8):
+        voter = f"v{i}"
+        for __ in range(10):
+            repo.reputation.feedback(voter, validated=True)
+        repo.vote(sig_id, voter, helpful=False)
+    got = []
+    repo.subscribe("late-site", "dlink:cam:1.0", got.append)
+    sim.run()
+    assert got == []
+
+
+def test_low_reputation_publisher_withheld(sim):
+    repo = CrowdRepository(sim)
+    # poison the reporter's record first
+    sig0 = default_credential_signature("z:z:1.0")
+    sig0_id = repo.publish(sig0, reporter="poisoner")
+    pseudo = repo.signatures[sig0_id].reporter
+    for __ in range(10):
+        repo.reputation.feedback(pseudo, validated=False)
+    got = []
+    repo.subscribe("victim", "belkin:wemo:1.0", got.append)
+    repo.publish(backdoor_signature("belkin:wemo:1.0", 49153), reporter="poisoner")
+    sim.run()
+    assert got == []
+    assert repo.withheld == 1
+
+
+def test_covered_skus(sim):
+    repo = CrowdRepository(sim)
+    repo.publish(default_credential_signature("a:a:1"), reporter="r1")
+    repo.publish(backdoor_signature("b:b:1", 1234), reporter="r2")
+    assert repo.covered_skus() == {"a:a:1", "b:b:1"}
+
+
+def test_replay_to_late_subscriber(sim):
+    repo = CrowdRepository(sim, base_delay=1.0, free_rider_delay=10.0)
+    repo.publish(default_credential_signature("dlink:cam:1.0"), reporter="site-a")
+    sim.run()
+    got = []
+    repo.subscribe("late", "dlink:cam:1.0", got.append)
+    sim.run()
+    assert len(got) == 1
+
+
+def test_stats(sim):
+    repo = CrowdRepository(sim)
+    repo.publish(default_credential_signature("a:a:1"), reporter="r")
+    repo.publish(default_credential_signature("a:a:1"), reporter="r2")
+    stats = repo.stats()
+    assert stats["published"] == 1
+    assert stats["duplicates"] == 1
+    assert stats["skus"] == 1

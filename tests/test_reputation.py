@@ -1,0 +1,97 @@
+"""Tests for the reputation/voting system."""
+
+from repro.learning.reputation import ContributorRecord, ReputationSystem
+
+
+def test_fresh_contributor_starts_neutral():
+    system = ReputationSystem()
+    assert system.score_of("newbie") == 0.5
+
+
+def test_score_rises_with_validated_reports():
+    system = ReputationSystem()
+    for __ in range(10):
+        system.feedback("good", validated=True)
+    assert system.score_of("good") > 0.9
+
+
+def test_score_falls_with_invalidated_reports():
+    system = ReputationSystem()
+    for __ in range(10):
+        system.feedback("bad", validated=False)
+    assert system.score_of("bad") < 0.1
+
+
+def test_confidence_shifts_with_votes():
+    system = ReputationSystem()
+    base = system.confidence(1, "reporter")
+    # build up two credible voters first
+    for __ in range(10):
+        system.feedback("voter1", validated=True)
+        system.feedback("voter2", validated=True)
+    system.vote(1, "voter1", helpful=True)
+    system.vote(1, "voter2", helpful=True)
+    assert system.confidence(1, "reporter") > base
+
+
+def test_downvotes_can_block_acceptance():
+    system = ReputationSystem(accept_threshold=0.6)
+    for __ in range(10):
+        system.feedback("reporter", validated=True)  # trusted reporter
+    assert system.accepted(1, "reporter")
+    for i in range(6):
+        voter = f"v{i}"
+        for __ in range(10):
+            system.feedback(voter, validated=True)
+        system.vote(1, voter, helpful=False)
+    assert not system.accepted(1, "reporter")
+
+
+def test_revote_ignored():
+    system = ReputationSystem()
+    system.vote(1, "voter", helpful=True)
+    tally_after_first = system.tallies[1].up_weight
+    system.vote(1, "voter", helpful=True)
+    system.vote(1, "voter", helpful=False)
+    assert system.tallies[1].up_weight == tally_after_first
+    assert system.tallies[1].down_weight == 0.0
+
+
+def test_sybil_swarm_has_little_pull():
+    """Fresh identities (score 0.5 each) cannot outweigh an established
+    reporter as effectively as established voters can."""
+    system = ReputationSystem(accept_threshold=0.6, vote_weight=0.05)
+    for __ in range(20):
+        system.feedback("veteran", validated=True)
+    for i in range(5):
+        system.vote(42, f"sybil{i}", helpful=False)
+    # 5 sybils x 0.5 weight x 0.05 = 0.125 shift; veteran ~0.95
+    assert system.accepted(42, "veteran")
+
+
+def test_confidence_clamped_to_unit_interval():
+    system = ReputationSystem(vote_weight=10.0)
+    for i in range(3):
+        system.vote(7, f"v{i}", helpful=True)
+    assert system.confidence(7, "x") <= 1.0
+    for i in range(3, 9):
+        system.vote(8, f"v{i}", helpful=False)
+    assert system.confidence(8, "x") >= 0.0
+
+
+def test_top_contributors():
+    system = ReputationSystem()
+    for __ in range(5):
+        system.feedback("star", validated=True)
+    system.feedback("meh", validated=False)
+    ranked = system.top_contributors(2)
+    assert ranked[0][0] == "star"
+
+
+def test_contributor_record_math():
+    record = ContributorRecord()
+    assert record.score == 0.5
+    record.record_validated()
+    assert record.score == 2 / 3
+    record.record_invalidated()
+    assert record.score == 0.5

@@ -1,0 +1,112 @@
+"""Tests for policy/posture JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.policy.builder import PolicyBuilder
+from repro.policy.context import SUSPICIOUS
+from repro.policy.posture import MboxSpec, Posture, block_commands, quarantine
+from repro.policy.serialization import (
+    dumps,
+    load,
+    loads,
+    posture_from_dict,
+    posture_to_dict,
+    save,
+)
+
+
+def sample_policy():
+    return (
+        PolicyBuilder()
+        .device("cam")
+        .device("wemo")
+        .env("occupancy", ("absent", "present"))
+        .when("ctx:cam", SUSPICIOUS)
+        .give("cam", quarantine("cam"), priority=300)
+        .when("env:occupancy", "absent")
+        .give(
+            "wemo",
+            Posture.make(
+                "gate",
+                MboxSpec.make(
+                    "context_gate", commands=["on"], require={"env:occupancy": "present"}
+                ),
+            ),
+            priority=150,
+        )
+        .build()
+    )
+
+
+class TestPostureSerialization:
+    def test_round_trip(self):
+        posture = block_commands("open", "close", name="blocky")
+        restored = posture_from_dict(posture_to_dict(posture))
+        assert restored == posture
+
+    def test_complex_config_round_trip(self):
+        posture = Posture.make(
+            "complex",
+            MboxSpec.make(
+                "context_gate",
+                commands=["on", "off"],
+                require={"env:occupancy": "present", "env:smoke": "clear"},
+            ),
+            MboxSpec.make("rate_limiter", rate=0.5, burst=3.0, match_dport=80),
+            description="both gates",
+        )
+        restored = posture_from_dict(posture_to_dict(posture))
+        assert restored == posture
+
+
+class TestPolicySerialization:
+    def test_json_is_valid_and_stable(self):
+        text = dumps(sample_policy())
+        data = json.loads(text)
+        assert "domains" in data and "rules" in data
+        assert dumps(loads(text)) == text  # stable fixpoint
+
+    def test_round_trip_semantics(self):
+        original = sample_policy()
+        restored = loads(dumps(original))
+        assert restored.state_count() == original.state_count()
+        assert set(restored.devices) == set(original.devices)
+        for state in original.enumerate_states():
+            for device in original.devices:
+                assert restored.posture_for(state, device) == original.posture_for(
+                    state, device
+                ), (state, device)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "policy.json"
+        original = sample_policy()
+        save(original, str(path))
+        restored = load(str(path))
+        state = next(original.enumerate_states())
+        assert restored.posture_for(state, "cam") == original.posture_for(state, "cam")
+
+    def test_restored_policy_enforceable(self):
+        """A deserialized policy drives a live deployment."""
+        from repro.core.deployment import SecuredDeployment
+        from repro.devices.library import smart_camera, smart_plug
+
+        restored = loads(dumps(sample_policy()))
+        dep = SecuredDeployment.build(policy=restored)
+        dep.add_device(smart_camera, "cam")
+        dep.add_device(smart_plug, "wemo")
+        dep.finalize()
+        dep.controller.set_context("cam", SUSPICIOUS)
+        assert dep.orchestrator.posture_of("cam").name == "quarantine"
+
+    def test_invalid_rule_values_rejected_on_load(self):
+        data = {
+            "domains": {"ctx:cam": ["normal"]},
+            "rules": [
+                {"when": {"ctx:cam": "bogus"}, "device": "cam",
+                 "posture": {"name": "x", "modules": []}}
+            ],
+        }
+        with pytest.raises(ValueError):
+            loads(json.dumps(data))

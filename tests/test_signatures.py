@@ -1,0 +1,75 @@
+"""Tests for the signature format."""
+
+from repro.learning.signatures import (
+    AttackSignature,
+    SignatureMatch,
+    backdoor_signature,
+    default_credential_signature,
+    dns_amplification_signature,
+)
+from repro.netsim.packet import Packet
+
+
+def login_pkt(username="admin", password="admin"):
+    return Packet(
+        src="attacker",
+        dst="cam",
+        protocol="http",
+        dport=80,
+        payload={"action": "login", "username": username, "password": password},
+    )
+
+
+class TestSignatureMatch:
+    def test_payload_contains(self):
+        match = SignatureMatch.make(
+            protocol="http", dport=80, payload_contains={"action": "login"}
+        )
+        assert match.matches(login_pkt())
+        assert not match.matches(Packet(src="a", dst="b", protocol="http", dport=80))
+
+    def test_payload_keys_presence(self):
+        match = SignatureMatch.make(payload_keys=("cmd",))
+        assert match.matches(Packet(src="a", dst="b", payload={"cmd": "anything"}))
+        assert not match.matches(Packet(src="a", dst="b", payload={"other": 1}))
+
+    def test_header_wildcards(self):
+        match = SignatureMatch.make(dport=53)
+        assert match.matches(Packet(src="a", dst="b", protocol="dns", dport=53))
+        assert match.matches(Packet(src="a", dst="b", protocol="udp", dport=53))
+        assert not match.matches(Packet(src="a", dst="b", dport=80))
+
+    def test_min_size(self):
+        match = SignatureMatch.make(min_size=100)
+        assert match.matches(Packet(src="a", dst="b", size=100))
+        assert not match.matches(Packet(src="a", dst="b", size=99))
+
+
+class TestAttackSignature:
+    def test_key_identity_for_dedup(self):
+        a = default_credential_signature("dlink:cam:1.0")
+        b = default_credential_signature("dlink:cam:1.0")
+        c = default_credential_signature("other:cam:1.0")
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert a.sig_id != b.sig_id
+
+    def test_dict_roundtrip(self):
+        original = backdoor_signature("belkin:wemo:1.0", 49153)
+        data = original.to_dict()
+        restored = AttackSignature.from_dict(data)
+        assert restored.key() == original.key()
+        assert restored.recommended_posture == original.recommended_posture
+        assert restored.match.matches(
+            Packet(src="a", dst="b", dport=49153, payload={"cmd": "on"})
+        )
+
+    def test_canned_signatures_match_their_attacks(self):
+        cred = default_credential_signature("sku")
+        assert cred.match.matches(login_pkt())
+        assert not cred.match.matches(login_pkt(password="other"))
+
+        dns = dns_amplification_signature("sku")
+        assert dns.match.matches(
+            Packet(src="a", dst="b", protocol="dns", dport=53, payload={"query": "x"})
+        )

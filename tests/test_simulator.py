@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.simulator import Simulator
+
+
+def test_time_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_advances_time(sim):
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_simultaneous_events_fire_in_schedule_order(sim):
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    fired = []
+    sim.schedule_at(5.0, fired.append, "x")
+    sim.run()
+    assert sim.now == 5.0 and fired == ["x"]
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "no")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_at_boundary(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_event_at_exact_until_boundary_fires(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_max_events_budget(sim):
+    count = []
+
+    def recurse():
+        count.append(1)
+        sim.schedule(0.1, recurse)
+
+    sim.schedule(0.0, recurse)
+    sim.run(max_events=25)
+    assert len(count) == 25
+
+
+def test_events_scheduled_during_execution_run(sim):
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0.5, order.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 1.5
+
+
+def test_call_now_runs_after_current_event(sim):
+    order = []
+
+    def first():
+        sim.call_now(order.append, "second")
+        order.append("first")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_every_periodic_and_stop(sim):
+    ticks = []
+    stop = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    stop()
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_every_until_bound(sim):
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now), until=3.0)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_every_rejects_nonpositive_period(sim):
+    with pytest.raises(ValueError):
+        sim.every(0.0, lambda: None)
+
+
+def test_events_pending_and_processed(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.events_pending() == 2
+    sim.run()
+    assert sim.events_pending() == 0
+    assert sim.events_processed == 2
+
+
+def test_independent_simulators_do_not_interfere():
+    a, b = Simulator(), Simulator()
+    a.schedule(1.0, lambda: None)
+    a.run()
+    assert b.now == 0.0 and b.events_processed == 0

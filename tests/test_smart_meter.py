@@ -1,0 +1,109 @@
+"""Tests for the smart-meter fraud scenario (paper section 1).
+
+"Smart meters were hacked to lower utility bills" -- the attacker logs in
+with the meter's weak service credential and 'calibrates' it.  The ground
+truth power draw lives in the environment; a tampered meter's reports
+diverge from it, and IoTSec's password posture prevents the tampering.
+"""
+
+import pytest
+
+from repro.attacks.exploits import EXPLOITS
+from repro.core.deployment import SecuredDeployment
+from repro.core.orchestrator import build_recommended_posture
+from repro.devices.library import smart_meter, smart_plug
+from repro.environment.engine import Environment
+from repro.environment.physics import PowerProcess
+
+
+class TestPowerProcess:
+    def test_draw_follows_wattage_inputs(self, sim):
+        env = Environment(sim)
+        env.add_continuous("power_draw", initial=0.0, minimum=0.0)
+        env.add_process(PowerProcess())
+        env.set_input("heat_watts", 1500.0, source="heater")
+        env.set_input("cool_watts", 700.0, source="ac")
+        for __ in range(5):
+            env.step_once(1.0)
+        assert env.continuous("power_draw").value == pytest.approx(2200.0, abs=10.0)
+
+    def test_draw_decays_when_loads_stop(self, sim):
+        env = Environment(sim)
+        env.add_continuous("power_draw", initial=0.0, minimum=0.0)
+        env.add_process(PowerProcess())
+        env.set_input("heat_watts", 1000.0)
+        for __ in range(5):
+            env.step_once(1.0)
+        env.set_input("heat_watts", 0.0)
+        for __ in range(5):
+            env.step_once(1.0)
+        assert env.continuous("power_draw").value == pytest.approx(0.0, abs=5.0)
+
+
+def build_metered_home(protect: bool):
+    dep = SecuredDeployment.build()
+    dep.env.add_continuous(
+        "power_draw",
+        initial=0.0,
+        thresholds=(100.0, 2000.0),
+        level_names=("idle", "normal", "heavy"),
+        minimum=0.0,
+    )
+    dep.env.add_process(PowerProcess())
+    meter = dep.add_device(smart_meter, "meter")
+    heater = dep.add_device(smart_plug, "heater_plug", load={"heat_watts": 1500.0})
+    attacker = dep.add_attacker()
+    dep.finalize()
+    if protect:
+        dep.secure(
+            "meter",
+            build_recommended_posture(
+                "password_proxy",
+                "meter",
+                new_password="Ut1lity!",
+                device_username="service",
+                device_password="0000",
+            ),
+        )
+    return dep, meter, heater, attacker
+
+
+class TestMeterFraud:
+    def test_meter_senses_ground_truth_draw(self):
+        dep, meter, heater, __ = build_metered_home(protect=False)
+        heater.apply_command("on", src="hub", via="local")
+        dep.run(until=30.0)
+        assert meter.sensor_readings()["power"] == "normal"
+
+    def test_weak_service_credential_enables_tampering(self):
+        dep, meter, __, attacker = build_metered_home(protect=False)
+        result = EXPLOITS["default_credential_hijack"].launch(
+            attacker, "meter", dep.sim, resource="data", command="calibrate"
+        )
+        dep.run(until=30.0)
+        assert result.succeeded
+        assert result.details["username"] == "service"
+        assert meter.state == "tampered"
+
+    def test_password_posture_blocks_tampering(self):
+        dep, meter, __, attacker = build_metered_home(protect=True)
+        result = EXPLOITS["default_credential_hijack"].launch(
+            attacker, "meter", dep.sim, resource="data", command="calibrate"
+        )
+        dep.run(until=30.0)
+        assert not result.succeeded
+        assert meter.state == "metering"
+        assert meter.login_log == []  # nothing reached the device
+
+    def test_utility_retains_access_via_proxy_password(self):
+        from repro.devices import protocol
+
+        dep, meter, __, __a = build_metered_home(protect=True)
+        utility = dep.add_attacker("utility_headend", latency=0.001)
+        replies = []
+        utility.request(
+            protocol.login("utility_headend", "meter", "service", "Ut1lity!"),
+            replies.append,
+        )
+        dep.run(until=10.0)
+        assert len(replies) == 1 and protocol.is_ok(replies[0])

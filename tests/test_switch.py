@@ -1,0 +1,160 @@
+"""Tests for the OpenFlow-style switch."""
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.netsim.switch import Switch
+from repro.sdn.flowrule import Action, FlowMatch, FlowRule
+from repro.sdn.tunnel import tunnel_packet
+
+
+def build(sim):
+    """switch with hosts a (port of a), b, c attached."""
+    sw = Switch("sw", sim)
+    hosts = {}
+    for name in ("a", "b", "c"):
+        host = Host(name, sim)
+        Link(sim, sw, host, latency=0.001)
+        hosts[name] = host
+    return sw, hosts
+
+
+def port_of(sw, name):
+    return sw.port_to(name)
+
+
+def test_miss_without_handler_drops(sim):
+    sw, hosts = build(sim)
+    hosts["a"].send(Packet(src="a", dst="b"))
+    sim.run()
+    assert hosts["b"].inbox == []
+    assert sw.miss_drops == 1
+
+
+def test_forward_rule(sim):
+    sw, hosts = build(sim)
+    sw.install(
+        FlowRule(match=FlowMatch(dst="b"), actions=(Action.forward(port_of(sw, "b")),))
+    )
+    hosts["a"].send(Packet(src="a", dst="b"))
+    sim.run()
+    assert len(hosts["b"].inbox) == 1
+
+
+def test_drop_rule_beats_lower_priority_forward(sim):
+    sw, hosts = build(sim)
+    sw.install(
+        FlowRule(match=FlowMatch(dst="b"), actions=(Action.forward(port_of(sw, "b")),), priority=100)
+    )
+    sw.install(
+        FlowRule(match=FlowMatch(src="a", dst="b"), actions=(Action.drop(),), priority=500)
+    )
+    hosts["a"].send(Packet(src="a", dst="b"))
+    hosts["c"].send(Packet(src="c", dst="b"))
+    sim.run()
+    assert len(hosts["b"].inbox) == 1
+    assert hosts["b"].inbox[0].src == "c"
+    assert sw.dropped == 1
+
+
+def test_packet_in_handler_called_on_miss(sim):
+    sw, hosts = build(sim)
+    punted = []
+    sw.packet_in_handler = lambda s, p, ip: punted.append((p.dst, ip))
+    hosts["a"].send(Packet(src="a", dst="b"))
+    sim.run()
+    assert punted == [("b", port_of(sw, "a"))]
+    assert sw.punted == 1
+
+
+def test_in_port_match(sim):
+    sw, hosts = build(sim)
+    sw.install(
+        FlowRule(
+            match=FlowMatch(dst="b", in_port=port_of(sw, "a")),
+            actions=(Action.forward(port_of(sw, "b")),),
+            priority=500,
+        )
+    )
+    sw.install(FlowRule(match=FlowMatch(dst="b"), actions=(Action.drop(),), priority=100))
+    hosts["a"].send(Packet(src="a", dst="b"))
+    hosts["c"].send(Packet(src="c", dst="b"))
+    sim.run()
+    assert [p.src for p in hosts["b"].inbox] == ["a"]
+
+
+def test_version_filtering(sim):
+    sw, hosts = build(sim)
+    old = FlowRule(
+        match=FlowMatch(dst="b"), actions=(Action.drop(),), priority=100, version=1
+    )
+    new = FlowRule(
+        match=FlowMatch(dst="b"),
+        actions=(Action.forward(port_of(sw, "b")),),
+        priority=100,
+        version=2,
+    )
+    sw.install(old)
+    sw.install(new)
+    sw.set_active_version(1)
+    hosts["a"].send(Packet(src="a", dst="b"))
+    sim.run()
+    assert hosts["b"].inbox == []
+    sw.set_active_version(2)
+    hosts["a"].send(Packet(src="a", dst="b"))
+    sim.run()
+    assert len(hosts["b"].inbox) == 1
+
+
+def test_remove_version(sim):
+    sw, __ = build(sim)
+    sw.install(FlowRule(match=FlowMatch(), actions=(Action.drop(),), version=1))
+    sw.install(FlowRule(match=FlowMatch(), actions=(Action.drop(),), version=2))
+    assert sw.remove_version(1) == 1
+    assert sw.table_size() == 1
+
+
+def test_tunnel_action_encapsulates(sim):
+    sw, hosts = build(sim)
+    sw.install(
+        FlowRule(
+            match=FlowMatch(dst="b"),
+            actions=(Action.tunnel("b", port_of(sw, "c")),),
+        )
+    )
+    hosts["a"].send(Packet(src="a", dst="b", payload={"cmd": "on"}))
+    sim.run()
+    assert len(hosts["c"].inbox) == 1
+    outer = hosts["c"].inbox[0]
+    assert outer.protocol == "iotsec-tunnel"
+    assert outer.payload["inner"].payload == {"cmd": "on"}
+    assert outer.payload["target"] == "b"
+
+
+def test_inspected_tunnel_return_decapsulated_and_reprocessed(sim):
+    sw, hosts = build(sim)
+    # bypass rule: inspected traffic from c's port toward b is forwarded
+    sw.install(
+        FlowRule(
+            match=FlowMatch(dst="b", in_port=port_of(sw, "c")),
+            actions=(Action.forward(port_of(sw, "b")),),
+            priority=900,
+        )
+    )
+    inner = Packet(src="a", dst="b", payload={"cmd": "on"})
+    outer = tunnel_packet(inner, ingress="sw", target="b")
+    outer.dst = "sw"
+    outer.payload["inspected"] = True
+    hosts["c"].send(outer)
+    sim.run()
+    assert len(hosts["b"].inbox) == 1
+    assert hosts["b"].inbox[0].payload == {"cmd": "on"}
+    assert hosts["b"].inbox[0].meta.get("inspected") is True
+
+
+def test_rules_for_device(sim):
+    sw, __ = build(sim)
+    sw.install(FlowRule(match=FlowMatch(dst="cam"), actions=(Action.drop(),)))
+    sw.install(FlowRule(match=FlowMatch(src="cam"), actions=(Action.drop(),)))
+    sw.install(FlowRule(match=FlowMatch(dst="other"), actions=(Action.drop(),)))
+    assert len(sw.rules_for("cam")) == 2

@@ -1,0 +1,103 @@
+"""Tests for topology construction and routing."""
+
+import pytest
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.netsim.switch import Switch
+from repro.netsim.topology import Topology
+
+
+def test_smart_home_shape():
+    topo = Topology.smart_home(["cam", "plug"])
+    assert set(topo.nodes) == {"edge", "cluster", "internet", "cam", "plug"}
+    assert isinstance(topo["edge"], Switch)
+    assert len(topo.links) == 4
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_host("a")
+    with pytest.raises(ValueError):
+        topo.add_host("a")
+
+
+def test_connect_by_name_and_reference():
+    topo = Topology()
+    a = topo.add_host("a")
+    topo.add_host("b")
+    link = topo.connect(a, "b", latency=0.5)
+    assert link.latency == 0.5
+    assert topo["a"].port_to("b") is not None
+
+
+def test_unknown_node_lookup_raises():
+    topo = Topology()
+    with pytest.raises(KeyError):
+        topo["ghost"]
+    with pytest.raises(KeyError):
+        topo.connect("ghost", "ghost2")
+
+
+def test_contains():
+    topo = Topology()
+    topo.add_host("a")
+    assert "a" in topo and "b" not in topo
+
+
+def test_next_hop_port_shortest_path():
+    topo = Topology.smart_home(["cam"])
+    # edge -> cam directly
+    port = topo.next_hop_port("edge", "cam")
+    assert port == topo["edge"].port_to("cam")
+    # cam -> internet goes through edge
+    assert topo.next_hop_port("cam", "internet") == topo["cam"].port_to("edge")
+
+
+def test_next_hop_port_no_path():
+    topo = Topology()
+    topo.add_host("a")
+    topo.add_host("b")
+    assert topo.next_hop_port("a", "b") is None
+    assert topo.next_hop_port("a", "a") is None
+
+
+def test_next_hop_avoids_failed_links():
+    topo = Topology()
+    for name in ("a", "m1", "m2", "b"):
+        topo.add_host(name)
+    l1 = topo.connect("a", "m1", latency=0.001)
+    topo.connect("m1", "b", latency=0.001)
+    topo.connect("a", "m2", latency=0.01)
+    topo.connect("m2", "b", latency=0.01)
+    assert topo.next_hop_port("a", "b") == topo["a"].port_to("m1")
+    l1.fail()
+    assert topo.next_hop_port("a", "b") == topo["a"].port_to("m2")
+
+
+def test_replace_node_preserves_links(sim):
+    topo = Topology.smart_home(["cam"], sim=sim)
+    replacement = Host("cam", sim)
+    topo.replace_node("cam", replacement)
+    assert topo["cam"] is replacement
+    # traffic still flows over the preserved link
+    def forwarder(sw, pkt, in_port):
+        port = topo.next_hop_port(sw.name, pkt.dst)
+        if port is not None:
+            sw.send(pkt, port)
+
+    topo["edge"].packet_in_handler = forwarder  # type: ignore[attr-defined]
+    topo["internet"].send(Packet(src="internet", dst="cam"))
+    topo.run()
+    assert len(replacement.inbox) == 1
+
+
+def test_replace_node_name_must_match(sim):
+    topo = Topology.smart_home(["cam"], sim=sim)
+    with pytest.raises(ValueError):
+        topo.replace_node("cam", Host("other", sim))
+
+
+def test_switches_listing():
+    topo = Topology.smart_home([])
+    assert [s.name for s in topo.switches()] == ["edge"]

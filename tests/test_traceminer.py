@@ -1,0 +1,111 @@
+"""Tests for mining signatures from attack traces."""
+
+import pytest
+
+from repro.learning.traceminer import (
+    LabelledTrace,
+    MiningError,
+    mine_and_publish,
+    mine_signature,
+)
+from repro.netsim.packet import Packet
+
+
+def attack_login(password="admin", src="attacker"):
+    return Packet(
+        src=src,
+        dst="cam",
+        protocol="http",
+        dport=80,
+        payload={"action": "login", "username": "admin", "password": password},
+    )
+
+
+def benign_get(src="owner"):
+    return Packet(
+        src=src,
+        dst="cam",
+        protocol="http",
+        dport=80,
+        payload={"action": "get", "resource": "status", "session": "tok"},
+    )
+
+
+def test_mines_exact_constant_attack():
+    trace = LabelledTrace.make(
+        attack=[attack_login(), attack_login()],
+        benign=[benign_get()],
+    )
+    signature = mine_signature(trace, sku="dlink:cam:1.0", flaw_class="exposed-credentials")
+    assert signature.match.matches(attack_login(src="someone-else"))
+    assert not signature.match.matches(benign_get())
+    contains = dict(signature.match.payload_contains)
+    assert contains["action"] == "login"
+    assert contains["password"] == "admin"
+
+
+def test_varying_fields_become_presence_tests():
+    trace = LabelledTrace.make(
+        attack=[attack_login("guess1"), attack_login("guess2"), attack_login("guess3")],
+    )
+    signature = mine_signature(trace, sku="s")
+    contains = dict(signature.match.payload_contains)
+    assert "password" not in contains           # value varies across packets
+    assert "password" in signature.match.payload_keys
+    assert contains["action"] == "login"
+    assert signature.match.matches(attack_login("another-guess"))
+
+
+def test_sensitive_values_never_shipped():
+    attack = Packet(
+        src="attacker", dst="cam", dport=80,
+        payload={"action": "get", "session": "stolen-token-123"},
+    )
+    trace = LabelledTrace.make(attack=[attack, attack.copy()])
+    signature = mine_signature(trace, sku="s")
+    contains = dict(signature.match.payload_contains)
+    assert "session" not in contains
+    assert "session" in signature.match.payload_keys
+
+
+def test_precision_guard_relaxes_when_possible():
+    # attack and benign share action=login; attack distinguished by dport
+    attack = Packet(src="a", dst="cam", protocol="iot", dport=49153, payload={"cmd": "on"})
+    benign = Packet(src="hub", dst="cam", protocol="iot", dport=8080, payload={"cmd": "on"})
+    trace = LabelledTrace.make(attack=[attack, attack.copy()], benign=[benign])
+    signature = mine_signature(trace, sku="s")
+    assert signature.match.dport == 49153
+    assert not signature.match.matches(benign)
+
+
+def test_mining_fails_rather_than_overmatching():
+    same = Packet(src="x", dst="cam", dport=80, payload={"action": "get"})
+    trace = LabelledTrace.make(attack=[same], benign=[same.copy()])
+    with pytest.raises(MiningError):
+        mine_signature(trace, sku="s")
+
+
+def test_empty_attack_rejected():
+    with pytest.raises(ValueError):
+        LabelledTrace.make(attack=[])
+
+
+def test_mine_and_publish_roundtrip(sim):
+    from repro.learning.repository import CrowdRepository
+
+    repo = CrowdRepository(sim)
+    got = []
+    repo.subscribe("site-b", "dlink:cam:1.0", got.append)
+    trace = LabelledTrace.make(
+        attack=[attack_login(), attack_login()], benign=[benign_get()]
+    )
+    sig_id = mine_and_publish(
+        repo, trace, sku="dlink:cam:1.0", reporter="site-a",
+        flaw_class="exposed-credentials", recommended_posture="password_proxy",
+    )
+    assert sig_id is not None
+    sim.run()
+    assert len(got) == 1
+    assert got[0].recommended_posture == "password_proxy"
+    # and the delivered (anonymized) signature still catches the attack
+    assert got[0].match.matches(attack_login())
