@@ -3,12 +3,18 @@
 Every bench prints a paper-style table (visible with ``pytest -s`` or in
 the captured output) and attaches the same rows to
 ``benchmark.extra_info`` so the numbers survive into pytest-benchmark's
-JSON output.
+JSON output.  :func:`record` additionally writes each bench's rows to a
+JSON baseline under ``benchmarks/results/`` so runs can be diffed across
+commits without the pytest-benchmark machinery.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Any, Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
@@ -30,11 +36,33 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]
         print(fmt(row))
 
 
+def _benchmark_name(benchmark: Any) -> str | None:
+    """The owning test's name, whether given the fixture or our wrapper."""
+    raw = getattr(benchmark, "raw", benchmark)
+    name = getattr(raw, "name", None)
+    return name if isinstance(name, str) and name else None
+
+
 def record(benchmark: Any, key: str, value: Any) -> None:
-    """Attach a result to the pytest-benchmark JSON, if available."""
+    """Attach a result to the pytest-benchmark JSON and to the on-disk
+    baseline for this bench (``benchmarks/results/<test name>.json``)."""
     extra = getattr(benchmark, "extra_info", None)
     if extra is not None:
         extra[key] = value
+    name = _benchmark_name(benchmark)
+    if name is None:
+        return
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{safe}.json"
+    baseline: dict[str, Any] = {"benchmark": name}
+    if path.exists():
+        try:
+            baseline = json.loads(path.read_text())
+        except (OSError, ValueError):
+            pass
+    baseline[key] = value
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
 
 
 def percent(x: float) -> str:

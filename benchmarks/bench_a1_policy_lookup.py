@@ -24,6 +24,7 @@ from _util import print_table, record
 
 from repro.policy.builder import PolicyBuilder
 from repro.policy.context import COMPROMISED, SUSPICIOUS, SystemState
+from repro.policy.fsm import PolicyFSM
 from repro.policy.posture import block_commands, quarantine
 from repro.policy.pruning import PrunedPolicy
 
@@ -112,6 +113,23 @@ def run_size(n_devices: int, lookups: int, seed: int) -> dict:
         return (time.perf_counter() - start) / lookups * 1e6
 
     result["pruned_lookup_us"] = best_of(time_pruned)
+
+    # incremental construction: add the same rules one at a time through
+    # the runtime-update path (per-rule cost of update_policy at this size)
+    start = time.perf_counter()
+    incremental = PrunedPolicy(
+        PolicyFSM(
+            policy.space.domains,
+            rules=(),
+            default_posture=policy.default_posture,
+            devices=policy.devices,
+        )
+    )
+    for rule in policy.rules:
+        incremental.add_rule(rule)
+    elapsed = time.perf_counter() - start
+    result["incr_build_ms"] = elapsed * 1e3
+    result["incr_rule_us"] = elapsed / max(len(policy.rules), 1) * 1e6
     return result
 
 
@@ -136,6 +154,7 @@ def test_a1_policy_lookup_tradeoffs(scenario_benchmark):
             "Scan lookup (µs)",
             "Pruned build (ms) / entries",
             "Pruned lookup (µs)",
+            "Incr build (ms) / per rule (µs)",
         ],
         [
             (
@@ -145,6 +164,7 @@ def test_a1_policy_lookup_tradeoffs(scenario_benchmark):
                 fmt(r["scan_lookup_us"]),
                 f"{fmt(r['pruned_build_ms'])} / {r['pruned_entries']}",
                 fmt(r["pruned_lookup_us"]),
+                f"{fmt(r['incr_build_ms'])} / {fmt(r['incr_rule_us'])}",
             )
             for r in results
         ],

@@ -58,6 +58,7 @@ def run_scale(n_devices: int) -> dict:
     dep.run(until=600.0)
     run_s = time.perf_counter() - start
     events = dep.sim.events_processed
+    stats = dep.controller.pipeline.stats
     return {
         "devices": n_devices,
         "build_s": build_s,
@@ -67,6 +68,10 @@ def run_scale(n_devices: int) -> dict:
         "attacks_blocked": sum(1 for r in results if not r.succeeded),
         "compromised": sum(1 for d in dep.devices.values() if d.is_compromised()),
         "mboxes": dep.manager.active_count(),
+        "pipeline_rounds": stats.rounds,
+        "pipeline_coalesced": stats.coalesced,
+        "pipeline_evaluations": stats.evaluations,
+        "pipeline_applies": stats.applies,
     }
 
 
@@ -86,6 +91,9 @@ def test_e9_whole_stack_scale(scenario_benchmark):
             "Sim events",
             "Wall run (s)",
             "Events/s",
+            "Rounds",
+            "Coalesced",
+            "Applies",
             "Attacks blocked",
             "Compromised",
         ],
@@ -96,6 +104,9 @@ def test_e9_whole_stack_scale(scenario_benchmark):
                 f"{r['events']:,}",
                 f"{r['run_s']:.2f}",
                 f"{r['events_per_s']:,.0f}",
+                r["pipeline_rounds"],
+                r["pipeline_coalesced"],
+                r["pipeline_applies"],
                 f"{r['attacks_blocked']}/2",
                 r["compromised"],
             )

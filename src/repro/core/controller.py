@@ -6,6 +6,13 @@ escalate, the policy FSM is re-evaluated for the affected devices, and the
 orchestrator redeploys postures and flow rules -- all in simulated time, so
 reaction latency is a first-class measurement.
 
+The loop itself runs through the staged reactive pipeline
+(:mod:`repro.core.pipeline`): ingest -> escalate -> evaluate -> actuate.
+The controller owns the *policy* of the loop -- which alerts matter, when
+contexts escalate, what counts as an insider -- and delegates the
+mechanics (dirty tracking, same-instant batching, batched actuation) to
+:class:`~repro.core.pipeline.ReactivePipeline`.
+
 Context escalation (how raw alerts become the paper's
 normal/suspicious/compromised contexts) is policy too: an
 :class:`EscalationRule` maps an alert kind and a repetition threshold to a
@@ -16,15 +23,19 @@ confirmed exfiltration or sustained abuse makes it *compromised*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.events import EventBus
 from repro.core.orchestrator import PostureOrchestrator
+from repro.core.pipeline import (
+    DEFAULT_ESCALATIONS,
+    EscalationRule,
+    ReactionRecord,
+    ReactivePipeline,
+)
 from repro.core.view import GlobalView
-from repro.policy.context import COMPROMISED, NORMAL, SUSPICIOUS, UNPATCHED
+from repro.policy.context import NORMAL, SEVERITY, UNPATCHED
 from repro.policy.fsm import PolicyFSM
-from repro.policy.pruning import PrunedPolicy, relevant_variables
 from repro.sdn.channel import ControlChannel, ControlMessage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,50 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.simulator import Simulator
     from repro.netsim.switch import Switch
     from repro.netsim.topology import Topology
+    from repro.policy.pruning import PrunedPolicy
 
+__all__ = [
+    "DEFAULT_ESCALATIONS",
+    "EscalationRule",
+    "IoTSecController",
+    "ReactionRecord",
+]
 
-@dataclass(frozen=True)
-class EscalationRule:
-    """``count`` alerts of ``kind`` within ``window`` seconds => context."""
-
-    alert_kind: str
-    context: str
-    count: int = 1
-    window: float = 60.0
-
-
-DEFAULT_ESCALATIONS: tuple[EscalationRule, ...] = (
-    EscalationRule("signature-match", SUSPICIOUS, count=1),
-    EscalationRule("login-rejected", SUSPICIOUS, count=3, window=60.0),
-    EscalationRule("login-attempt", SUSPICIOUS, count=5, window=30.0),
-    EscalationRule("rate-limited", SUSPICIOUS, count=1),
-    EscalationRule("firewall-blocked", SUSPICIOUS, count=5, window=60.0),
-    EscalationRule("context-gate-blocked", SUSPICIOUS, count=2, window=60.0),
-    EscalationRule("command-not-whitelisted", SUSPICIOUS, count=1),
-    EscalationRule("dns-reflection-blocked", COMPROMISED, count=10, window=10.0),
-    EscalationRule("unapproved-source", SUSPICIOUS, count=3, window=60.0),
-    EscalationRule("anomalous-command", SUSPICIOUS, count=2, window=300.0),
-    # "insider": a *registered device* appears as the source of an alert at
-    # some other device's µmbox -- the launchpad pattern of Figure 1.
-    EscalationRule("insider", SUSPICIOUS, count=1),
-)
-
-_SEVERITY = {NORMAL: 0, "unpatched": 1, SUSPICIOUS: 2, COMPROMISED: 3}
-
-
-@dataclass
-class ReactionRecord:
-    """Cause -> effect timing for the responsiveness benches."""
-
-    device: str
-    trigger_key: str
-    trigger_at: float
-    applied_at: float
-    posture: str
-
-    @property
-    def latency(self) -> float:
-        return self.applied_at - self.trigger_at
+_SEVERITY = SEVERITY
 
 
 class IoTSecController:
@@ -96,30 +73,47 @@ class IoTSecController:
         self.name = name
         self.sim = sim
         self.policy = policy
-        self.pruned = PrunedPolicy(policy)
         self.orchestrator = orchestrator
         self.channel = channel
         self.topology = topology
         self.escalations = escalations
         self.view = GlobalView(sim)
         self.bus = EventBus(sim)
+        self.pipeline = ReactivePipeline(
+            sim=sim,
+            view=self.view,
+            policy=policy,
+            orchestrator=orchestrator,
+            escalations=escalations,
+            bus=self.bus,
+        )
         self.devices: dict[str, "IoTDevice"] = {}
-        self.reactions: list[ReactionRecord] = []
-        self._alert_times: dict[tuple[str, str], list[float]] = {}
-        self._defaults = self._domain_defaults()
         self.packet_ins = 0
         channel.register(name, self.on_control_message)
-        self.view.subscribe(self._on_view_change)
+
+    # ------------------------------------------------------------------
+    # Pipeline-derived state (kept as attributes of the controller so the
+    # established surface -- reactions, pruned, defaults -- stays stable)
+    # ------------------------------------------------------------------
+    @property
+    def pruned(self) -> "PrunedPolicy":
+        return self.pipeline.pruned
+
+    @property
+    def reactions(self) -> list[ReactionRecord]:
+        return self.pipeline.reactions
+
+    @property
+    def _defaults(self) -> dict[str, str]:
+        return self.pipeline.defaults
+
+    @property
+    def _alert_times(self) -> dict[tuple[str, str], list[float]]:
+        return self.pipeline.escalator._alert_times
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def _domain_defaults(self) -> dict[str, str]:
-        return {
-            domain.variable.key: domain.values[0]
-            for domain in self.policy.space.domains
-        }
-
     def register_device(self, device: "IoTDevice") -> None:
         """Track a device: seed its context and remember its sensor map."""
         self.devices[device.name] = device
@@ -241,14 +235,9 @@ class IoTSecController:
     def _escalate(self, device: str, alert_kind: str, at: float) -> None:
         if not device:
             return
-        times = self._alert_times.setdefault((device, alert_kind), [])
-        times.append(at)
-        for rule in self.escalations:
-            if rule.alert_kind != alert_kind:
-                continue
-            recent = [t for t in times if t >= at - rule.window]
-            if len(recent) >= rule.count:
-                self.set_context(device, rule.context)
+        context = self.pipeline.escalate(device, alert_kind, at)
+        if context is not None:
+            self.set_context(device, context)
 
     def set_context(self, device: str, context: str) -> None:
         """Raise a device's security context (never silently lowers it)."""
@@ -262,62 +251,24 @@ class IoTSecController:
         self.view.set(f"ctx:{device}", NORMAL)
 
     # ------------------------------------------------------------------
-    # The policy loop
+    # The policy loop (delegated to the reactive pipeline)
     # ------------------------------------------------------------------
-    def _on_view_change(self, key: str, old: str | None, new: str) -> None:
-        if not (key.startswith("ctx:") or key.startswith("env:")):
-            return
-        if key not in {v.key for v in self.policy.space.variables()}:
-            return
-        trigger_at = self.sim.now
-        for device in self.policy.devices:
-            if key in relevant_variables(self.policy, device):
-                self._reevaluate(device, key, trigger_at)
-
-    def _reevaluate(self, device: str, trigger_key: str, trigger_at: float) -> None:
-        if device in self.orchestrator.pinned:
-            return  # an administrator pinned this device's posture
-        state = self.view.system_state(
-            (v.key for v in self.policy.space.variables()), self._defaults
-        )
-        posture = self.pruned.posture_for(state, device)
-        record = self.orchestrator.apply(device, posture)
-        if record is not None:
-            self.reactions.append(
-                ReactionRecord(
-                    device=device,
-                    trigger_key=trigger_key,
-                    trigger_at=trigger_at,
-                    applied_at=self.sim.now,
-                    posture=posture.name,
-                )
-            )
-
     def update_policy(self, rule) -> None:
-        """Add a rule to the live policy and re-enforce affected devices.
+        """Add a rule to the live policy and re-enforce the affected device.
 
         Policies are not static in IoT (section 5.1's whole point): new
         signatures, disclosures, or attack-graph hardening plans add rules
-        at runtime.  The pruned lookup structure is rebuilt (it is derived
-        state) and the affected device re-evaluated immediately.
+        at runtime.  The pruned lookup structure is updated *incrementally*
+        -- only the touched device's projected table is rebuilt -- and that
+        device re-evaluated immediately.
         """
-        self.policy.add_rule(rule)
-        self.pruned = PrunedPolicy(self.policy)
-        self._defaults = self._domain_defaults()
+        self.pipeline.add_rule(rule)
         if rule.device in self.orchestrator.attachments:
-            self._reevaluate(rule.device, "policy-update", self.sim.now)
+            self.pipeline.evaluate_device(rule.device, "policy-update")
 
     def enforce_all(self) -> None:
         """Evaluate and apply the posture of every policy device now."""
-        state = self.view.system_state(
-            (v.key for v in self.policy.space.variables()), self._defaults
-        )
-        for device in self.policy.devices:
-            if (
-                device in self.orchestrator.attachments
-                and device not in self.orchestrator.pinned
-            ):
-                self.orchestrator.apply(device, self.pruned.posture_for(state, device))
+        self.pipeline.enforce_all()
 
     # ------------------------------------------------------------------
     def context_of(self, device: str) -> str:

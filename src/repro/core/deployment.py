@@ -325,15 +325,16 @@ class SecuredDeployment:
         assert self.controller is not None and self.orchestrator is not None
         self.controller.enforce_all()
         if monitor:
+            # Batched actuation: one apply_many round means one flow-rule
+            # push per switch however many devices need a monitor posture.
+            assignments = []
             for name, device in self.devices.items():
-                if self.orchestrator.posture_of(name) in (None,) or (
-                    self.orchestrator.posture_of(name)
-                    and self.orchestrator.posture_of(name).is_permissive  # type: ignore[union-attr]
-                ):
-                    self.orchestrator.apply(
-                        name,
-                        build_recommended_posture("monitor", name, sku=device.sku),
+                current = self.orchestrator.posture_of(name)
+                if current is None or current.is_permissive:
+                    assignments.append(
+                        (name, build_recommended_posture("monitor", name, sku=device.sku))
                     )
+            self.orchestrator.apply_many(assignments)
 
     def apply_hardening_plan(
         self,

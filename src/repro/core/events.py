@@ -43,6 +43,10 @@ class EventBus:
         self._subscribers: dict[str, list[EventCallback]] = defaultdict(list)
         self._wildcard: list[EventCallback] = []
         self.published = 0
+        #: Lifetime per-kind publish counters.  Unlike ``history`` these are
+        #: never trimmed, so long runs can still report totals (e.g. how
+        #: many pipeline rounds ran) without retaining every event.
+        self.counts: dict[str, int] = defaultdict(int)
 
     def subscribe(self, kind: str, callback: EventCallback) -> None:
         """Subscribe to one kind, or ``"*"`` for everything."""
@@ -62,6 +66,7 @@ class EventBus:
             at=self.sim.now, kind=kind, source=source, device=device, body=body
         )
         self.published += 1
+        self.counts[kind] += 1
         self.history.append(event)
         if len(self.history) > self.history_limit:
             del self.history[: len(self.history) // 2]
@@ -70,6 +75,10 @@ class EventBus:
         for callback in list(self._wildcard):
             callback(event)
         return event
+
+    def count(self, kind: str) -> int:
+        """Lifetime number of events published with ``kind``."""
+        return self.counts.get(kind, 0)
 
     def events(self, kind: str | None = None, device: str | None = None) -> list[SecurityEvent]:
         return [

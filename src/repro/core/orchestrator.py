@@ -101,33 +101,55 @@ class PostureOrchestrator:
 
     def apply(self, device: str, posture: Posture) -> OrchestrationRecord | None:
         """Make ``posture`` effective for ``device``.  Idempotent."""
-        if self.current.get(device) == posture:
-            return None
-        attachment = self.attachments.get(device)
-        if attachment is None:
-            raise KeyError(f"no switch attachment registered for {device!r}")
+        records = self.apply_many([(device, posture)])
+        return records[0] if records else None
 
-        if posture.is_permissive:
-            self._remove_tunnel(device, attachment)
-            self.manager.teardown(device)
-            self.tunnels.unbind(device)
-        else:
-            record = self.manager.deploy(device, posture)
-            mbox_name = self.manager.host.mboxes[device].name
-            if device not in self.tunnels:
-                self._install_tunnel(device, attachment)
-            self.tunnels.bind(device, mbox_name)
-            del record  # latency is tracked by the manager
+    def apply_many(
+        self, assignments: list[tuple[str, Posture]]
+    ) -> list[OrchestrationRecord]:
+        """Batched actuation: apply a whole evaluation round's postures.
 
-        self.current[device] = posture
-        orch = OrchestrationRecord(
-            device=device,
-            posture=posture.name,
-            at=self.sim.now,
-            tunnelled=not posture.is_permissive,
-        )
-        self.records.append(orch)
-        return orch
+        Data-plane updates are coalesced per switch: in direct mode every
+        switch receives one rule batch (one table re-sort); in consistent
+        mode every touched switch receives exactly one two-phase epoch,
+        however many of its devices changed posture this round.
+        """
+        records: list[OrchestrationRecord] = []
+        installs: dict[str, tuple["Switch", list[FlowRule]]] = {}
+        epoch_switches: dict[str, "Switch"] = {}
+        for device, posture in assignments:
+            if self.current.get(device) == posture:
+                continue
+            attachment = self.attachments.get(device)
+            if attachment is None:
+                raise KeyError(f"no switch attachment registered for {device!r}")
+
+            if posture.is_permissive:
+                self._remove_tunnel(device, attachment, epoch_switches)
+                self.manager.teardown(device)
+                self.tunnels.unbind(device)
+            else:
+                record = self.manager.deploy(device, posture)
+                mbox_name = self.manager.host.mboxes[device].name
+                if device not in self.tunnels:
+                    self._install_tunnel(device, attachment, installs, epoch_switches)
+                self.tunnels.bind(device, mbox_name)
+                del record  # latency is tracked by the manager
+
+            self.current[device] = posture
+            record = OrchestrationRecord(
+                device=device,
+                posture=posture.name,
+                at=self.sim.now,
+                tunnelled=not posture.is_permissive,
+            )
+            self.records.append(record)
+            records.append(record)
+        for switch, rules in installs.values():
+            switch.install_many(rules)
+        for switch in epoch_switches.values():
+            self._push_epoch(switch)
+        return records
 
     # ------------------------------------------------------------------
     def _device_rules(self, device: str, att: SwitchAttachment) -> list[FlowRule]:
@@ -162,33 +184,44 @@ class PostureOrchestrator:
             ),
         ]
 
-    def _install_tunnel(self, device: str, att: SwitchAttachment) -> None:
+    def _install_tunnel(
+        self,
+        device: str,
+        att: SwitchAttachment,
+        installs: dict[str, tuple["Switch", list[FlowRule]]],
+        epoch_switches: dict[str, "Switch"],
+    ) -> None:
         if self.updater is not None:
             self._rule_specs[device] = []
-            self._push_epoch(att)
+            epoch_switches[att.switch.name] = att.switch
             return
-        for rule in self._device_rules(device, att):
-            att.switch.install(rule)
+        __, rules = installs.setdefault(att.switch.name, (att.switch, []))
+        rules.extend(self._device_rules(device, att))
 
-    def _remove_tunnel(self, device: str, att: SwitchAttachment) -> None:
+    def _remove_tunnel(
+        self,
+        device: str,
+        att: SwitchAttachment,
+        epoch_switches: dict[str, "Switch"],
+    ) -> None:
         if self.updater is not None:
             self._rule_specs.pop(device, None)
-            self._push_epoch(att, removing=device)
+            epoch_switches[att.switch.name] = att.switch
             return
         att.switch.remove_where(
             lambda r: device in (r.match.src, r.match.dst)
             and r.priority in (BYPASS_DST_PRIORITY, BYPASS_SRC_PRIORITY, TUNNEL_PRIORITY)
         )
 
-    def _push_epoch(self, att: SwitchAttachment, removing: str | None = None) -> None:
+    def _push_epoch(self, switch: "Switch") -> None:
         """Consistent mode: push the switch's complete desired rule set as
         one two-phase epoch (fresh FlowRule objects -- the updater stamps
-        version tags on them)."""
+        version tags on them).  Called after the whole round's tunnel
+        bindings settle, so removed devices are excluded naturally."""
         assert self.updater is not None
-        switch = att.switch
         desired: list[FlowRule] = []
         for device, attachment in self.attachments.items():
-            if attachment.switch is not switch or device == removing:
+            if attachment.switch is not switch:
                 continue
             if device in self.tunnels or device in self._rule_specs:
                 desired.extend(self._device_rules(device, attachment))

@@ -1,0 +1,292 @@
+"""The controller's staged reactive pipeline.
+
+The policy loop of Figure 2 -- events in, postures out -- runs through four
+explicit stages instead of ad-hoc callbacks:
+
+1. **ingest**: view-key changes land here (via the global view's dirty-key
+   notification) and are translated into *dirty devices* through the
+   pruned policy's reverse index ``variable key -> affected devices``.
+   No per-change scan over all devices ever happens.
+2. **escalate**: raw alert streams become context values through sliding
+   count/window rules (:class:`EscalationEngine`).  Alert timestamps are
+   pruned to the widest window of the alert's kind, so long runs stay
+   bounded.
+3. **evaluate**: dirty devices accumulated at the same simulated instant
+   are coalesced into one evaluation round -- one ``system_state`` build,
+   one pruned lookup per dirty device -- scheduled as a zero-delay event
+   so every same-instant change joins the batch.  A burst of N alerts
+   touching M devices costs one round, not N*M re-evaluations.
+4. **actuate**: the round's posture assignments go to the orchestrator as
+   one :meth:`PostureOrchestrator.apply_many` batch -- at most one apply
+   per device per round, one flow-rule push per switch.
+
+Reaction latency semantics are preserved: each :class:`ReactionRecord`
+measures from the *first* view change that marked the device dirty to the
+instant the orchestrator applied the new posture.
+
+When the pipeline is driven outside the event loop (tests, administrative
+calls like ``set_context``), the round flushes synchronously so effects
+remain immediately observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.policy.context import COMPROMISED, SEVERITY, SUSPICIOUS
+from repro.policy.pruning import PrunedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.events import EventBus
+    from repro.core.orchestrator import PostureOrchestrator
+    from repro.core.view import GlobalView
+    from repro.netsim.simulator import Event, Simulator
+    from repro.policy.fsm import PolicyFSM, PostureRule
+
+
+@dataclass(frozen=True)
+class EscalationRule:
+    """``count`` alerts of ``kind`` within ``window`` seconds => context."""
+
+    alert_kind: str
+    context: str
+    count: int = 1
+    window: float = 60.0
+
+
+DEFAULT_ESCALATIONS: tuple[EscalationRule, ...] = (
+    EscalationRule("signature-match", SUSPICIOUS, count=1),
+    EscalationRule("login-rejected", SUSPICIOUS, count=3, window=60.0),
+    EscalationRule("login-attempt", SUSPICIOUS, count=5, window=30.0),
+    EscalationRule("rate-limited", SUSPICIOUS, count=1),
+    EscalationRule("firewall-blocked", SUSPICIOUS, count=5, window=60.0),
+    EscalationRule("context-gate-blocked", SUSPICIOUS, count=2, window=60.0),
+    EscalationRule("command-not-whitelisted", SUSPICIOUS, count=1),
+    EscalationRule("dns-reflection-blocked", COMPROMISED, count=10, window=10.0),
+    EscalationRule("unapproved-source", SUSPICIOUS, count=3, window=60.0),
+    EscalationRule("anomalous-command", SUSPICIOUS, count=2, window=300.0),
+    # "insider": a *registered device* appears as the source of an alert at
+    # some other device's µmbox -- the launchpad pattern of Figure 1.
+    EscalationRule("insider", SUSPICIOUS, count=1),
+)
+
+
+@dataclass
+class ReactionRecord:
+    """Cause -> effect timing for the responsiveness benches."""
+
+    device: str
+    trigger_key: str
+    trigger_at: float
+    applied_at: float
+    posture: str
+
+    @property
+    def latency(self) -> float:
+        return self.applied_at - self.trigger_at
+
+
+@dataclass
+class PipelineStats:
+    """Counters for each stage, reported by the scale benches."""
+
+    ingested: int = 0      # policy-relevant view changes accepted
+    coalesced: int = 0     # device marks absorbed into an existing round
+    rounds: int = 0        # evaluation rounds flushed
+    evaluations: int = 0   # pruned posture lookups performed
+    applies: int = 0       # orchestrator records produced
+
+
+class EscalationEngine:
+    """Stage 2: sliding count/window escalation over per-device alert streams.
+
+    Timestamps are kept per ``(device, alert kind)`` and pruned on every
+    observation to the widest window any rule declares for that kind
+    (boundary-inclusive, matching the ``t >= at - window`` rule test), so
+    memory stays proportional to recent alert rate instead of run length.
+    """
+
+    def __init__(self, rules: Iterable[EscalationRule]) -> None:
+        self.rules: tuple[EscalationRule, ...] = tuple(rules)
+        self._by_kind: dict[str, list[EscalationRule]] = {}
+        self._max_window: dict[str, float] = {}
+        for rule in self.rules:
+            self._by_kind.setdefault(rule.alert_kind, []).append(rule)
+            self._max_window[rule.alert_kind] = max(
+                self._max_window.get(rule.alert_kind, 0.0), rule.window
+            )
+        self._alert_times: dict[tuple[str, str], list[float]] = {}
+
+    def observe(self, device: str, alert_kind: str, at: float) -> str | None:
+        """Record one alert; return the most severe context it triggers."""
+        times = self._alert_times.setdefault((device, alert_kind), [])
+        times.append(at)
+        horizon = at - self._max_window.get(alert_kind, 0.0)
+        if times and times[0] < horizon:
+            times[:] = [t for t in times if t >= horizon]
+        triggered: str | None = None
+        for rule in self._by_kind.get(alert_kind, ()):
+            recent = sum(1 for t in times if t >= at - rule.window)
+            if recent >= rule.count and (
+                triggered is None
+                or SEVERITY.get(rule.context, 0) > SEVERITY.get(triggered, 0)
+            ):
+                triggered = rule.context
+        return triggered
+
+    def pending_counts(self) -> dict[tuple[str, str], int]:
+        """Retained timestamps per (device, kind) -- for leak tests."""
+        return {key: len(times) for key, times in self._alert_times.items()}
+
+
+class ReactivePipeline:
+    """Stages 1, 3 and 4, plus ownership of the policy's derived state."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        view: "GlobalView",
+        policy: "PolicyFSM",
+        orchestrator: "PostureOrchestrator",
+        escalations: tuple[EscalationRule, ...] = DEFAULT_ESCALATIONS,
+        bus: "EventBus | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.view = view
+        self.policy = policy
+        self.orchestrator = orchestrator
+        self.bus = bus
+        self.escalator = EscalationEngine(escalations)
+        self.pruned = PrunedPolicy(policy)
+        self.stats = PipelineStats()
+        self.reactions: list[ReactionRecord] = []
+        #: device -> (first trigger key, trigger time) for the open round
+        self._dirty: dict[str, tuple[str, float]] = {}
+        self._flush_event: "Event | None" = None
+        self._refresh_policy_view()
+        view.subscribe_dirty(self.ingest)
+
+    def _refresh_policy_view(self) -> None:
+        self._policy_keys = tuple(v.key for v in self.policy.space.variables())
+        self._key_set = frozenset(self._policy_keys)
+        self._defaults = {
+            domain.variable.key: domain.values[0]
+            for domain in self.policy.space.domains
+        }
+
+    @property
+    def defaults(self) -> dict[str, str]:
+        """Domain-baseline values for unobserved policy variables."""
+        return self._defaults
+
+    # ------------------------------------------------------------------
+    # Stage 1: ingest
+    # ------------------------------------------------------------------
+    def ingest(self, key: str) -> None:
+        """A view key changed: mark affected devices dirty for this round."""
+        if key not in self._key_set:
+            return
+        affected = self.pruned.devices_affected_by(key)
+        if not affected:
+            return
+        self.stats.ingested += 1
+        at = self.sim.now
+        dirty = self._dirty
+        for device in affected:
+            if device in dirty:
+                self.stats.coalesced += 1
+            else:
+                dirty[device] = (key, at)
+        self._schedule_flush()
+
+    # ------------------------------------------------------------------
+    # Stage 2: escalate (delegated to the engine; context writes stay with
+    # the controller, whose severity rules guard against downgrades)
+    # ------------------------------------------------------------------
+    def escalate(self, device: str, alert_kind: str, at: float) -> str | None:
+        return self.escalator.observe(device, alert_kind, at)
+
+    # ------------------------------------------------------------------
+    # Stages 3 + 4: evaluate and actuate
+    # ------------------------------------------------------------------
+    def _schedule_flush(self) -> None:
+        if not self._dirty:
+            return
+        if self.sim.executing:
+            # Inside the event loop: coalesce every same-instant change
+            # into one zero-delay round (FIFO tie-breaking guarantees the
+            # flush runs after all already-queued events of this instant).
+            if self._flush_event is None:
+                self._flush_event = self.sim.schedule(0.0, self._flush)
+        else:
+            # Direct administrative/test call: effects must be visible
+            # immediately, so run the round synchronously.
+            self._flush()
+
+    def _flush(self) -> None:
+        self._flush_event = None
+        if not self._dirty:
+            return
+        batch, self._dirty = self._dirty, {}
+        self.stats.rounds += 1
+        orchestrator = self.orchestrator
+        state = self.view.system_state(self._policy_keys, self._defaults)
+        assignments = []
+        triggers: dict[str, tuple[str, float]] = {}
+        for device in sorted(batch):
+            if device in orchestrator.pinned or device not in orchestrator.attachments:
+                continue
+            self.stats.evaluations += 1
+            assignments.append((device, self.pruned.posture_for(state, device)))
+            triggers[device] = batch[device]
+        if not assignments:
+            return
+        records = orchestrator.apply_many(assignments)
+        applied_at = self.sim.now
+        for record in records:
+            trigger_key, trigger_at = triggers[record.device]
+            self.reactions.append(
+                ReactionRecord(
+                    device=record.device,
+                    trigger_key=trigger_key,
+                    trigger_at=trigger_at,
+                    applied_at=applied_at,
+                    posture=record.posture,
+                )
+            )
+        self.stats.applies += len(records)
+        if self.bus is not None:
+            self.bus.publish(
+                "pipeline-round",
+                source="pipeline",
+                evaluated=len(assignments),
+                applied=len(records),
+            )
+
+    def evaluate_device(self, device: str, trigger_key: str) -> None:
+        """Run an immediate round for one device (runtime policy updates)."""
+        self._dirty.setdefault(device, (trigger_key, self.sim.now))
+        self._flush()
+
+    def enforce_all(self) -> None:
+        """Evaluate every policy device against the current view, batched."""
+        orchestrator = self.orchestrator
+        state = self.view.system_state(self._policy_keys, self._defaults)
+        orchestrator.apply_many(
+            [
+                (device, self.pruned.posture_for(state, device))
+                for device in self.policy.devices
+                if device in orchestrator.attachments
+                and device not in orchestrator.pinned
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Policy mutation
+    # ------------------------------------------------------------------
+    def add_rule(self, rule: "PostureRule") -> None:
+        """Incrementally add a runtime rule: only the touched device's
+        projected table and reverse-index entries are rebuilt."""
+        self.pruned.add_rule(rule)
+        self._refresh_policy_view()

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.simulator import Simulator
 
 ChangeCallback = Callable[[str, str | None, str], None]
+DirtyCallback = Callable[[str], None]
 
 
 @dataclass
@@ -37,6 +38,7 @@ class GlobalView:
         self.sim = sim
         self.entries: dict[str, ViewEntry] = {}
         self._subscribers: list[ChangeCallback] = []
+        self._dirty_subscribers: list[DirtyCallback] = []
         self.total_updates = 0
 
     # ------------------------------------------------------------------
@@ -70,9 +72,20 @@ class GlobalView:
     def subscribe(self, callback: ChangeCallback) -> None:
         self._subscribers.append(callback)
 
+    def subscribe_dirty(self, callback: DirtyCallback) -> None:
+        """Lightweight change notification: just the key that went dirty.
+
+        The reactive pipeline's ingest stage subscribes here -- it only
+        needs to mark devices dirty, not inspect old/new values, so the
+        callback skips building the richer change tuple.
+        """
+        self._dirty_subscribers.append(callback)
+
     def _notify(self, key: str, old: str | None, new: str) -> None:
         for callback in list(self._subscribers):
             callback(key, old, new)
+        for dirty in list(self._dirty_subscribers):
+            dirty(key)
 
     # ------------------------------------------------------------------
     def system_state(

@@ -27,6 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover
 class Link:
     """A bidirectional point-to-point link."""
 
+    #: Bumped whenever any link changes up/down state.  Routing caches use
+    #: it (together with node/link counts) as an O(1) staleness check
+    #: instead of scanning every link's status per lookup.
+    state_version: int = 0
+
     def __init__(
         self,
         sim: "Simulator",
@@ -50,7 +55,7 @@ class Link:
         self.latency = latency
         self.bandwidth = bandwidth
         self.max_queue_delay = max_queue_delay
-        self.up = True
+        self._up = True
         self.delivered = 0
         self.dropped = 0
         self.queue_drops = 0
@@ -59,6 +64,16 @@ class Link:
         self.port_b = port_b if port_b is not None else b.free_port()
         a.attach(self.port_a, self)
         b.attach(self.port_b, self)
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value != self._up:
+            self._up = value
+            Link.state_version += 1
 
     def other_end(self, node: "Node") -> "Node":
         """The node at the far side from ``node``."""
@@ -95,15 +110,14 @@ class Link:
             self._busy_until[direction] = done
             delay = (done - now) + self.latency
         in_port = self._ingress_port(receiver)
+        self.sim.schedule(delay, self._deliver, receiver, packet, in_port)
 
-        def deliver() -> None:
-            if not self.up:
-                self.dropped += 1
-                return
-            self.delivered += 1
-            receiver.receive(packet, in_port)
-
-        self.sim.schedule(delay, deliver)
+    def _deliver(self, receiver: "Node", packet: Packet, in_port: int) -> None:
+        if not self.up:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        receiver.receive(packet, in_port)
 
     def fail(self) -> None:
         """Administratively down the link; in-flight packets are dropped."""

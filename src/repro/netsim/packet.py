@@ -11,7 +11,7 @@ in byte parsing, while ``size`` preserves the traffic-volume dimension.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any
 
 _PACKET_IDS = itertools.count(1)
@@ -82,12 +82,17 @@ class Packet:
         ``payload``, ``trace`` and ``meta`` are shallow-copied so the clone
         can be rewritten without mutating the original.
         """
-        clone = replace(
-            self,
+        clone = Packet(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            sport=self.sport,
+            dport=self.dport,
             payload=dict(self.payload),
+            size=self.size,
+            created_at=self.created_at,
             trace=list(self.trace),
             meta=dict(self.meta),
-            pkt_id=next(_PACKET_IDS),
         )
         for key, value in overrides.items():
             setattr(clone, key, value)

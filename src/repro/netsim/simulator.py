@@ -17,12 +17,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 
-@dataclass(order=True)
+@dataclass
 class Event:
     """A scheduled callback.
 
     Events order by ``(time, seq)`` so that simultaneous events preserve
-    scheduling order.  ``fn`` and ``args`` are excluded from comparison.
+    scheduling order.  The heap stores ``(time, seq, event)`` tuples so
+    ordering uses fast tuple comparison; the event object itself never
+    needs to be compared.
     """
 
     time: float
@@ -52,9 +54,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._executing = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -68,7 +71,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self.now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
@@ -85,14 +88,29 @@ class Simulator:
     def step(self) -> bool:
         """Run the single next event.  Returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            __, __, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             self.now = event.time
-            event.fn(*event.args)
+            self._executing = True
+            try:
+                event.fn(*event.args)
+            finally:
+                self._executing = False
             self._events_processed += 1
             return True
         return False
+
+    @property
+    def executing(self) -> bool:
+        """True while an event callback is running.
+
+        Components that coalesce work into same-instant batches use this to
+        decide between scheduling a zero-delay flush (inside the event loop,
+        where later same-time events may still add to the batch) and
+        flushing synchronously (direct calls from test or admin code).
+        """
+        return self._executing
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the queue drains, ``until`` passes, or the budget.
@@ -102,7 +120,7 @@ class Simulator:
         """
         executed = 0
         while self._heap:
-            if until is not None and self._heap[0].time > until:
+            if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return
             if max_events is not None and executed >= max_events:
@@ -112,7 +130,7 @@ class Simulator:
 
     def events_pending(self) -> int:
         """Number of scheduled (non-cancelled) events still in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for __, __, event in self._heap if not event.cancelled)
 
     @property
     def events_processed(self) -> int:
@@ -156,7 +174,7 @@ class Simulator:
 
     def timeline(self) -> Iterator[float]:
         """Yield the (sorted) times of currently pending events (debugging)."""
-        return iter(sorted(e.time for e in self._heap if not e.cancelled))
+        return iter(sorted(e.time for __, __, e in self._heap if not e.cancelled))
 
     def __repr__(self) -> str:
         return (

@@ -31,20 +31,64 @@ class Switch(Node):
         self.punted = 0
         self.dropped = 0
         self.miss_drops = 0
+        # Lookup accelerator: every rule lands in exactly one bucket --
+        # keyed by its concrete dst, else by its concrete src, else the
+        # wildcard list.  A packet can only match rules in the buckets for
+        # its own dst/src (plus wildcards), so lookup scans a handful of
+        # candidates instead of the whole table.  Entries carry the
+        # precomputed sort key; the winner is the minimum over matches,
+        # which is exactly what the sorted linear scan returned (sort keys
+        # are totally ordered via the unique rule_id).
+        self._by_dst: dict[str, list[tuple[tuple[int, int, int], FlowRule]]] = {}
+        self._by_src: dict[str, list[tuple[tuple[int, int, int], FlowRule]]] = {}
+        self._wild: list[tuple[tuple[int, int, int], FlowRule]] = []
 
     # ------------------------------------------------------------------
     # Flow-table management (the controller calls these, via the channel)
     # ------------------------------------------------------------------
+    def _index_add(self, rule: FlowRule) -> None:
+        entry = (rule.sort_key(), rule)
+        if rule.match.dst is not None:
+            self._by_dst.setdefault(rule.match.dst, []).append(entry)
+        elif rule.match.src is not None:
+            self._by_src.setdefault(rule.match.src, []).append(entry)
+        else:
+            self._wild.append(entry)
+
+    def _reindex(self) -> None:
+        self._by_dst = {}
+        self._by_src = {}
+        self._wild = []
+        for rule in self.flow_table:
+            self._index_add(rule)
+
     def install(self, rule: FlowRule) -> None:
         """Install a rule, keeping the table sorted for lookup."""
         self.flow_table.append(rule)
         self.flow_table.sort(key=FlowRule.sort_key)
+        self._index_add(rule)
+
+    def install_many(self, rules: list[FlowRule]) -> None:
+        """Install a batch of rules with a single table re-sort.
+
+        The orchestrator's batched actuation stage pushes one rule batch
+        per switch per evaluation round through here.
+        """
+        if not rules:
+            return
+        self.flow_table.extend(rules)
+        self.flow_table.sort(key=FlowRule.sort_key)
+        for rule in rules:
+            self._index_add(rule)
 
     def remove_where(self, predicate: Callable[[FlowRule], bool]) -> int:
         """Remove rules satisfying ``predicate``; returns how many."""
         before = len(self.flow_table)
         self.flow_table = [r for r in self.flow_table if not predicate(r)]
-        return before - len(self.flow_table)
+        removed = before - len(self.flow_table)
+        if removed:
+            self._reindex()
+        return removed
 
     def remove_version(self, version: int) -> int:
         """Remove all rules of a configuration epoch."""
@@ -60,12 +104,24 @@ class Switch(Node):
         A rule is live when it is version-independent or tagged with the
         active version.
         """
-        for rule in self.flow_table:
-            if rule.version is not None and rule.version != self.active_version:
+        best: Optional[FlowRule] = None
+        best_key: Optional[tuple[int, int, int]] = None
+        active = self.active_version
+        for bucket in (
+            self._by_dst.get(packet.dst),
+            self._by_src.get(packet.src),
+            self._wild,
+        ):
+            if not bucket:
                 continue
-            if rule.match.matches(packet, in_port):
-                return rule
-        return None
+            for key, rule in bucket:
+                if best_key is not None and key >= best_key:
+                    continue
+                if rule.version is not None and rule.version != active:
+                    continue
+                if rule.match.matches(packet, in_port):
+                    best, best_key = rule, key
+        return best
 
     # ------------------------------------------------------------------
     # Data path

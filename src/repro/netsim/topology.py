@@ -139,13 +139,11 @@ class Topology:
         return g
 
     def _fingerprint(self) -> tuple:
-        """A cheap digest of routing-relevant state (links and their
-        up/down status); when it changes, cached routes are stale."""
-        up_mask = 0
-        for i, link in enumerate(self.links):
-            if link.up:
-                up_mask |= 1 << i
-        return (len(self.nodes), len(self.links), up_mask)
+        """A cheap digest of routing-relevant state; when it changes,
+        cached routes are stale.  O(1): link up/down flips bump the global
+        ``Link.state_version`` counter, so no per-link scan is needed on
+        the per-packet lookup path."""
+        return (len(self.nodes), len(self.links), Link.state_version)
 
     def next_hop_port(self, at: str, toward: str) -> int | None:
         """The output port at node ``at`` on a shortest path to ``toward``.

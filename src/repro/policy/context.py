@@ -25,6 +25,10 @@ UNPATCHED = "unpatched"
 
 DEFAULT_CONTEXT_DOMAIN: tuple[str, ...] = (NORMAL, SUSPICIOUS, COMPROMISED)
 
+#: Severity ordering for context escalation.  Contexts only move *up* this
+#: scale; lowering one is an explicit administrative act (``clear_context``).
+SEVERITY: dict[str, int] = {NORMAL: 0, UNPATCHED: 1, SUSPICIOUS: 2, COMPROMISED: 3}
+
 
 @dataclass(frozen=True)
 class Variable:

@@ -100,6 +100,7 @@ class PolicyFSM:
         self.space = StateSpace(domains)
         self.rules: list[PostureRule] = sorted(rules, key=PostureRule.sort_key)
         self.default_posture = default_posture
+        self._rules_by_device: dict[str, list[PostureRule]] | None = None
         known = {
             v.name for v in self.space.variables() if v.kind == "ctx"
         }
@@ -131,6 +132,7 @@ class PolicyFSM:
     def add_rule(self, rule: PostureRule) -> None:
         self.rules.append(rule)
         self.rules.sort(key=PostureRule.sort_key)
+        self._rules_by_device = None
         if rule.device not in self.devices:
             self.devices = tuple(sorted({*self.devices, rule.device}))
         self._validate()
@@ -172,7 +174,16 @@ class PolicyFSM:
     # Introspection
     # ------------------------------------------------------------------
     def rules_for(self, device: str) -> list[PostureRule]:
-        return [rule for rule in self.rules if rule.device == device]
+        # Grouped lazily so hot callers (projection, pruning, hierarchy
+        # partitioning) see O(own rules), not O(all rules), per device.
+        # The grouping preserves the sorted table order, and ``add_rule``
+        # invalidates it.
+        if self._rules_by_device is None:
+            grouped: dict[str, list[PostureRule]] = {}
+            for rule in self.rules:
+                grouped.setdefault(rule.device, []).append(rule)
+            self._rules_by_device = grouped
+        return list(self._rules_by_device.get(device, ()))
 
     def referenced_variables(self) -> set[str]:
         """Variables any rule actually tests (pruning's raw material)."""

@@ -82,19 +82,57 @@ class ProjectedTable:
         return set(self.table.values()) | {self.default}
 
 
+_NO_DEVICES: frozenset[str] = frozenset()
+
+
 class PrunedPolicy:
     """The FSM after independence projection.
 
     Semantically identical to the source FSM (same ``posture_for`` results)
     but with per-device tables whose joint size is typically orders of
     magnitude below ``|S|``.
+
+    Alongside the tables it maintains a **reverse index** mapping each
+    policy variable key to the set of devices whose posture can depend on
+    it.  The controller's reactive pipeline uses it to turn "view key K
+    changed" into the affected device set in O(1) instead of scanning
+    every device's rule list.
     """
 
     def __init__(self, fsm: PolicyFSM) -> None:
         self.fsm = fsm
         self.tables: dict[str, ProjectedTable] = {}
+        #: variable key -> devices whose rules reference it
+        self.affected: dict[str, set[str]] = {}
         for device in fsm.devices:
-            self.tables[device] = self._project(device)
+            self._set_table(device, self._project(device))
+
+    def _set_table(self, device: str, table: ProjectedTable) -> None:
+        old = self.tables.get(device)
+        if old is not None:
+            for key in old.variables:
+                bucket = self.affected.get(key)
+                if bucket is not None:
+                    bucket.discard(device)
+        self.tables[device] = table
+        for key in table.variables:
+            self.affected.setdefault(key, set()).add(device)
+
+    def devices_affected_by(self, key: str) -> frozenset[str] | set[str]:
+        """Devices whose posture may change when variable ``key`` changes."""
+        return self.affected.get(key, _NO_DEVICES)
+
+    def add_rule(self, rule) -> None:
+        """Incrementally incorporate a runtime rule.
+
+        A :class:`PostureRule` binds exactly one device, so only that
+        device's projected table (and its reverse-index entries) can
+        change; every other table depends only on its own rules and the
+        (unchanged) domains.  Hypothesis property tests verify lookups
+        stay identical to a from-scratch rebuild.
+        """
+        self.fsm.add_rule(rule)
+        self._set_table(rule.device, self._project(rule.device))
 
     def _project(self, device: str) -> ProjectedTable:
         variables = tuple(sorted(relevant_variables(self.fsm, device)))

@@ -150,6 +150,9 @@ class FlowRule:
         self.actions = tuple(self.actions)
         if not self.actions:
             raise ValueError("a flow rule needs at least one action")
+        # priority/match/rule_id never change after construction, and table
+        # re-sorts on every epoch push made recomputing this a hotspot
+        self._sort_key = (-self.priority, -self.match.specificity(), self.rule_id)
 
     def record_hit(self, packet: Packet) -> None:
         self.hits += 1
@@ -157,4 +160,4 @@ class FlowRule:
 
     def sort_key(self) -> tuple[int, int, int]:
         """Higher priority first, then more specific, then older."""
-        return (-self.priority, -self.match.specificity(), self.rule_id)
+        return self._sort_key

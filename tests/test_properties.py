@@ -12,7 +12,7 @@ from repro.netsim.packet import Packet
 from repro.netsim.simulator import Simulator
 from repro.policy.builder import PolicyBuilder
 from repro.policy.context import SystemState
-from repro.policy.fsm import StatePredicate
+from repro.policy.fsm import PolicyFSM, StatePredicate
 from repro.policy.posture import MboxSpec, Posture
 from repro.policy.pruning import PrunedPolicy
 from repro.sdn.flowrule import FlowMatch
@@ -179,6 +179,36 @@ def test_pruned_policy_sound_for_random_policies(policy):
             assert pruned.posture_for(state, device) == policy.posture_for(
                 state, device
             )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_policies())
+def test_incremental_pruned_updates_match_rebuild(policy):
+    """Adding rules one by one through ``PrunedPolicy.add_rule`` must land
+    in exactly the state a from-scratch projection of the full rule set
+    produces -- same winning posture everywhere, same reverse index."""
+    empty = PolicyFSM(
+        policy.space.domains,
+        rules=(),
+        default_posture=policy.default_posture,
+        devices=policy.devices,
+    )
+    incremental = PrunedPolicy(empty)
+    for rule in policy.rules:
+        incremental.add_rule(rule)
+    rebuilt = PrunedPolicy(policy)
+    for state in policy.enumerate_states(limit=256):
+        for device in policy.devices:
+            expected = rebuilt.posture_for(state, device)
+            assert incremental.posture_for(state, device) == expected
+            assert policy.posture_for(state, device) == expected
+    for device in policy.devices:
+        assert (
+            incremental.tables[device].variables == rebuilt.tables[device].variables
+        )
+        assert incremental.devices_affected_by(f"ctx:{device}") == (
+            rebuilt.devices_affected_by(f"ctx:{device}")
+        )
 
 
 # ----------------------------------------------------------------------
