@@ -10,11 +10,33 @@ commits without the pytest-benchmark machinery.
 
 from __future__ import annotations
 
+import datetime
 import json
+import subprocess
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_GIT_SHA: str | None = None
+
+
+def _git_sha() -> str:
+    """Short commit SHA of the working tree (cached; "unknown" outside git)."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
@@ -62,7 +84,17 @@ def record(benchmark: Any, key: str, value: Any) -> None:
         except (OSError, ValueError):
             pass
     baseline[key] = value
+    # Provenance: which commit produced these numbers, and when.
+    baseline["git_sha"] = _git_sha()
+    baseline["recorded_at"] = (
+        datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    )
     path.write_text(json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+
+
+def record_metrics(benchmark: Any, sim: Any) -> None:
+    """Embed the simulator's metrics-registry snapshot in the baseline."""
+    record(benchmark, "metrics", sim.metrics.snapshot())
 
 
 def percent(x: float) -> str:

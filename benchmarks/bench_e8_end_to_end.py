@@ -177,12 +177,25 @@ def run_arm(arm: str) -> dict:
         "brute force (window)": nodes["window"].state == "open",
         "open access (stb)": nodes["stb"].state == "playing",
     }
+
+    # Causal trace of the brute-force response on the IoTSec arm: the
+    # window's posture hardening should be followable packet -> posture.
+    trace_stages: list[dict] = []
+    if arm == "iotsec":
+        tracer = sim.tracer
+        for trace_id in reversed(tracer.traces_for("window")):
+            spans = tracer.spans(trace_id)
+            if any(s.stage == "actuate" for s in spans):
+                trace_stages = [s.as_dict() for s in spans]
+                break
+
     return {
         "arm": arm,
         "attacks": attack_outcomes,
         "benign": benign,
         "blocked": sum(1 for ok in attack_outcomes.values() if not ok),
         "benign_ok": sum(1 for ok in benign.values() if ok),
+        "trace": trace_stages,
     }
 
 
@@ -219,6 +232,7 @@ def test_e8_end_to_end(scenario_benchmark):
         "summary",
         {r["arm"]: {"blocked": r["blocked"], "benign_ok": r["benign_ok"]} for r in results},
     )
+    record(scenario_benchmark, "iotsec_trace", by_arm["iotsec"]["trace"])
 
     none, acl, iotsec = by_arm["none"], by_arm["acl"], by_arm["iotsec"]
     # current world: everything lands, benign works
@@ -233,3 +247,9 @@ def test_e8_end_to_end(scenario_benchmark):
     # IoTSec blocks everything and preserves all benign operations
     assert iotsec["blocked"] == len(iotsec["attacks"])
     assert iotsec["benign_ok"] == len(iotsec["benign"])
+    # ...and the response is causally traceable end to end: the brute-force
+    # packets produced an alert, the alert an escalation, the escalation an
+    # evaluation round, the round a posture actuation -- one trace.
+    stages = {s["stage"] for s in iotsec["trace"]}
+    assert {"detect", "ingest-alert", "escalate", "evaluate", "actuate"} <= stages
+    assert all(s["latency"] >= 0 for s in iotsec["trace"])

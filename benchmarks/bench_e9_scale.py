@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from _util import print_table, record
+from _util import print_table, record, record_metrics
 
 from repro.attacks.exploits import EXPLOITS
 from repro.core.deployment import SecuredDeployment
@@ -60,6 +60,7 @@ def run_scale(n_devices: int) -> dict:
     events = dep.sim.events_processed
     stats = dep.controller.pipeline.stats
     return {
+        "sim": dep.sim,
         "devices": n_devices,
         "build_s": build_s,
         "run_s": run_s,
@@ -82,6 +83,10 @@ def test_e9_whole_stack_scale(scenario_benchmark):
         return [run_scale(n) for n in sweep]
 
     results = scenario_benchmark(run_all)
+    # Embed the largest run's registry snapshot in the JSON baseline; the
+    # sim handle itself must not leak into the serialized rows.
+    sims = [r.pop("sim") for r in results]
+    record_metrics(scenario_benchmark, sims[-1])
 
     print_table(
         "E9: ten simulated minutes of a fully-tunnelled home",

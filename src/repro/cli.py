@@ -8,11 +8,16 @@ Commands:
 - ``audit`` -- fuzz the model library and print the attack graph +
   hardening plan for a canned smart home.
 - ``report`` -- build a secured home, attack it, print the operator view.
+- ``metrics`` -- same scenario, but export the metrics registry
+  (Prometheus text, or ``--json`` for the raw snapshot).
+- ``trace <device>`` -- same scenario, then print the causal chain(s)
+  (packet -> alert -> escalation -> posture) for one device.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 
 
@@ -306,21 +311,56 @@ def cmd_policy(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace) -> int:
+def _attacked_home():
+    """The canned scenario behind ``report``/``metrics``/``trace``: a
+    secured two-device home whose camera gets brute-forced."""
     from repro import SecuredDeployment
     from repro.attacks.exploits import EXPLOITS
-    from repro.core.metrics import summarize
     from repro.devices.library import smart_camera, smart_plug
 
     dep = SecuredDeployment.build()
-    cam = dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_camera, "cam")
     dep.add_device(smart_plug, "plug")
     attacker = dep.add_attacker()
     dep.finalize()
     dep.enforce_baseline()
     EXPLOITS["brute_force_login"].launch(attacker, "cam", dep.sim)
     dep.run(until=60.0)
-    print(summarize(dep).render())
+    return dep
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.metrics import summarize
+
+    print(summarize(_attacked_home()).render())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import to_prometheus
+
+    dep = _attacked_home()
+    if args.json:
+        print(json.dumps(dep.sim.metrics.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(to_prometheus(dep.sim.metrics))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import trace_as_dicts
+
+    dep = _attacked_home()
+    tracer = dep.sim.tracer
+    trace_ids = tracer.traces_for(args.device)
+    if args.json:
+        print(json.dumps([trace_as_dicts(tracer, t) for t in trace_ids], indent=2))
+        return 0
+    if not trace_ids:
+        print(f"no traces recorded for device {args.device!r}")
+        return 1
+    for trace_id in trace_ids:
+        print(tracer.render(trace_id))
     return 0
 
 
@@ -343,6 +383,15 @@ def main(argv: list[str] | None = None) -> int:
 
     report = sub.add_parser("report", help="operator report for a secured home under attack")
     report.set_defaults(fn=cmd_report)
+
+    metrics = sub.add_parser("metrics", help="export the metrics registry for the report scenario")
+    metrics.add_argument("--json", action="store_true", help="raw snapshot instead of Prometheus text")
+    metrics.set_defaults(fn=cmd_metrics)
+
+    trace = sub.add_parser("trace", help="print causal traces (packet -> posture) for one device")
+    trace.add_argument("device", nargs="?", default="cam")
+    trace.add_argument("--json", action="store_true", help="span dicts instead of rendered text")
+    trace.set_defaults(fn=cmd_trace)
 
     policy = sub.add_parser("policy", help="export a sample default policy as JSON")
     policy.set_defaults(fn=cmd_policy)

@@ -90,6 +90,14 @@ class IoTSecController:
         self.devices: dict[str, "IoTDevice"] = {}
         self.packet_ins = 0
         channel.register(name, self.on_control_message)
+        # Observability: alert ingress by kind (cached counters) plus a
+        # packet-in gauge over the attribute the data path increments.
+        metrics = sim.metrics
+        self.metric_labels = {"controller": metrics.unique(name)}
+        metrics.gauge(
+            "controller_packet_ins", fn=lambda: self.packet_ins, **self.metric_labels
+        )
+        self._alert_counters: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Pipeline-derived state (kept as attributes of the controller so the
@@ -201,19 +209,39 @@ class IoTSecController:
         detail = dict(body.get("detail", {}))
         self.bus.publish("alert", source=str(body.get("mbox", "")), device=device, kind_detail=kind, **detail)
 
+        counter = self._alert_counters.get(kind)
+        if counter is None:
+            counter = self.sim.metrics.counter(
+                "controller_alerts", kind=kind, **self.metric_labels
+            )
+            self._alert_counters[kind] = counter
+        counter.inc()
+
         if kind == "telemetry":
             self._ingest_telemetry(device, detail)
             return
-        self._escalate(device, kind, at=sent_at)
-        # Insider escalation: when the offending *source* is one of our own
-        # devices, it is being used as a launchpad -- flag it too.
-        source = detail.get("src")
-        if (
-            isinstance(source, str)
-            and source in self.devices
-            and source != device
-        ):
-            self._escalate(source, "insider", at=sent_at)
+        # Continue the causal trace the µmbox started: the time between the
+        # alert leaving the host and arriving here is control-channel cost.
+        tracer = self.sim.tracer
+        trace = body.get("trace")
+        if trace is not None:
+            tracer.span(
+                trace, "ingest-alert", sent_at, self.sim.now, device=device, kind=kind
+            )
+        tracer.push(trace)
+        try:
+            self._escalate(device, kind, at=sent_at)
+            # Insider escalation: when the offending *source* is one of our
+            # own devices, it is being used as a launchpad -- flag it too.
+            source = detail.get("src")
+            if (
+                isinstance(source, str)
+                and source in self.devices
+                and source != device
+            ):
+                self._escalate(source, "insider", at=sent_at)
+        finally:
+            tracer.pop()
 
     def _ingest_telemetry(self, device: str, detail: dict[str, Any]) -> None:
         state = detail.get("state")
@@ -237,6 +265,17 @@ class IoTSecController:
             return
         context = self.pipeline.escalate(device, alert_kind, at)
         if context is not None:
+            trace = self.sim.tracer.current()
+            if trace is not None:
+                self.sim.tracer.span(
+                    trace,
+                    "escalate",
+                    self.sim.now,
+                    self.sim.now,
+                    device=device,
+                    kind=alert_kind,
+                    context=context,
+                )
             self.set_context(device, context)
 
     def set_context(self, device: str, context: str) -> None:

@@ -296,6 +296,7 @@ class SecuredDeployment:
                 "kind": alert.kind,
                 "mbox": alert.mbox,
                 "detail": dict(alert.detail),
+                "trace": alert.trace_id,
             },
         )
 

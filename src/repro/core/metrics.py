@@ -46,6 +46,8 @@ class DeploymentReport:
     reaction_p50_ms: float | None = None
     reaction_max_ms: float | None = None
     events_processed: int = 0
+    #: Full metrics-registry snapshot ({} when observability is disabled).
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def compromised_devices(self) -> list[str]:
         return [d.name for d in self.devices if d.compromised_ground_truth]
@@ -54,9 +56,23 @@ class DeploymentReport:
         return [d.name for d in self.devices if d.context != "normal"]
 
     def as_dict(self) -> dict[str, Any]:
+        """Plain-serializable form: every value survives ``json.dumps``."""
         return {
             "at": self.at,
-            "devices": [vars(d) for d in self.devices],
+            "devices": [
+                {
+                    "name": d.name,
+                    "kind": d.kind,
+                    "sku": d.sku,
+                    "state": d.state,
+                    "context": d.context,
+                    "posture": d.posture,
+                    "flaws": list(d.flaws),
+                    "alerts": d.alerts,
+                    "compromised_ground_truth": d.compromised_ground_truth,
+                }
+                for d in self.devices
+            ],
             "alerts_by_kind": dict(self.alerts_by_kind),
             "postures_applied": self.postures_applied,
             "mbox": {
@@ -65,8 +81,11 @@ class DeploymentReport:
                 "reconfigs": self.mbox_reconfigs,
             },
             "packets_tunnelled": self.packets_tunnelled,
+            "packets_dropped_unbound": self.packets_dropped_unbound,
             "reaction_p50_ms": self.reaction_p50_ms,
             "reaction_max_ms": self.reaction_max_ms,
+            "events_processed": self.events_processed,
+            "metrics": self.metrics,
         }
 
     def render(self) -> str:
@@ -103,12 +122,34 @@ class DeploymentReport:
 
 
 def summarize(dep: "SecuredDeployment") -> DeploymentReport:
-    """Build a :class:`DeploymentReport` from a deployment's current state."""
+    """Build a :class:`DeploymentReport` from a deployment's current state.
+
+    When the simulator's metrics registry is enabled (the default), alert
+    volumes, µmbox lifecycle counts and tunnel traffic come from the
+    registry -- the report is a *view over the instrumentation*, so what
+    operators read here and what ``repro metrics`` exports cannot drift
+    apart.  With observability disabled the report falls back to reading
+    the component counters directly.
+    """
     report = DeploymentReport(at=dep.sim.now, events_processed=dep.sim.events_processed)
+    registry = dep.sim.metrics
 
     alerts = dep.alerts()
-    for alert in alerts:
-        report.alerts_by_kind[alert.kind] = report.alerts_by_kind.get(alert.kind, 0) + 1
+    host_label = (
+        dep.cluster.metric_labels.get("host") if dep.cluster is not None else None
+    )
+    if registry.enabled and host_label is not None:
+        for instrument in registry.series("mbox_alerts"):
+            if instrument.labels.get("host") == host_label:
+                kind = instrument.labels.get("kind", "?")
+                report.alerts_by_kind[kind] = (
+                    report.alerts_by_kind.get(kind, 0) + int(instrument.value)
+                )
+    else:
+        for alert in alerts:
+            report.alerts_by_kind[alert.kind] = (
+                report.alerts_by_kind.get(alert.kind, 0) + 1
+            )
 
     for name, device in sorted(dep.devices.items()):
         context = dep.controller.context_of(name) if dep.controller else "-"
@@ -133,14 +174,33 @@ def summarize(dep: "SecuredDeployment") -> DeploymentReport:
     if dep.orchestrator is not None:
         report.postures_applied = len(dep.orchestrator.records)
     if dep.manager is not None:
-        report.mbox_active = dep.manager.active_count()
-        report.mbox_boots = dep.manager.boots
-        report.mbox_reconfigs = dep.manager.reconfigs
+        labels = dep.manager.metric_labels
+        if registry.enabled:
+            report.mbox_active = int(registry.value("mbox_active", **labels) or 0)
+            report.mbox_boots = int(registry.value("mbox_boots", **labels) or 0)
+            report.mbox_reconfigs = int(registry.value("mbox_reconfigs", **labels) or 0)
+        else:
+            report.mbox_active = dep.manager.active_count()
+            report.mbox_boots = dep.manager.boots
+            report.mbox_reconfigs = dep.manager.reconfigs
     if dep.cluster is not None:
-        report.packets_tunnelled = dep.cluster.tunnelled_in
-        report.packets_dropped_unbound = dep.cluster.unbound_drops
+        labels = dep.cluster.metric_labels
+        if registry.enabled:
+            report.packets_tunnelled = int(
+                registry.value("mbox_tunnelled_in", **labels) or 0
+            )
+            report.packets_dropped_unbound = int(
+                registry.value("mbox_unbound_drops", **labels) or 0
+            )
+        else:
+            report.packets_tunnelled = dep.cluster.tunnelled_in
+            report.packets_dropped_unbound = dep.cluster.unbound_drops
     if dep.controller is not None and dep.controller.reactions:
+        # Exact quantiles from the reaction list (the registry histogram
+        # only has bucket resolution; benches rely on precise latencies).
         latencies = sorted(r.latency for r in dep.controller.reactions)
         report.reaction_p50_ms = latencies[len(latencies) // 2] * 1e3
         report.reaction_max_ms = latencies[-1] * 1e3
+    if registry.enabled:
+        report.metrics = registry.snapshot()
     return report

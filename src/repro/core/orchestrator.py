@@ -25,9 +25,10 @@ installed ahead of the src rule at equal priority/specificity).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.mboxes.manager import MboxManager
+from repro.obs import COUNT_BUCKETS
 from repro.policy.posture import MboxSpec, Posture
 from repro.sdn.flowrule import Action, FlowMatch, FlowRule
 from repro.sdn.tunnel import TunnelTable
@@ -83,6 +84,22 @@ class PostureOrchestrator:
         #: Devices whose posture an administrator pinned: the policy loop
         #: must not override these (it may still *observe* the device).
         self.pinned: set[str] = set()
+        # Observability: actuation gauges plus the per-switch rule batch
+        # size distribution (one observation per flow push).
+        metrics = sim.metrics
+        self.metric_labels = {"orchestrator": metrics.unique("orchestrator")}
+        metrics.gauge(
+            "orchestrator_applies", fn=lambda: len(self.records), **self.metric_labels
+        )
+        metrics.gauge(
+            "orchestrator_tunnelled", fn=lambda: len(self.tunnels), **self.metric_labels
+        )
+        metrics.gauge(
+            "orchestrator_pinned", fn=lambda: len(self.pinned), **self.metric_labels
+        )
+        self._h_rules_batch = metrics.histogram(
+            "flow_rules_per_batch", bounds=COUNT_BUCKETS, **self.metric_labels
+        )
 
     # ------------------------------------------------------------------
     def attach(self, device: str, attachment: SwitchAttachment) -> None:
@@ -105,7 +122,9 @@ class PostureOrchestrator:
         return records[0] if records else None
 
     def apply_many(
-        self, assignments: list[tuple[str, Posture]]
+        self,
+        assignments: list[tuple[str, Posture]],
+        traces: dict[str, int] | None = None,
     ) -> list[OrchestrationRecord]:
         """Batched actuation: apply a whole evaluation round's postures.
 
@@ -113,28 +132,57 @@ class PostureOrchestrator:
         switch receives one rule batch (one table re-sort); in consistent
         mode every touched switch receives exactly one two-phase epoch,
         however many of its devices changed posture this round.
+
+        ``traces`` optionally maps devices to causal-trace ids; each traced
+        device gets an ``actuate`` span (posture deploy latency) and its
+        switch's flow push gets a ``flow-install`` or ``epoch-commit`` span.
         """
+        traces = traces or {}
+        tracer = self.sim.tracer
         records: list[OrchestrationRecord] = []
         installs: dict[str, tuple["Switch", list[FlowRule]]] = {}
         epoch_switches: dict[str, "Switch"] = {}
+        #: switch name -> trace ids whose posture change touched its table
+        switch_traces: dict[str, list[int]] = {}
         for device, posture in assignments:
             if self.current.get(device) == posture:
                 continue
             attachment = self.attachments.get(device)
             if attachment is None:
                 raise KeyError(f"no switch attachment registered for {device!r}")
+            trace = traces.get(device)
+            now = self.sim.now
+            flow_change = False
 
             if posture.is_permissive:
                 self._remove_tunnel(device, attachment, epoch_switches)
                 self.manager.teardown(device)
                 self.tunnels.unbind(device)
+                ready_at = now
+                operation = "teardown"
+                flow_change = True
             else:
-                record = self.manager.deploy(device, posture)
+                deploy = self.manager.deploy(device, posture)
                 mbox_name = self.manager.host.mboxes[device].name
                 if device not in self.tunnels:
                     self._install_tunnel(device, attachment, installs, epoch_switches)
+                    flow_change = True
                 self.tunnels.bind(device, mbox_name)
-                del record  # latency is tracked by the manager
+                ready_at = deploy.ready_at
+                operation = deploy.operation
+
+            if trace is not None:
+                tracer.span(
+                    trace,
+                    "actuate",
+                    now,
+                    ready_at,
+                    device=device,
+                    posture=posture.name,
+                    operation=operation,
+                )
+                if flow_change:
+                    switch_traces.setdefault(attachment.switch.name, []).append(trace)
 
             self.current[device] = posture
             record = OrchestrationRecord(
@@ -147,8 +195,18 @@ class PostureOrchestrator:
             records.append(record)
         for switch, rules in installs.values():
             switch.install_many(rules)
+            self._h_rules_batch.observe(len(rules))
+            for trace in switch_traces.get(switch.name, ()):
+                tracer.span(
+                    trace,
+                    "flow-install",
+                    self.sim.now,
+                    self.sim.now,
+                    switch=switch.name,
+                    rules=len(rules),
+                )
         for switch in epoch_switches.values():
-            self._push_epoch(switch)
+            self._push_epoch(switch, switch_traces.get(switch.name, ()))
         return records
 
     # ------------------------------------------------------------------
@@ -213,7 +271,7 @@ class PostureOrchestrator:
             and r.priority in (BYPASS_DST_PRIORITY, BYPASS_SRC_PRIORITY, TUNNEL_PRIORITY)
         )
 
-    def _push_epoch(self, switch: "Switch") -> None:
+    def _push_epoch(self, switch: "Switch", trace_ids: Iterable[int] = ()) -> None:
         """Consistent mode: push the switch's complete desired rule set as
         one two-phase epoch (fresh FlowRule objects -- the updater stamps
         version tags on them).  Called after the whole round's tunnel
@@ -225,7 +283,26 @@ class PostureOrchestrator:
                 continue
             if device in self.tunnels or device in self._rule_specs:
                 desired.extend(self._device_rules(device, attachment))
-        self.updater.push_two_phase({switch: desired})
+        self._h_rules_batch.observe(len(desired))
+        trace_ids = tuple(trace_ids)
+        on_committed = None
+        if trace_ids:
+            tracer = self.sim.tracer
+            switch_name = switch.name
+
+            def on_committed(report) -> None:
+                for trace in trace_ids:
+                    tracer.span(
+                        trace,
+                        "epoch-commit",
+                        report.started_at,
+                        report.committed_at,
+                        switch=switch_name,
+                        version=report.version,
+                        rules=report.rules_installed,
+                    )
+
+        self.updater.push_two_phase({switch: desired}, on_committed=on_committed)
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from repro.obs import COUNT_BUCKETS
 from repro.policy.context import COMPROMISED, SEVERITY, SUSPICIOUS
 from repro.policy.pruning import PrunedPolicy
 
@@ -81,6 +82,9 @@ class ReactionRecord:
     trigger_at: float
     applied_at: float
     posture: str
+    #: Causal-trace id of the alert that triggered the reaction (None for
+    #: untraced triggers such as environment changes or admin calls).
+    trace_id: int | None = None
 
     @property
     def latency(self) -> float:
@@ -161,11 +165,32 @@ class ReactivePipeline:
         self.pruned = PrunedPolicy(policy)
         self.stats = PipelineStats()
         self.reactions: list[ReactionRecord] = []
-        #: device -> (first trigger key, trigger time) for the open round
-        self._dirty: dict[str, tuple[str, float]] = {}
+        #: device -> (first trigger key, trigger time, trace id) for the
+        #: open round
+        self._dirty: dict[str, tuple[str, float, int | None]] = {}
         self._flush_event: "Event | None" = None
         self._refresh_policy_view()
         view.subscribe_dirty(self.ingest)
+        # Observability: stage gauges are callbacks over ``stats`` (free on
+        # the hot path); histograms are observed once per round.
+        metrics = sim.metrics
+        stats = self.stats
+        self.metric_labels = {"pipeline": metrics.unique("pipeline")}
+        metrics.gauge("pipeline_ingested", fn=lambda: stats.ingested, **self.metric_labels)
+        metrics.gauge("pipeline_coalesced", fn=lambda: stats.coalesced, **self.metric_labels)
+        metrics.gauge("pipeline_rounds", fn=lambda: stats.rounds, **self.metric_labels)
+        metrics.gauge("pipeline_evaluations", fn=lambda: stats.evaluations, **self.metric_labels)
+        metrics.gauge("pipeline_applies", fn=lambda: stats.applies, **self.metric_labels)
+        metrics.gauge("pipeline_dirty_depth", fn=lambda: len(self._dirty), **self.metric_labels)
+        self._h_batch = metrics.histogram(
+            "pipeline_batch_size", bounds=COUNT_BUCKETS, **self.metric_labels
+        )
+        self._h_reaction = metrics.histogram(
+            "pipeline_reaction_latency", **self.metric_labels
+        )
+        self._c_escalations = metrics.counter(
+            "pipeline_escalations", **self.metric_labels
+        )
 
     def _refresh_policy_view(self) -> None:
         self._policy_keys = tuple(v.key for v in self.policy.space.variables())
@@ -192,12 +217,16 @@ class ReactivePipeline:
             return
         self.stats.ingested += 1
         at = self.sim.now
+        # The causal trace active on the tracer's stack (the alert whose
+        # handling produced this view change), if any, becomes the trigger
+        # trace of every device this change marks dirty.
+        trace = self.sim.tracer.current()
         dirty = self._dirty
         for device in affected:
             if device in dirty:
                 self.stats.coalesced += 1
             else:
-                dirty[device] = (key, at)
+                dirty[device] = (key, at, trace)
         self._schedule_flush()
 
     # ------------------------------------------------------------------
@@ -205,7 +234,10 @@ class ReactivePipeline:
     # the controller, whose severity rules guard against downgrades)
     # ------------------------------------------------------------------
     def escalate(self, device: str, alert_kind: str, at: float) -> str | None:
-        return self.escalator.observe(device, alert_kind, at)
+        context = self.escalator.observe(device, alert_kind, at)
+        if context is not None:
+            self._c_escalations.inc()
+        return context
 
     # ------------------------------------------------------------------
     # Stages 3 + 4: evaluate and actuate
@@ -230,10 +262,11 @@ class ReactivePipeline:
             return
         batch, self._dirty = self._dirty, {}
         self.stats.rounds += 1
+        self._h_batch.observe(len(batch))
         orchestrator = self.orchestrator
         state = self.view.system_state(self._policy_keys, self._defaults)
         assignments = []
-        triggers: dict[str, tuple[str, float]] = {}
+        triggers: dict[str, tuple[str, float, int | None]] = {}
         for device in sorted(batch):
             if device in orchestrator.pinned or device not in orchestrator.attachments:
                 continue
@@ -242,19 +275,40 @@ class ReactivePipeline:
             triggers[device] = batch[device]
         if not assignments:
             return
-        records = orchestrator.apply_many(assignments)
+        records = orchestrator.apply_many(
+            assignments,
+            traces={dev: t[2] for dev, t in triggers.items() if t[2] is not None},
+        )
         applied_at = self.sim.now
+        tracer = self.sim.tracer
+        metrics = self.sim.metrics
+        round_no = self.stats.rounds
         for record in records:
-            trigger_key, trigger_at = triggers[record.device]
-            self.reactions.append(
-                ReactionRecord(
+            trigger_key, trigger_at, trace = triggers[record.device]
+            reaction = ReactionRecord(
+                device=record.device,
+                trigger_key=trigger_key,
+                trigger_at=trigger_at,
+                applied_at=applied_at,
+                posture=record.posture,
+                trace_id=trace,
+            )
+            self.reactions.append(reaction)
+            self._h_reaction.observe(reaction.latency)
+            metrics.counter(
+                "pipeline_device_applies", device=record.device, **self.metric_labels
+            ).inc()
+            if trace is not None:
+                tracer.span(
+                    trace,
+                    "evaluate",
+                    trigger_at,
+                    applied_at,
                     device=record.device,
-                    trigger_key=trigger_key,
-                    trigger_at=trigger_at,
-                    applied_at=applied_at,
+                    round=round_no,
+                    key=trigger_key,
                     posture=record.posture,
                 )
-            )
         self.stats.applies += len(records)
         if self.bus is not None:
             self.bus.publish(
@@ -266,7 +320,9 @@ class ReactivePipeline:
 
     def evaluate_device(self, device: str, trigger_key: str) -> None:
         """Run an immediate round for one device (runtime policy updates)."""
-        self._dirty.setdefault(device, (trigger_key, self.sim.now))
+        self._dirty.setdefault(
+            device, (trigger_key, self.sim.now, self.sim.tracer.current())
+        )
         self._flush()
 
     def enforce_all(self) -> None:

@@ -28,6 +28,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _ALERT_IDS = itertools.count(1)
 
+#: Alert kinds that never start a causal trace: routine streams whose
+#: volume would evict the interesting (security-relevant) traces from the
+#: tracer's bounded retention.
+UNTRACED_ALERT_KINDS = frozenset({"telemetry"})
+
 
 class Verdict(enum.Enum):
     PASS = "pass"
@@ -43,6 +48,9 @@ class Alert:
     device: str
     kind: str
     detail: dict[str, Any] = field(default_factory=dict)
+    #: Causal-trace id stamped at birth (see :mod:`repro.obs.trace`); rides
+    #: the control channel so the controller continues the same trace.
+    trace_id: int | None = None
     alert_id: int = field(default_factory=lambda: next(_ALERT_IDS))
 
     def __str__(self) -> str:
@@ -64,18 +72,34 @@ class MboxContext:
     device: str
     view: Callable[[str], str | None]
     emit_alert: Callable[[Alert], None]
+    #: The packet under inspection, when the host set one: lets the
+    #: ``detect`` span measure packet-creation -> alert latency.
+    packet: Packet | None = None
 
     @property
     def now(self) -> float:
         return self.sim.now
 
     def alert(self, kind: str, **detail: Any) -> Alert:
+        trace_id: int | None = None
+        if kind not in UNTRACED_ALERT_KINDS:
+            tracer = self.sim.tracer
+            trace_id = tracer.start_trace(device=self.device, kind=kind)
+            if trace_id is not None:
+                attrs: dict[str, Any] = {"kind": kind, "mbox": self.mbox_name}
+                start = self.now
+                if self.packet is not None:
+                    start = self.packet.created_at
+                    attrs["pkt"] = self.packet.pkt_id
+                    attrs["src"] = self.packet.src
+                tracer.span(trace_id, "detect", start, self.now, device=self.device, **attrs)
         alert = Alert(
             at=self.now,
             mbox=self.mbox_name,
             device=self.device,
             kind=kind,
             detail=detail,
+            trace_id=trace_id,
         )
         self.emit_alert(alert)
         return alert
@@ -168,6 +192,19 @@ class MboxHost(Node):
         self.tunnelled_in = 0
         self.returned = 0
         self.unbound_drops = 0
+        # Observability: callback gauges over the counters above, plus
+        # per-kind alert counters (resolved lazily, cached by kind).
+        metrics = sim.metrics
+        self.metric_labels = {"host": metrics.unique(name)}
+        metrics.gauge("mbox_tunnelled_in", fn=lambda: self.tunnelled_in, **self.metric_labels)
+        metrics.gauge("mbox_returned", fn=lambda: self.returned, **self.metric_labels)
+        metrics.gauge("mbox_unbound_drops", fn=lambda: self.unbound_drops, **self.metric_labels)
+        metrics.gauge(
+            "mbox_boot_queue_depth",
+            fn=lambda: sum(len(q) for q in self._boot_queues.values()),
+            **self.metric_labels,
+        )
+        self._alert_counters: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Binding (the manager/orchestrator calls these)
@@ -217,16 +254,17 @@ class MboxHost(Node):
             else:
                 self.unbound_drops += 1
             return
+        direction = "to_device" if inner.dst == device else "from_device"
+        copied = inner.copy()
+        copied.meta["direction"] = direction
         ctx = MboxContext(
             sim=self.sim,
             mbox_name=mbox.name,
             device=device,
             view=self.view,
             emit_alert=self._on_alert,
+            packet=copied,
         )
-        direction = "to_device" if inner.dst == device else "from_device"
-        copied = inner.copy()
-        copied.meta["direction"] = direction
 
         def inspect() -> None:
             verdict, result = mbox.process(copied, ctx)
@@ -255,6 +293,13 @@ class MboxHost(Node):
 
     def _on_alert(self, alert: Alert) -> None:
         self.alerts.append(alert)
+        counter = self._alert_counters.get(alert.kind)
+        if counter is None:
+            counter = self.sim.metrics.counter(
+                "mbox_alerts", kind=alert.kind, **self.metric_labels
+            )
+            self._alert_counters[alert.kind] = counter
+        counter.inc()
         self.alert_sink(alert)
 
     # ------------------------------------------------------------------

@@ -188,6 +188,21 @@ class MboxManager:
         self.boots = 0
         self.pool_hits = 0
         self.reconfigs = 0
+        # Observability: lifecycle gauges plus per-operation latency
+        # histograms (observed once per deploy -- control-plane frequency).
+        metrics = sim.metrics
+        self.metric_labels = dict(host.metric_labels)
+        metrics.gauge("mbox_active", fn=self.active_count, **self.metric_labels)
+        metrics.gauge("mbox_boots", fn=lambda: self.boots, **self.metric_labels)
+        metrics.gauge("mbox_pool_hits", fn=lambda: self.pool_hits, **self.metric_labels)
+        metrics.gauge("mbox_reconfigs", fn=lambda: self.reconfigs, **self.metric_labels)
+        metrics.gauge("mbox_pool_free", fn=lambda: self._pool, **self.metric_labels)
+        self._deploy_latency = {
+            operation: metrics.histogram(
+                "mbox_deploy_latency", operation=operation, **self.metric_labels
+            )
+            for operation in ("boot", "pool", "reconfigure")
+        }
 
     # ------------------------------------------------------------------
     def active_count(self) -> int:
@@ -220,6 +235,7 @@ class MboxManager:
             self.sim.schedule(self.reconfig_latency, swap)
             record = DeploymentRecord(device, posture.name, "reconfigure", now, ready_at)
             self.records.append(record)
+            self._deploy_latency["reconfigure"].observe(record.latency)
             return record
 
         if self.active_count() >= self.capacity:
@@ -251,6 +267,7 @@ class MboxManager:
         self.sim.schedule(latency, self.host.mark_ready, device)
         record = DeploymentRecord(device, posture.name, operation, now, now + latency)
         self.records.append(record)
+        self._deploy_latency[operation].observe(record.latency)
         return record
 
     def _replenish(self) -> None:

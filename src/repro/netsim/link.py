@@ -64,6 +64,15 @@ class Link:
         self.port_b = port_b if port_b is not None else b.free_port()
         a.attach(self.port_a, self)
         b.attach(self.port_b, self)
+        # Observability: per-link delivery/drop gauges (callbacks -- the
+        # transmit path keeps incrementing its plain attributes).
+        metrics = sim.metrics
+        self.metric_labels = {
+            "link": metrics.unique(f"{a.name}:{self.port_a}<->{b.name}:{self.port_b}")
+        }
+        metrics.gauge("link_delivered", fn=lambda: self.delivered, **self.metric_labels)
+        metrics.gauge("link_dropped", fn=lambda: self.dropped, **self.metric_labels)
+        metrics.gauge("link_queue_drops", fn=lambda: self.queue_drops, **self.metric_labels)
 
     @property
     def up(self) -> bool:

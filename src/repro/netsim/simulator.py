@@ -16,6 +16,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.obs import MetricsRegistry, Tracer
+
 
 @dataclass
 class Event:
@@ -52,12 +54,20 @@ class Simulator:
     (['hello'], 1.5)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observe: bool = True) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._executing = False
+        #: Shared observability: every component of an experiment registers
+        #: its instruments here (``observe=False`` swaps in no-op
+        #: instruments, which is what the overhead bench compares against).
+        self.metrics = MetricsRegistry(enabled=observe)
+        self.tracer = Tracer(enabled=observe)
+        self.metrics.gauge("sim_now", fn=lambda: self.now)
+        self.metrics.gauge("sim_events_processed", fn=lambda: self._events_processed)
+        self.metrics.gauge("sim_events_pending", fn=self.events_pending)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -42,6 +42,14 @@ class Switch(Node):
         self._by_dst: dict[str, list[tuple[tuple[int, int, int], FlowRule]]] = {}
         self._by_src: dict[str, list[tuple[tuple[int, int, int], FlowRule]]] = {}
         self._wild: list[tuple[tuple[int, int, int], FlowRule]] = []
+        # Observability: callback gauges over the counters above -- they
+        # cost nothing until a snapshot samples them.
+        metrics = sim.metrics
+        self.metric_labels = {"switch": metrics.unique(name)}
+        metrics.gauge("switch_punted", fn=lambda: self.punted, **self.metric_labels)
+        metrics.gauge("switch_dropped", fn=lambda: self.dropped, **self.metric_labels)
+        metrics.gauge("switch_miss_drops", fn=lambda: self.miss_drops, **self.metric_labels)
+        metrics.gauge("switch_table_size", fn=self.table_size, **self.metric_labels)
 
     # ------------------------------------------------------------------
     # Flow-table management (the controller calls these, via the channel)

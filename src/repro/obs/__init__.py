@@ -1,0 +1,49 @@
+"""repro.obs: always-on, near-zero-overhead observability.
+
+Two primitives and their glue:
+
+- :class:`MetricsRegistry` (:mod:`repro.obs.registry`) -- counters, gauges
+  and fixed-bucket histograms keyed by ``(name, labels)``.  Simulated-time
+  aware: nothing in here reads the wall clock, and the hot-path cost of an
+  instrument is one attribute increment.  Callback gauges cost *nothing*
+  until a snapshot is taken -- they read counters a component already
+  keeps.
+- :class:`Tracer` (:mod:`repro.obs.trace`) -- span-based causal tracing.
+  An alert is stamped with a trace id where it is born (the µmbox) and
+  the id rides the control channel, the escalation engine, the reactive
+  pipeline's dirty set, and the orchestrator's actuation batch, so one
+  trace shows the packet -> alert -> escalation -> posture -> flow-rule
+  chain with per-stage *simulated* latencies.
+
+Exporters (:mod:`repro.obs.exporters`) turn a registry into a plain JSON
+snapshot or Prometheus-style text exposition.
+
+Every :class:`~repro.netsim.simulator.Simulator` owns one registry and one
+tracer (``sim.metrics`` / ``sim.tracer``); components register into them at
+construction.  ``Simulator(observe=False)`` swaps in no-op instruments so
+the overhead bench can measure the cost of instrumentation itself.
+"""
+
+from repro.obs.exporters import to_prometheus, trace_as_dicts
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "to_prometheus",
+    "trace_as_dicts",
+]

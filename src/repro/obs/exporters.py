@@ -1,0 +1,59 @@
+"""Exporters: registry -> Prometheus text exposition / traces -> JSON.
+
+Both work off public read APIs (``registry.snapshot()``, ``tracer.spans``)
+so they stay decoupled from instrument internals, and both emit plain
+strings/dicts -- no I/O, callers decide where bytes go.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+
+def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: "MetricsRegistry") -> str:
+    """Prometheus-style text exposition of every registered series.
+
+    Histogram buckets are cumulated and an ``+Inf`` bucket, ``_sum`` and
+    ``_count`` are emitted, matching the exposition-format conventions.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, entries in sorted(snap["counters"].items()):
+        lines.append(f"# TYPE {name} counter")
+        for entry in entries:
+            lines.append(f"{name}{_label_str(entry['labels'])} {entry['value']:g}")
+    for name, entries in sorted(snap["gauges"].items()):
+        lines.append(f"# TYPE {name} gauge")
+        for entry in entries:
+            lines.append(f"{name}{_label_str(entry['labels'])} {entry['value']:g}")
+    for name, entries in sorted(snap["histograms"].items()):
+        lines.append(f"# TYPE {name} histogram")
+        for entry in entries:
+            cumulative = 0
+            for bound, count in entry["buckets"].items():
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_label_str(entry['labels'], {'le': bound})} {cumulative}"
+                )
+            lines.append(f"{name}_sum{_label_str(entry['labels'])} {entry['sum']:g}")
+            lines.append(f"{name}_count{_label_str(entry['labels'])} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def trace_as_dicts(tracer: "Tracer", trace_id: int) -> list[dict[str, Any]]:
+    """One trace's spans as plain JSON-serializable dicts, start-ordered."""
+    return [span.as_dict() for span in tracer.spans(trace_id)]

@@ -1,0 +1,180 @@
+"""Span-based causal tracing across the control loop's layers.
+
+A *trace* is the causal chain of one detection: the µmbox that raises an
+alert starts a trace (stage ``detect``), the controller continues it as
+the alert crosses the control channel (``ingest-alert``), the escalation
+decision (``escalate``), the reactive pipeline's evaluation round
+(``evaluate``), the orchestrator's actuation (``actuate``) and finally the
+data-plane commit (``flow-install`` for direct rule pushes,
+``epoch-commit`` for two-phase consistent updates).
+
+Every span carries *simulated* start/end times, so per-stage latencies are
+honest simulation measurements, not wall-clock noise.
+
+Propagation has two mechanisms, both explicit:
+
+- the trace id rides data that already flows between layers (the alert's
+  ``trace_id`` field, the control-message body, the pipeline's dirty set,
+  the orchestrator's actuation batch);
+- within one synchronous cascade (alert handling -> ``set_context`` ->
+  view notification -> ``ingest``), the controller activates the trace on
+  a small stack (:meth:`Tracer.push` / :meth:`Tracer.pop`) that downstream
+  code reads via :meth:`Tracer.current` -- the discrete-event simulator is
+  single-threaded, so a stack is all the context propagation needed.
+
+Retention is bounded: the tracer keeps the most recent ``max_traces``
+traces and evicts whole traces oldest-first, so long runs cannot grow
+memory with alert volume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One stage of one causal chain, in simulated time."""
+
+    trace_id: int
+    stage: str
+    start: float
+    end: float
+    device: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+            "latency": self.latency,
+            "device": self.device,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Bounded store of causal traces plus the active-trace stack."""
+
+    def __init__(self, enabled: bool = True, max_traces: int = 512) -> None:
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self._ids = itertools.count(1)
+        self._traces: "OrderedDict[int, list[Span]]" = OrderedDict()
+        self._by_device: dict[str, list[int]] = {}
+        self._stack: list[int | None] = []
+        self.started = 0
+        self.spans_recorded = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # Trace lifecycle
+    # ------------------------------------------------------------------
+    def start_trace(self, device: str = "", **attrs: Any) -> int | None:
+        """Allocate a new trace id (None when tracing is disabled)."""
+        if not self.enabled:
+            return None
+        trace_id = next(self._ids)
+        self.started += 1
+        self._traces[trace_id] = []
+        if device:
+            self._index_device(device, trace_id)
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+            self.evicted += 1
+        return trace_id
+
+    def span(
+        self,
+        trace_id: int | None,
+        stage: str,
+        start: float,
+        end: float,
+        device: str = "",
+        **attrs: Any,
+    ) -> Span | None:
+        """Record one stage of ``trace_id``; silently dropped when the
+        tracer is disabled, the id is None, or the trace was evicted."""
+        if not self.enabled or trace_id is None:
+            return None
+        spans = self._traces.get(trace_id)
+        if spans is None:
+            return None
+        span = Span(trace_id=trace_id, stage=stage, start=start, end=end, device=device, attrs=attrs)
+        spans.append(span)
+        self.spans_recorded += 1
+        if device:
+            self._index_device(device, trace_id)
+        return span
+
+    def _index_device(self, device: str, trace_id: int) -> None:
+        ids = self._by_device.setdefault(device, [])
+        if not ids or ids[-1] != trace_id:
+            ids.append(trace_id)
+            if len(ids) > 4 * self.max_traces:
+                ids[:] = [i for i in ids if i in self._traces]
+
+    # ------------------------------------------------------------------
+    # Active-trace stack (synchronous cascade propagation)
+    # ------------------------------------------------------------------
+    def push(self, trace_id: int | None) -> None:
+        self._stack.append(trace_id)
+
+    def pop(self) -> None:
+        if self._stack:
+            self._stack.pop()
+
+    def current(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def spans(self, trace_id: int) -> list[Span]:
+        """The spans of one trace, ordered by start time (stable)."""
+        return sorted(self._traces.get(trace_id, []), key=lambda s: s.start)
+
+    def traces_for(self, device: str) -> list[int]:
+        """Trace ids (oldest first) whose chain touched ``device``."""
+        return [i for i in self._by_device.get(device, []) if i in self._traces]
+
+    def last_trace(self, device: str) -> int | None:
+        ids = self.traces_for(device)
+        return ids[-1] if ids else None
+
+    def trace_ids(self) -> list[int]:
+        return list(self._traces)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, trace_id: int) -> str:
+        """A human-readable stage-by-stage view with simulated latencies."""
+        spans = self.spans(trace_id)
+        if not spans:
+            return f"trace #{trace_id}: (no spans)"
+        root = spans[0]
+        total = max(s.end for s in spans) - min(s.start for s in spans)
+        lines = [
+            f"trace #{trace_id}"
+            f" device={root.device or '-'}"
+            f" start=t+{root.start:.3f}s"
+            f" total={total * 1e3:.1f}ms"
+        ]
+        for span in spans:
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            lines.append(
+                f"  {span.stage:<14} t={span.start:>9.4f} -> {span.end:>9.4f}"
+                f"  (+{span.latency * 1e3:7.2f}ms)"
+                f"  {span.device:<10} {attrs}".rstrip()
+            )
+        return "\n".join(lines)

@@ -66,6 +66,15 @@ class ConsistentUpdater:
         self.controller_name = controller_name
         self._versions = itertools.count(1)
         self.reports: list[UpdateReport] = []
+        # Observability: epoch counts and the commit-latency distribution
+        # (observed once per committed two-phase epoch).
+        metrics = sim.metrics
+        self.metric_labels = {"updater": metrics.unique(controller_name)}
+        metrics.gauge(
+            "updater_epochs", fn=lambda: len(self.reports), **self.metric_labels
+        )
+        self._c_committed = metrics.counter("updater_commits", **self.metric_labels)
+        self._h_commit = metrics.histogram("epoch_commit_latency", **self.metric_labels)
 
     def _send_and_apply(self, switch: "Switch", apply: Callable[[], None]) -> float:
         """Model one control-channel RTT around ``apply`` on the switch.
@@ -103,6 +112,8 @@ class ConsistentUpdater:
         self.reports.append(report)
         if not assignments:
             report.committed_at = self.sim.now
+            self._c_committed.inc()
+            self._h_commit.observe(0.0)
             if on_committed:
                 on_committed(report)
             return report
@@ -117,6 +128,8 @@ class ConsistentUpdater:
                 flip_done["n"] += 1
                 if flip_done["n"] == acks_needed:
                     report.committed_at = self.sim.now
+                    self._c_committed.inc()
+                    self._h_commit.observe(report.committed_at - report.started_at)
                     if on_committed:
                         on_committed(report)
 

@@ -1,5 +1,7 @@
 """Tests for the metrics module and the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -64,6 +66,25 @@ class TestMetrics:
         assert data["mbox"]["active"] == report.mbox_active
         assert len(data["devices"]) == 2
 
+    def test_as_dict_json_round_trips(self):
+        """Every value must be plain-serializable -- no tuples, no vars()
+        leakage of non-JSON types."""
+        dep = self.make_dep()
+        dep.secure(
+            "cam",
+            build_recommended_posture("password_proxy", "cam", new_password="S3c!"),
+        )
+        attacker = dep.attackers["attacker"]
+        attacker.fire_and_forget(protocol.login("attacker", "cam", "admin", "admin"))
+        dep.run(until=5.0)
+        data = summarize(dep).as_dict()
+        round_tripped = json.loads(json.dumps(data))
+        assert round_tripped == data
+        cam = next(d for d in round_tripped["devices"] if d["name"] == "cam")
+        assert isinstance(cam["flaws"], list) and "exposed-credentials" in cam["flaws"]
+        assert round_tripped["metrics"]["enabled"] is True
+        assert round_tripped["packets_dropped_unbound"] == 0
+
     def test_ground_truth_compromise_visible(self):
         dep = self.make_dep()
         attacker = dep.attackers["attacker"]
@@ -106,6 +127,39 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestObservabilityCli:
+    def test_metrics_prometheus_text(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE mbox_alerts counter" in out
+        assert "# TYPE pipeline_rounds gauge" in out
+        assert "sim_events_processed" in out
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["enabled"] is True
+        assert "mbox_alerts" in snap["counters"]
+        assert "pipeline_reaction_latency" in snap["histograms"]
+
+    def test_trace_text(self, capsys):
+        assert main(["trace", "cam"]) == 0
+        out = capsys.readouterr().out
+        assert "trace #" in out
+        assert "detect" in out and "ingest-alert" in out
+
+    def test_trace_json(self, capsys):
+        assert main(["trace", "cam", "--json"]) == 0
+        traces = json.loads(capsys.readouterr().out)
+        assert traces and all(isinstance(t, list) for t in traces)
+        stages = {span["stage"] for t in traces for span in t}
+        assert "detect" in stages
+
+    def test_trace_unknown_device_fails_cleanly(self, capsys):
+        assert main(["trace", "no-such-device"]) == 1
+        assert "no traces" in capsys.readouterr().out
 
 
 def test_cli_policy_export(capsys):

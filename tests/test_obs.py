@@ -1,0 +1,244 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    to_prometheus,
+    trace_as_dicts,
+)
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry: instruments
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a="1") is reg.counter("x", a="1")
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("x", a="1", b="2")
+        c2 = reg.counter("x", b="2", a="1")
+        assert c1 is c2
+
+    def test_different_labels_different_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a="1") is not reg.counter("x", a="2")
+
+
+class TestGauge:
+    def test_settable_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7.0)
+        assert g.value == 7.0
+
+    def test_callback_gauge_samples_lazily(self):
+        reg = MetricsRegistry()
+        state = {"n": 0}
+        g = reg.gauge("live", fn=lambda: state["n"])
+        state["n"] = 42
+        assert g.value == 42
+
+
+class TestHistogram:
+    def test_bucket_placement_and_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 55.5
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        h.observe(1.0)  # bisect_left: exactly-at-bound goes to that bucket
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_quantiles_are_bucket_resolution(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=COUNT_BUCKETS)
+        for v in (1, 1, 1, 400):
+            h.observe(v)
+        assert h.quantile(0.5) == 1
+        assert h.quantile(1.0) == 400
+        assert h.quantile(0.0) == 1
+
+    def test_empty_histogram_quantile_none(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.quantile(0.5) is None
+        assert h.mean is None
+
+    def test_unsorted_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_unique_first_caller_keeps_clean_name(self):
+        reg = MetricsRegistry()
+        assert reg.unique("edge") == "edge"
+        assert reg.unique("edge") == "edge#2"
+        assert reg.unique("edge") == "edge#3"
+        assert reg.unique("core") == "core"
+
+    def test_series_and_value(self):
+        reg = MetricsRegistry()
+        reg.counter("alerts", kind="a").inc(2)
+        reg.counter("alerts", kind="b").inc(3)
+        assert len(reg.series("alerts")) == 2
+        assert reg.value("alerts", kind="a") == 2
+        assert reg.value("alerts", kind="missing") is None
+
+    def test_len_and_iter(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 2
+        assert {i.name for i in reg} == {"a", "b"}
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c", x="1").inc()
+        reg.gauge("g", fn=lambda: 3.0)
+        reg.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped["counters"]["c"][0]["value"] == 1
+        assert round_tripped["gauges"]["g"][0]["value"] == 3.0
+        hist = round_tripped["histograms"]["h"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"]["2.0"] == 1
+        assert hist["buckets"]["+Inf"] == 0
+
+    def test_disabled_registry_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(2.0)
+        assert len(reg) == 0
+        snap = reg.snapshot()
+        assert snap["enabled"] is False
+        assert snap["counters"] == {}
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", site="a").inc(5)
+        reg.gauge("depth", fn=lambda: 2.0, site="a")
+        text = to_prometheus(reg)
+        assert "# TYPE hits counter" in text
+        assert 'hits{site="a"} 5' in text
+        assert 'depth{site="a"} 2' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        text = to_prometheus(reg)
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="10.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 55.5" in text
+        assert "lat_count 3" in text
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_spans_ordered_by_start(self):
+        tracer = Tracer()
+        t = tracer.start_trace(device="cam")
+        tracer.span(t, "late", 2.0, 3.0)
+        tracer.span(t, "early", 0.0, 1.0)
+        assert [s.stage for s in tracer.spans(t)] == ["early", "late"]
+
+    def test_span_latency(self):
+        tracer = Tracer()
+        t = tracer.start_trace()
+        span = tracer.span(t, "s", 1.0, 1.5)
+        assert span.latency == 0.5
+
+    def test_device_index_and_last_trace(self):
+        tracer = Tracer()
+        t1 = tracer.start_trace(device="cam")
+        t2 = tracer.start_trace(device="cam")
+        tracer.start_trace(device="plug")
+        assert tracer.traces_for("cam") == [t1, t2]
+        assert tracer.last_trace("cam") == t2
+        assert tracer.last_trace("missing") is None
+
+    def test_bounded_retention_evicts_oldest(self):
+        tracer = Tracer(max_traces=3)
+        ids = [tracer.start_trace(device="cam") for _ in range(5)]
+        assert tracer.trace_ids() == ids[-3:]
+        assert tracer.evicted == 2
+        # spans for evicted traces are silently dropped
+        assert tracer.span(ids[0], "s", 0.0, 1.0) is None
+        # the device index never returns evicted ids
+        assert tracer.traces_for("cam") == ids[-3:]
+
+    def test_push_pop_current_stack(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        t = tracer.start_trace()
+        tracer.push(t)
+        assert tracer.current() == t
+        tracer.push(None)  # nested untraced scope masks the outer trace
+        assert tracer.current() is None
+        tracer.pop()
+        assert tracer.current() == t
+        tracer.pop()
+        assert tracer.current() is None
+        tracer.pop()  # popping an empty stack is harmless
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start_trace(device="cam") is None
+        assert tracer.span(None, "s", 0.0, 1.0) is None
+        assert tracer.started == 0
+        assert tracer.traces_for("cam") == []
+
+    def test_render_contains_stages_and_latencies(self):
+        tracer = Tracer()
+        t = tracer.start_trace(device="cam")
+        tracer.span(t, "detect", 1.0, 1.01, device="cam", kind="probe")
+        tracer.span(t, "actuate", 1.01, 1.04, device="cam")
+        text = tracer.render(t)
+        assert "detect" in text and "actuate" in text
+        assert "kind=probe" in text
+        assert "total=40.0ms" in text
+
+    def test_trace_as_dicts_json_round_trip(self):
+        tracer = Tracer()
+        t = tracer.start_trace(device="cam")
+        tracer.span(t, "detect", 1.0, 2.0, device="cam", n=3)
+        data = json.loads(json.dumps(trace_as_dicts(tracer, t)))
+        assert data[0]["stage"] == "detect"
+        assert data[0]["latency"] == 1.0
+        assert data[0]["attrs"] == {"n": 3}
