@@ -72,6 +72,8 @@ def run_workload(observe: bool) -> dict:
         "compromised": sum(1 for d in dep.devices.values() if d.is_compromised()),
         "series": len(dep.sim.metrics),
         "traces": dep.sim.tracer.started,
+        "journal": dep.sim.journal.recorded,
+        "journal_retained": len(dep.sim.journal),
     }
 
 
@@ -90,8 +92,12 @@ def test_obs_overhead():
     # would be measuring workload drift, not instrumentation cost.
     assert on["events"] == off["events"]
     assert on["compromised"] == off["compromised"] == 0
-    assert off["series"] == 0 and off["traces"] == 0
-    assert on["series"] > 0 and on["traces"] > 0
+    assert off["series"] == 0 and off["traces"] == 0 and off["journal"] == 0
+    assert on["series"] > 0 and on["traces"] > 0 and on["journal"] > 0
+    # Bounded retention: however much was recorded, in-memory entries
+    # never exceed the ring capacity.
+    journal = Simulator().journal
+    assert on["journal_retained"] <= journal.segment_size * journal.max_segments
 
     overhead = 1.0 - on["events_per_s"] / off["events_per_s"]
     threshold = float(os.environ.get("REPRO_OBS_OVERHEAD_THRESHOLD", "0.05"))
@@ -124,6 +130,7 @@ def test_obs_overhead():
             "threshold": threshold,
             "series": on["series"],
             "traces": on["traces"],
+            "journal": on["journal"],
         },
     )
 

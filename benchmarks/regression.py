@@ -1,0 +1,258 @@
+"""Continuous perf-regression gate.
+
+Runs the load-bearing benchmarks (E9 whole-stack scale, the observability
+overhead pair), compares the numbers against the committed baselines under
+``benchmarks/results/``, appends one entry to the repo-level
+``BENCH_TRAJECTORY.json`` (the perf history across commits), and exits
+non-zero when a pinned threshold is violated -- this is what the CI
+``bench-regression`` job runs.
+
+Two kinds of checks, because wall-clock throughput is machine-dependent
+but the simulation itself is deterministic:
+
+- **throughput**: E9 events/s may not drop more than
+  ``THROUGHPUT_REGRESSION`` below the committed baseline, and the
+  instrumentation overhead may not exceed ``OBS_OVERHEAD_LIMIT``;
+- **determinism**: simulated event counts, pipeline rounds and applies
+  must match the baseline within ``EVENT_COUNT_DRIFT`` -- these numbers
+  do not depend on the machine, so any drift is a behavior change that
+  should have re-recorded the baselines (run the benches, commit the
+  updated ``benchmarks/results/*.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py [--json]
+
+``compare`` is a pure function over plain dicts so the gate itself is
+unit-testable (including the synthetic-regression case) without running
+any benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+# ---------------------------------------------------------------------------
+# Regression thresholds -- the ONE place CI gates are pinned.  Environment
+# variables override for local experiments; CI uses these values.
+# ---------------------------------------------------------------------------
+THROUGHPUT_REGRESSION = 0.20   # max fractional E9 events/s drop vs baseline
+OBS_OVERHEAD_LIMIT = 0.10      # max instrumentation overhead (on vs off arm)
+EVENT_COUNT_DRIFT = 0.02       # max fractional drift of deterministic counts
+SWEEP = (10, 40, 80)           # E9 device counts measured by the gate
+REPEATS = 5                    # best-of-N wall-clock estimator per data point
+DETERMINISTIC_KEYS = ("events", "pipeline_rounds", "pipeline_applies")
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_TRAJECTORY.json"
+SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
+
+E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
+OVERHEAD_BASELINE = RESULTS_DIR / "test_obs_overhead.json"
+
+
+def _threshold(env: str, default: float) -> float:
+    return float(os.environ.get(env, default))
+
+
+# ---------------------------------------------------------------------------
+# The pure gate
+# ---------------------------------------------------------------------------
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    throughput_regression: float | None = None,
+    obs_overhead_limit: float | None = None,
+    event_count_drift: float | None = None,
+) -> list[str]:
+    """Return the list of violations of ``current`` against ``baseline``.
+
+    Both are plain dicts: ``{"e9": [sweep rows], "obs_overhead": float}``.
+    Sweep rows join on their ``devices`` value; sizes present in only one
+    side are skipped (the gate never fails on missing data -- a vanished
+    baseline is a repo problem, not a perf regression).
+    """
+    if throughput_regression is None:
+        throughput_regression = _threshold(
+            "REPRO_REGRESSION_THROUGHPUT", THROUGHPUT_REGRESSION
+        )
+    if obs_overhead_limit is None:
+        obs_overhead_limit = _threshold(
+            "REPRO_OBS_OVERHEAD_THRESHOLD", OBS_OVERHEAD_LIMIT
+        )
+    if event_count_drift is None:
+        event_count_drift = _threshold(
+            "REPRO_REGRESSION_COUNT_DRIFT", EVENT_COUNT_DRIFT
+        )
+
+    violations: list[str] = []
+    base_rows = {row["devices"]: row for row in baseline.get("e9", ())}
+    for row in current.get("e9", ()):
+        base = base_rows.get(row["devices"])
+        if base is None:
+            continue
+        label = f"e9@{row['devices']}dev"
+        if base.get("events_per_s", 0) > 0:
+            drop = 1.0 - row["events_per_s"] / base["events_per_s"]
+            if drop > throughput_regression:
+                violations.append(
+                    f"{label}: throughput dropped {drop:.1%} "
+                    f"({base['events_per_s']:,.0f} -> {row['events_per_s']:,.0f} "
+                    f"events/s, limit {throughput_regression:.0%})"
+                )
+        for key in DETERMINISTIC_KEYS:
+            if key not in base or key not in row:
+                continue
+            b, c = base[key], row[key]
+            if abs(c - b) > event_count_drift * max(abs(b), 1):
+                violations.append(
+                    f"{label}: deterministic counter {key} drifted "
+                    f"{b} -> {c} (allowed {event_count_drift:.0%}); "
+                    "a behavior change must re-record the baselines"
+                )
+
+    overhead = current.get("obs_overhead")
+    if overhead is not None and overhead > obs_overhead_limit:
+        violations.append(
+            f"obs-overhead: instrumentation costs {overhead:.1%} of "
+            f"throughput (limit {obs_overhead_limit:.0%})"
+        )
+    return violations
+
+
+def append_trajectory(
+    entry: dict[str, Any], path: Path | str = TRAJECTORY_PATH
+) -> list[dict[str, Any]]:
+    """Append one run's entry to the trajectory file; returns the history."""
+    path = Path(path)
+    history: list[dict[str, Any]] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except (OSError, ValueError):
+            pass
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return history
+
+
+def load_baseline() -> dict[str, Any]:
+    """The committed numbers this run is gated against."""
+    baseline: dict[str, Any] = {"e9": [], "obs_overhead": None}
+    if E9_BASELINE.exists():
+        baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
+    if OVERHEAD_BASELINE.exists():
+        overhead = json.loads(OVERHEAD_BASELINE.read_text()).get("overhead", {})
+        baseline["obs_overhead"] = overhead.get("overhead")
+    return baseline
+
+
+# ---------------------------------------------------------------------------
+# Measurement (lazy bench imports so the pure gate is importable anywhere)
+# ---------------------------------------------------------------------------
+def measure() -> dict[str, Any]:
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    from bench_e9_scale import run_scale
+    from bench_obs_overhead import run_workload
+
+    current: dict[str, Any] = {"e9": []}
+    spill_sim = None
+    run_scale(SWEEP[0]).pop("sim")  # warmup: import costs, branch caches
+    for n in SWEEP:
+        # Best-of-N: wall-clock noise only ever makes a run look slower,
+        # so the max over repeats estimates true throughput (the small
+        # sweep sizes finish in milliseconds and are otherwise dominated
+        # by scheduler/caching noise).
+        rows = [run_scale(n) for _ in range(REPEATS)]
+        for row in rows:
+            spill_sim = row.pop("sim")
+        current["e9"].append(max(rows, key=lambda r: r["events_per_s"]))
+
+    # Best-of-N interleaved arms, same estimator as the overhead bench.
+    on_runs, off_runs = [], []
+    for _ in range(REPEATS):
+        on_runs.append(run_workload(observe=True))
+        off_runs.append(run_workload(observe=False))
+    on = max(on_runs, key=lambda r: r["events_per_s"])
+    off = max(off_runs, key=lambda r: r["events_per_s"])
+    current["obs_overhead"] = 1.0 - on["events_per_s"] / off["events_per_s"]
+    current["journal_recorded"] = on["journal"]
+
+    # CI artifact: a journal sample from the largest E9 run, so every
+    # pipeline run leaves an inspectable flight-recorder dump behind.
+    if spill_sim is not None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        current["journal_sample_entries"] = spill_sim.journal.export_jsonl(
+            str(SPILL_SAMPLE_PATH)
+        )
+    return current
+
+
+def _git_sha() -> str:
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    from _util import _git_sha as util_git_sha
+
+    return util_git_sha()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    current = measure()
+    baseline = load_baseline()
+    violations = compare(current, baseline)
+
+    import datetime
+
+    entry = {
+        "git_sha": _git_sha(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "e9": [
+            {k: row[k] for k in ("devices", "events", "events_per_s") if k in row}
+            for row in current["e9"]
+        ],
+        "obs_overhead": current["obs_overhead"],
+        "violations": violations,
+    }
+    append_trajectory(entry)
+
+    if args.json:
+        print(json.dumps({"current": current, "violations": violations}, indent=2))
+    else:
+        for row in current["e9"]:
+            print(
+                f"e9@{row['devices']}dev: {row['events_per_s']:,.0f} events/s "
+                f"({row['events']:,} sim events, {row['pipeline_rounds']} rounds)"
+            )
+        print(f"obs overhead: {current['obs_overhead']:.1%}")
+        print(f"trajectory: appended to {TRAJECTORY_PATH}")
+        if current.get("journal_sample_entries") is not None:
+            print(
+                f"journal sample: {current['journal_sample_entries']} entries "
+                f"-> {SPILL_SAMPLE_PATH}"
+            )
+        if violations:
+            print("\nREGRESSIONS DETECTED:")
+            for violation in violations:
+                print(f"  - {violation}")
+        else:
+            print("no regressions against committed baselines")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,11 +37,25 @@ class Attacker(Host):
         if on_reply is not None:
             self._pending[packet.dst].append(on_reply)
         self.requests_sent += 1
+        self._journal_step(packet)
         self.send(packet)
 
     def fire_and_forget(self, packet: Packet) -> None:
         self.requests_sent += 1
+        self._journal_step(packet)
         self.send(packet)
+
+    def _journal_step(self, packet: Packet) -> None:
+        # Ground truth for forensics: what the adversary actually sent,
+        # journaled against the *target* device's audit trail.
+        self.sim.journal.record(
+            "attack-step",
+            device=packet.dst,
+            attacker=self.name,
+            pkt=packet.pkt_id,
+            dport=packet.dport,
+            proto=packet.payload.get("proto", ""),
+        )
 
     def on_packet(self, packet: Packet, in_port: int) -> None:
         self.inbox.append(packet)
@@ -62,6 +76,13 @@ class Attacker(Host):
 
     def record_loot(self, target: str, resource: str, data: Any) -> None:
         self.loot.append({"target": target, "resource": resource, "data": data})
+        # The smoking gun: data actually left the device.
+        self.sim.journal.record(
+            "exfiltration",
+            device=target,
+            attacker=self.name,
+            resource=resource,
+        )
 
     def loot_from(self, target: str) -> list[dict[str, Any]]:
         return [item for item in self.loot if item["target"] == target]

@@ -5,13 +5,17 @@ Commands:
 - ``demo fig3|fig4|fig5|thermal`` -- run a paper scenario, current world
   vs IoTSec, and print the outcome plus a deployment report.
 - ``table1`` -- replay all seven Table 1 vulnerability rows.
-- ``audit`` -- fuzz the model library and print the attack graph +
+- ``model-audit`` -- fuzz the model library and print the attack graph +
   hardening plan for a canned smart home.
 - ``report`` -- build a secured home, attack it, print the operator view.
 - ``metrics`` -- same scenario, but export the metrics registry
   (Prometheus text, or ``--json`` for the raw snapshot).
 - ``trace <device>`` -- same scenario, then print the causal chain(s)
   (packet -> alert -> escalation -> posture) for one device.
+- ``audit [--since T] [--kind K]`` -- same scenario, then query the
+  security audit journal (the flight recorder).
+- ``incident <device>`` -- same scenario, then reconstruct the device's
+  incident: journal + traces + metrics joined into one timeline.
 """
 
 from __future__ import annotations
@@ -197,7 +201,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_audit(args: argparse.Namespace) -> int:
+def cmd_model_audit(args: argparse.Namespace) -> int:
     from repro.devices.library import fire_alarm, smart_plug, window_actuator
     from repro.learning.abstract_env import AbstractWorld
     from repro.learning.attackgraph import AttackGraphBuilder, envfact
@@ -340,10 +344,15 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs import to_prometheus
 
     dep = _attacked_home()
+    registry = dep.sim.metrics
+    snapshot = registry.snapshot()
+    if not registry.enabled or not any(snapshot.values()):
+        print("error: metrics registry is empty (observability disabled?)")
+        return 1
     if args.json:
-        print(json.dumps(dep.sim.metrics.snapshot(), indent=2, sort_keys=True))
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
-        print(to_prometheus(dep.sim.metrics))
+        print(to_prometheus(registry))
     return 0
 
 
@@ -351,6 +360,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import trace_as_dicts
 
     dep = _attacked_home()
+    if args.device not in dep.devices:
+        known = ", ".join(sorted(dep.devices))
+        print(f"error: unknown device {args.device!r} (known: {known})")
+        return 1
     tracer = dep.sim.tracer
     trace_ids = tracer.traces_for(args.device)
     if args.json:
@@ -361,6 +374,48 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 1
     for trace_id in trace_ids:
         print(tracer.render(trace_id))
+    return 0
+
+
+def cmd_journal_audit(args: argparse.Namespace) -> int:
+    """Query the flight recorder for the canned attacked-home scenario."""
+    dep = _attacked_home()
+    entries = dep.sim.journal.entries(since=args.since, kind=args.kind)
+    if args.json:
+        print(json.dumps([e.as_dict() for e in entries], indent=2))
+        return 0
+    stats = dep.sim.journal.stats()
+    print(
+        f"audit journal: {stats['recorded']} recorded,"
+        f" {stats['retained']} retained, {stats['evicted']} evicted"
+        f" ({len(entries)} match)"
+    )
+    for entry in entries:
+        trace = f" trace={entry.trace_id}" if entry.trace_id is not None else ""
+        detail = " ".join(
+            f"{k}={v}" for k, v in entry.fields.items() if v not in ("", None)
+        )
+        print(
+            f"  #{entry.seq:<5} t={entry.at:>9.4f}  {entry.kind:<16}"
+            f" {entry.device or '-':<10}{trace}  {detail}".rstrip()
+        )
+    return 0
+
+
+def cmd_incident(args: argparse.Namespace) -> int:
+    from repro.obs import reconstruct
+
+    dep = _attacked_home()
+    if args.device not in dep.devices:
+        known = ", ".join(sorted(dep.devices))
+        print(f"error: unknown device {args.device!r} (known: {known})")
+        return 1
+    state = dep.controller.pipeline.system_state()
+    incident = reconstruct(dep.sim, args.device, policy=dep.policy, state=state)
+    if args.json:
+        print(json.dumps(incident.as_dict(), indent=2))
+    else:
+        print(incident.render())
     return 0
 
 
@@ -377,9 +432,24 @@ def main(argv: list[str] | None = None) -> int:
     table1 = sub.add_parser("table1", help="list the Table 1 registry")
     table1.set_defaults(fn=cmd_table1)
 
-    audit = sub.add_parser("audit", help="fuzz models + attack-graph a canned home")
-    audit.add_argument("--seed", type=int, default=7)
-    audit.set_defaults(fn=cmd_audit)
+    model_audit = sub.add_parser(
+        "model-audit", help="fuzz models + attack-graph a canned home"
+    )
+    model_audit.add_argument("--seed", type=int, default=7)
+    model_audit.set_defaults(fn=cmd_model_audit)
+
+    audit = sub.add_parser("audit", help="query the security audit journal")
+    audit.add_argument("--since", type=float, default=None, help="simulated time floor")
+    audit.add_argument("--kind", default=None, help="filter by entry kind")
+    audit.add_argument("--json", action="store_true", help="entry dicts instead of text")
+    audit.set_defaults(fn=cmd_journal_audit)
+
+    incident = sub.add_parser(
+        "incident", help="reconstruct one device's incident from the flight recorder"
+    )
+    incident.add_argument("device", nargs="?", default="cam")
+    incident.add_argument("--json", action="store_true", help="incident dict instead of text")
+    incident.set_defaults(fn=cmd_incident)
 
     report = sub.add_parser("report", help="operator report for a secured home under attack")
     report.set_defaults(fn=cmd_report)

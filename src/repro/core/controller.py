@@ -228,6 +228,14 @@ class IoTSecController:
             tracer.span(
                 trace, "ingest-alert", sent_at, self.sim.now, device=device, kind=kind
             )
+        self.sim.journal.record(
+            "alert-ingest",
+            device=device,
+            trace=trace,
+            alert_kind=kind,
+            controller=self.name,
+            sent_at=sent_at,
+        )
         tracer.push(trace)
         try:
             self._escalate(device, kind, at=sent_at)
@@ -276,6 +284,13 @@ class IoTSecController:
                     kind=alert_kind,
                     context=context,
                 )
+            self.sim.journal.record(
+                "escalation",
+                device=device,
+                trace=trace,
+                alert_kind=alert_kind,
+                context=context,
+            )
             self.set_context(device, context)
 
     def set_context(self, device: str, context: str) -> None:
@@ -283,6 +298,14 @@ class IoTSecController:
         key = f"ctx:{device}"
         current = self.view.get(key) or NORMAL
         if _SEVERITY.get(context, 0) >= _SEVERITY.get(current, 0):
+            if context != current:
+                self.sim.journal.record(
+                    "context",
+                    device=device,
+                    trace=self.sim.tracer.current(),
+                    context=context,
+                    previous=current,
+                )
             self.view.set(key, context)
 
     def clear_context(self, device: str) -> None:

@@ -48,6 +48,12 @@ class DeploymentReport:
     events_processed: int = 0
     #: Full metrics-registry snapshot ({} when observability is disabled).
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Flight-recorder summary: journal stats, retained-entry counts by
+    #: kind, and the most recent entries ({} when observability is off).
+    journal: dict[str, Any] = field(default_factory=dict)
+    #: Per-flagged-device incident summaries (device -> compact incident
+    #: digest): chains, stage coverage, alert mix.
+    incidents: dict[str, Any] = field(default_factory=dict)
 
     def compromised_devices(self) -> list[str]:
         return [d.name for d in self.devices if d.compromised_ground_truth]
@@ -86,6 +92,8 @@ class DeploymentReport:
             "reaction_max_ms": self.reaction_max_ms,
             "events_processed": self.events_processed,
             "metrics": self.metrics,
+            "journal": self.journal,
+            "incidents": self.incidents,
         }
 
     def render(self) -> str:
@@ -203,4 +211,27 @@ def summarize(dep: "SecuredDeployment") -> DeploymentReport:
         report.reaction_max_ms = latencies[-1] * 1e3
     if registry.enabled:
         report.metrics = registry.snapshot()
+    journal = dep.sim.journal
+    if journal.enabled:
+        report.journal = {
+            **journal.stats(),
+            "kinds": journal.kinds(),
+            "tail": [entry.as_dict() for entry in journal.tail(20)],
+        }
+        # Per-flagged-device incident digests: the forensic view embedded
+        # right where operators already look.  Full reconstruction stays
+        # behind ``repro incident <device>``.
+        from repro.obs.incident import reconstruct
+
+        for name in report.devices_not_normal():
+            incident = reconstruct(dep.sim, name)
+            report.incidents[name] = {
+                "events": len(incident.timeline),
+                "chains": len(incident.chains),
+                "stages": sorted(
+                    {s for c in incident.chains for s in c.stage_names}
+                ),
+                "alerts_by_kind": dict(incident.alerts_by_kind),
+                "applies": incident.applies,
+            }
     return report

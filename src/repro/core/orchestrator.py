@@ -184,7 +184,18 @@ class PostureOrchestrator:
                 if flow_change:
                     switch_traces.setdefault(attachment.switch.name, []).append(trace)
 
+            previous = self.current.get(device)
             self.current[device] = posture
+            self.sim.journal.record(
+                "posture",
+                device=device,
+                trace=trace,
+                posture=posture.name,
+                summary=posture.summary(),
+                previous=previous.name if previous is not None else "",
+                operation=operation,
+                ready_at=ready_at,
+            )
             record = OrchestrationRecord(
                 device=device,
                 posture=posture.name,
@@ -196,7 +207,14 @@ class PostureOrchestrator:
         for switch, rules in installs.values():
             switch.install_many(rules)
             self._h_rules_batch.observe(len(rules))
-            for trace in switch_traces.get(switch.name, ()):
+            switch_trace_ids = switch_traces.get(switch.name, ())
+            self.sim.journal.record(
+                "flow-install",
+                trace=switch_trace_ids[0] if switch_trace_ids else None,
+                switch=switch.name,
+                rules=len(rules),
+            )
+            for trace in switch_trace_ids:
                 tracer.span(
                     trace,
                     "flow-install",

@@ -205,6 +205,10 @@ class ReactivePipeline:
         """Domain-baseline values for unobserved policy variables."""
         return self._defaults
 
+    def system_state(self):
+        """The current policy-relevant system state (explain/forensics API)."""
+        return self.view.system_state(self._policy_keys, self._defaults)
+
     # ------------------------------------------------------------------
     # Stage 1: ingest
     # ------------------------------------------------------------------
@@ -310,6 +314,13 @@ class ReactivePipeline:
                     posture=record.posture,
                 )
         self.stats.applies += len(records)
+        self.sim.journal.record(
+            "pipeline-round",
+            round=round_no,
+            batch=len(batch),
+            evaluated=len(assignments),
+            applied=len(records),
+        )
         if self.bus is not None:
             self.bus.publish(
                 "pipeline-round",
@@ -346,3 +357,11 @@ class ReactivePipeline:
         projected table and reverse-index entries are rebuilt."""
         self.pruned.add_rule(rule)
         self._refresh_policy_view()
+        self.sim.journal.record(
+            "policy-update",
+            device=rule.device,
+            rule_id=rule.rule_id,
+            predicate=str(rule.predicate),
+            posture=rule.posture.name,
+            priority=rule.priority,
+        )

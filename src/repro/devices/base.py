@@ -134,6 +134,15 @@ class IoTDevice(Node):
             if after != before:
                 self.state = after
                 self._apply_effects()
+                self.sim.journal.record(
+                    "device",
+                    device=self.name,
+                    cmd=cmd,
+                    src=src,
+                    via=via,
+                    state_before=before,
+                    state_after=after,
+                )
         record = CommandRecord(
             at=self.sim.now,
             src=src,
@@ -149,6 +158,9 @@ class IoTDevice(Node):
             # Ground truth: an unauthenticated remote party drove the device.
             if src not in self.compromised_by:
                 self.compromised_by.append(src)
+                self.sim.journal.record(
+                    "compromise", device=self.name, src=src, via=via
+                )
         return record
 
     # ------------------------------------------------------------------
@@ -251,6 +263,9 @@ class IoTDevice(Node):
         if packet.payload.get("cmd") == "__pivot__":
             if packet.src not in self.compromised_by:
                 self.compromised_by.append(packet.src)
+                self.sim.journal.record(
+                    "compromise", device=self.name, src=packet.src, via="pivot"
+                )
             relayed = Packet(
                 src=self.name,
                 dst=str(packet.payload.get("target", "")),

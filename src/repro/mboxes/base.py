@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
+from repro.obs.journal import UNJOURNALED_ALERT_KINDS
 from repro.sdn.tunnel import detunnel, is_tunnelled, tunnel_packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -101,6 +102,23 @@ class MboxContext:
             detail=detail,
             trace_id=trace_id,
         )
+        if kind not in UNJOURNALED_ALERT_KINDS:
+            # Flight recorder: the alert's birth is durable evidence even
+            # after the trace ages out of the tracer's bounded retention.
+            fields = {
+                k: v
+                for k, v in detail.items()
+                if k not in ("device", "trace", "alert_kind", "mbox")
+                and isinstance(v, (str, int, float, bool))
+            }
+            self.sim.journal.record(
+                "alert",
+                device=self.device,
+                trace=trace_id,
+                alert_kind=kind,
+                mbox=self.mbox_name,
+                **fields,
+            )
         self.emit_alert(alert)
         return alert
 
@@ -148,6 +166,19 @@ class Mbox:
             verdict, current = element.process(current, ctx)
             if verdict is Verdict.DROP:
                 self.dropped += 1
+                # Journal the security verdict: which element of which
+                # µmbox refused which packet.  PASS verdicts are routine
+                # traffic and are deliberately not journaled (volume).
+                ctx.sim.journal.record(
+                    "verdict",
+                    device=self.device,
+                    verdict="drop",
+                    mbox=self.name,
+                    element=element.name,
+                    pkt=current.pkt_id,
+                    src=current.src,
+                    dport=current.dport,
+                )
                 return Verdict.DROP, current
         return Verdict.PASS, current
 
@@ -246,6 +277,15 @@ class MboxHost(Node):
                 self._return_packet(inner, ingress, device, in_port)
             else:
                 self.unbound_drops += 1
+                self.sim.journal.record(
+                    "verdict",
+                    device=device,
+                    verdict="drop",
+                    mbox=self.name,
+                    element="(unbound)",
+                    pkt=inner.pkt_id,
+                    src=inner.src,
+                )
             return
         if not mbox.ready:
             queue = self._boot_queues.setdefault(device, [])
@@ -253,6 +293,15 @@ class MboxHost(Node):
                 queue.append((outer, in_port))
             else:
                 self.unbound_drops += 1
+                self.sim.journal.record(
+                    "verdict",
+                    device=device,
+                    verdict="drop",
+                    mbox=self.name,
+                    element="(boot-queue-full)",
+                    pkt=inner.pkt_id,
+                    src=inner.src,
+                )
             return
         direction = "to_device" if inner.dst == device else "from_device"
         copied = inner.copy()

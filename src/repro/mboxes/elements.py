@@ -163,6 +163,15 @@ class PacketLogger(Element):
         )
         if self.capture and len(self.captured) < self.capture_limit:
             self.captured.append(packet.copy())
+            if len(self.captured) == self.capture_limit:
+                # Evidence gap from here on: auditors must know the capture
+                # stopped, or absence of packets reads as absence of traffic.
+                ctx.sim.journal.record(
+                    "capture-saturated",
+                    device=ctx.device,
+                    mbox=ctx.mbox_name,
+                    limit=self.capture_limit,
+                )
         return Verdict.PASS, packet
 
     def captured_from(self, src: str) -> list[Packet]:

@@ -16,7 +16,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import Journal, MetricsRegistry, Tracer
 
 
 @dataclass
@@ -65,9 +65,15 @@ class Simulator:
         #: instruments, which is what the overhead bench compares against).
         self.metrics = MetricsRegistry(enabled=observe)
         self.tracer = Tracer(enabled=observe)
+        #: The flight recorder (see :mod:`repro.obs.journal`): every layer
+        #: appends structured audit entries through ``journal.record``.
+        self.journal = Journal(clock=lambda: self.now, enabled=observe)
         self.metrics.gauge("sim_now", fn=lambda: self.now)
         self.metrics.gauge("sim_events_processed", fn=lambda: self._events_processed)
         self.metrics.gauge("sim_events_pending", fn=self.events_pending)
+        self.metrics.gauge("journal_recorded", fn=lambda: self.journal.recorded)
+        self.metrics.gauge("journal_retained", fn=lambda: len(self.journal))
+        self.metrics.gauge("journal_evicted", fn=lambda: self.journal.evicted)
 
     # ------------------------------------------------------------------
     # Scheduling

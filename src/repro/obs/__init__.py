@@ -1,6 +1,6 @@
 """repro.obs: always-on, near-zero-overhead observability.
 
-Two primitives and their glue:
+Three primitives and their glue:
 
 - :class:`MetricsRegistry` (:mod:`repro.obs.registry`) -- counters, gauges
   and fixed-bucket histograms keyed by ``(name, labels)``.  Simulated-time
@@ -14,17 +14,29 @@ Two primitives and their glue:
   pipeline's dirty set, and the orchestrator's actuation batch, so one
   trace shows the packet -> alert -> escalation -> posture -> flow-rule
   chain with per-stage *simulated* latencies.
+- :class:`Journal` (:mod:`repro.obs.journal`) -- the flight recorder: an
+  append-only, bounded, structured security audit journal every layer
+  writes through ``sim.journal.record(kind, **fields)``.  Where metrics
+  aggregate and traces time, the journal *remembers*: packet verdicts,
+  alerts, escalations, posture/FSM transitions, flow installs, epoch
+  commits, device lifecycle and attack steps, in order, in simulated
+  time.  :func:`reconstruct` (:mod:`repro.obs.incident`) joins journal +
+  traces + metrics into a per-device incident timeline.
 
 Exporters (:mod:`repro.obs.exporters`) turn a registry into a plain JSON
-snapshot or Prometheus-style text exposition.
+snapshot or Prometheus-style text exposition (escaped labels, one
+``# HELP``/``# TYPE`` per family; :func:`parse_exposition` round-trips).
 
-Every :class:`~repro.netsim.simulator.Simulator` owns one registry and one
-tracer (``sim.metrics`` / ``sim.tracer``); components register into them at
-construction.  ``Simulator(observe=False)`` swaps in no-op instruments so
-the overhead bench can measure the cost of instrumentation itself.
+Every :class:`~repro.netsim.simulator.Simulator` owns one registry, one
+tracer and one journal (``sim.metrics`` / ``sim.tracer`` /
+``sim.journal``); components register into them at construction.
+``Simulator(observe=False)`` swaps in no-op instruments so the overhead
+bench can measure the cost of instrumentation itself.
 """
 
-from repro.obs.exporters import to_prometheus, trace_as_dicts
+from repro.obs.exporters import parse_exposition, to_prometheus, trace_as_dicts
+from repro.obs.incident import Incident, IncidentChain, reconstruct
+from repro.obs.journal import Journal, JournalEntry
 from repro.obs.registry import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
@@ -40,10 +52,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Incident",
+    "IncidentChain",
+    "Journal",
+    "JournalEntry",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "parse_exposition",
+    "reconstruct",
     "to_prometheus",
     "trace_as_dicts",
 ]

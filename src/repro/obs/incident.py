@@ -1,0 +1,239 @@
+"""Incident reconstruction: one device's forensic timeline.
+
+Joins the three observability planes into a single per-device narrative:
+
+- **journal** entries (:mod:`repro.obs.journal`) supply the durable facts:
+  attack steps, verdicts, alerts, escalations, context changes, posture
+  transitions, flow pushes;
+- **traces** (:mod:`repro.obs.trace`) supply causality and per-stage
+  *simulated* latencies for each detection chain
+  (detect -> ingest-alert -> escalate -> evaluate -> actuate ->
+  flow-install / epoch-commit);
+- **metrics** (:mod:`repro.obs.registry`) supply the aggregate context
+  (how many alerts of each kind, how many applies for this device).
+
+Join semantics: a journal entry and a span belong to the same *chain* when
+they carry the same trace id; journal entries without a trace id (attack
+steps, device state changes, ground-truth compromises) still appear on the
+timeline, ordered by simulated time with sequence numbers breaking ties.
+Causality edges are the consecutive stage pairs of each chain, in stage
+order -- the rendered incident is exactly the paper's Figure 2 loop,
+replayed from evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+
+__all__ = ["Incident", "IncidentChain", "reconstruct"]
+
+#: Canonical stage order of one detection chain (Figure 2's loop).  Spans
+#: sort by simulated start time first; this index breaks same-instant ties
+#: so e.g. ``escalate`` (instantaneous) lands before ``evaluate``.
+STAGE_ORDER = (
+    "detect",
+    "ingest-alert",
+    "escalate",
+    "evaluate",
+    "actuate",
+    "flow-install",
+    "epoch-commit",
+)
+_STAGE_INDEX = {stage: i for i, stage in enumerate(STAGE_ORDER)}
+
+
+@dataclass
+class IncidentChain:
+    """One causal chain (one trace) with its joined journal evidence."""
+
+    trace_id: int
+    stages: list[dict[str, Any]] = field(default_factory=list)
+    #: Journal entries carrying this chain's trace id.
+    journal_seqs: list[int] = field(default_factory=list)
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [s["stage"] for s in self.stages]
+
+    @property
+    def total_latency(self) -> float:
+        if not self.stages:
+            return 0.0
+        return max(s["end"] for s in self.stages) - min(s["start"] for s in self.stages)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Causality edges: consecutive stages of this chain."""
+        names = self.stage_names
+        return list(zip(names, names[1:]))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "stages": [dict(s) for s in self.stages],
+            "edges": [list(edge) for edge in self.edges()],
+            "journal_seqs": list(self.journal_seqs),
+            "total_latency": self.total_latency,
+        }
+
+
+@dataclass
+class Incident:
+    """A reconstructed per-device incident: timeline + chains + context."""
+
+    device: str
+    built_at: float
+    timeline: list[dict[str, Any]] = field(default_factory=list)
+    chains: list[IncidentChain] = field(default_factory=list)
+    alerts_by_kind: dict[str, int] = field(default_factory=dict)
+    applies: int = 0
+    context: str = ""
+    posture: str = ""
+    #: Which policy rule currently wins for this device, when a policy was
+    #: available to explain the decision (see :func:`reconstruct`).
+    winning_rule: dict[str, Any] | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "device": self.device,
+            "built_at": self.built_at,
+            "timeline": [dict(e) for e in self.timeline],
+            "chains": [c.as_dict() for c in self.chains],
+            "alerts_by_kind": dict(self.alerts_by_kind),
+            "applies": self.applies,
+            "context": self.context,
+            "posture": self.posture,
+            "winning_rule": dict(self.winning_rule) if self.winning_rule else None,
+        }
+
+    def render(self) -> str:
+        """Operator-facing plain-text reconstruction."""
+        lines = [
+            f"incident report: {self.device} @ t={self.built_at:.1f}s"
+            + (f"  context={self.context}" if self.context else "")
+            + (f"  posture={self.posture}" if self.posture else "")
+        ]
+        if self.alerts_by_kind:
+            kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.alerts_by_kind.items()))
+            lines.append(f"  alerts: {kinds}")
+        if self.winning_rule is not None:
+            lines.append(
+                f"  policy: rule #{self.winning_rule['rule_id']}"
+                f" [{self.winning_rule['predicate']}]"
+                f" -> {self.winning_rule['posture']}"
+            )
+        lines.append(f"  timeline ({len(self.timeline)} events):")
+        for event in self.timeline:
+            trace = f" trace={event['trace_id']}" if event.get("trace_id") else ""
+            detail = " ".join(
+                f"{k}={v}" for k, v in event.get("detail", {}).items() if v not in ("", None)
+            )
+            lines.append(
+                f"    t={event['at']:>9.4f}  {event['kind']:<18}{trace}  {detail}".rstrip()
+            )
+        for chain in self.chains:
+            lines.append(
+                f"  chain trace#{chain.trace_id}"
+                f" ({len(chain.stages)} stages,"
+                f" total {chain.total_latency * 1e3:.1f}ms):"
+            )
+            for stage in chain.stages:
+                lines.append(
+                    f"    {stage['stage']:<14}"
+                    f" t={stage['start']:>9.4f} -> {stage['end']:>9.4f}"
+                    f"  (+{stage['latency'] * 1e3:7.2f}ms)"
+                )
+        return "\n".join(lines)
+
+
+def _span_sort_key(span) -> tuple[float, int]:
+    return (span.start, _STAGE_INDEX.get(span.stage, len(STAGE_ORDER)))
+
+
+def reconstruct(
+    sim: "Simulator", device: str, policy: Any = None, state: Any = None
+) -> Incident:
+    """Rebuild the incident timeline for ``device`` from ``sim``'s evidence.
+
+    ``policy`` (a :class:`~repro.policy.fsm.PolicyFSM`) together with
+    ``state`` (the current :class:`~repro.policy.context.SystemState`) are
+    optional explainers: when both are given the incident also reports
+    which rule currently decides the device's posture
+    (:meth:`PolicyFSM.rule_for`) -- the "why", next to the journal's
+    "what" and the trace's "when".
+    """
+    incident = Incident(device=device, built_at=sim.now)
+
+    # -- journal plane: durable per-device facts --------------------------
+    journal_entries = sim.journal.for_device(device)
+    seqs_by_trace: dict[int, list[int]] = {}
+    for entry in journal_entries:
+        incident.timeline.append(
+            {
+                "at": entry.at,
+                "seq": entry.seq,
+                "source": "journal",
+                "kind": entry.kind,
+                "trace_id": entry.trace_id,
+                "detail": dict(entry.fields),
+            }
+        )
+        if entry.trace_id is not None:
+            seqs_by_trace.setdefault(entry.trace_id, []).append(entry.seq)
+        if entry.kind == "alert":
+            kind = str(entry.fields.get("alert_kind", "?"))
+            incident.alerts_by_kind[kind] = incident.alerts_by_kind.get(kind, 0) + 1
+        elif entry.kind == "posture":
+            incident.applies += 1
+            incident.posture = str(entry.fields.get("posture", incident.posture))
+        elif entry.kind == "context":
+            incident.context = str(entry.fields.get("context", incident.context))
+
+    # -- trace plane: causal chains with per-stage simulated latencies ----
+    tracer = sim.tracer
+    for trace_id in tracer.traces_for(device):
+        spans = sorted(tracer.spans(trace_id), key=_span_sort_key)
+        if not spans:
+            continue
+        chain = IncidentChain(
+            trace_id=trace_id, journal_seqs=seqs_by_trace.get(trace_id, [])
+        )
+        for span in spans:
+            chain.stages.append(
+                {
+                    "stage": span.stage,
+                    "start": span.start,
+                    "end": span.end,
+                    "latency": span.latency,
+                    "device": span.device,
+                    "attrs": dict(span.attrs),
+                }
+            )
+        incident.chains.append(chain)
+
+    # -- metrics plane: aggregate context for this device -----------------
+    registry = sim.metrics
+    if registry.enabled:
+        applies = 0.0
+        for instrument in registry.series("pipeline_device_applies"):
+            if instrument.labels.get("device") == device:
+                applies += instrument.value
+        if applies:
+            incident.applies = max(incident.applies, int(applies))
+
+    # -- policy plane: explain the current decision -----------------------
+    if policy is not None and state is not None:
+        rule = policy.rule_for(state, device)
+        if rule is not None:
+            incident.winning_rule = {
+                "rule_id": rule.rule_id,
+                "predicate": str(rule.predicate),
+                "posture": rule.posture.name,
+                "priority": rule.priority,
+            }
+
+    incident.timeline.sort(key=lambda e: (e["at"], e["seq"]))
+    return incident

@@ -1,0 +1,237 @@
+"""The flight recorder: an append-only, bounded security audit journal.
+
+Aggregate metrics answer "how much"; causal traces answer "how fast"; the
+journal answers the forensic question neither can: *what exactly happened,
+in what order, and what did the controller do about it*.  Every layer
+writes structured events through one API::
+
+    sim.journal.record("alert", device="cam", trace=tid, alert_kind="login-rejected")
+
+Design constraints (shared with the rest of :mod:`repro.obs`):
+
+- **Simulated time only.**  Entries are stamped with ``sim.now`` via the
+  clock callable handed in at construction; nothing reads the wall clock.
+- **Append-only.**  Entries are immutable once recorded and sequence
+  numbers are strictly monotonic, so the journal is trustworthy evidence:
+  an entry can be evicted (bounded retention) or spilled, never rewritten.
+- **Bounded retention.**  Entries accumulate into fixed-size *segments*
+  arranged as a ring: when the ring exceeds ``max_segments`` the oldest
+  whole segment is evicted -- optionally spilled to a JSONL file first --
+  so long runs cannot grow memory with event volume (the same contract as
+  the tracer's ``max_traces``).
+- **Near-zero hot-path cost.**  ``record`` is one object construction and
+  a list append.  Per-packet PASS verdicts are *not* journaled (only
+  drops, alerts, and control-plane actions are security-relevant);
+  routine ``telemetry`` alerts are excluded like they are from tracing.
+- **Disableable.**  ``Journal(enabled=False)`` (what
+  ``Simulator(observe=False)`` creates) makes ``record`` a no-op, so the
+  overhead bench measures the journal's cost along with the rest of the
+  instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Iterator
+
+__all__ = ["Journal", "JournalEntry"]
+
+#: Alert kinds never journaled: routine streams whose volume would evict
+#: the security-relevant evidence (mirrors ``UNTRACED_ALERT_KINDS``).
+UNJOURNALED_ALERT_KINDS = frozenset({"telemetry"})
+
+
+class JournalEntry:
+    """One immutable audit record, stamped in simulated time."""
+
+    __slots__ = ("seq", "at", "kind", "device", "trace_id", "fields")
+
+    def __init__(
+        self,
+        seq: int,
+        at: float,
+        kind: str,
+        device: str,
+        trace_id: int | None,
+        fields: dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.at = at
+        self.kind = kind
+        self.device = device
+        self.trace_id = trace_id
+        self.fields = fields
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "at": self.at,
+            "kind": self.kind,
+            "device": self.device,
+            "trace_id": self.trace_id,
+            "fields": dict(self.fields),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"JournalEntry(#{self.seq} t={self.at:.3f} {self.kind}"
+            f" device={self.device or '-'} {self.fields})"
+        )
+
+
+class Journal:
+    """Bounded ring of append-only journal segments with optional spill."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        enabled: bool = True,
+        segment_size: int = 512,
+        max_segments: int = 8,
+        spill_path: str | None = None,
+    ) -> None:
+        if segment_size <= 0:
+            raise ValueError(f"segment_size must be positive (got {segment_size})")
+        if max_segments <= 0:
+            raise ValueError(f"max_segments must be positive (got {max_segments})")
+        self.clock = clock
+        self.enabled = enabled
+        self.segment_size = segment_size
+        self.max_segments = max_segments
+        self.spill_path = spill_path
+        self._segments: deque[list[JournalEntry]] = deque([[]])
+        self._next_seq = 1
+        self.recorded = 0
+        self.evicted = 0
+        self.spilled = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(
+        self, kind: str, device: str = "", trace: int | None = None, **fields: Any
+    ) -> JournalEntry | None:
+        """Append one entry; returns None when the journal is disabled."""
+        if not self.enabled:
+            return None
+        entry = JournalEntry(
+            seq=self._next_seq,
+            at=self.clock(),
+            kind=kind,
+            device=device,
+            trace_id=trace,
+            fields=fields,
+        )
+        self._next_seq += 1
+        self.recorded += 1
+        head = self._segments[-1]
+        if len(head) >= self.segment_size:
+            self._segments.append([entry])
+            if len(self._segments) > self.max_segments:
+                self._evict_oldest()
+        else:
+            head.append(entry)
+        return entry
+
+    def _evict_oldest(self) -> None:
+        segment = self._segments.popleft()
+        self.evicted += len(segment)
+        if self.spill_path is not None:
+            try:
+                with open(self.spill_path, "a", encoding="utf-8") as fh:
+                    for entry in segment:
+                        fh.write(json.dumps(entry.as_dict(), default=str) + "\n")
+                self.spilled += len(segment)
+            except OSError:
+                pass  # spill is best-effort; retention bounds still hold
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[JournalEntry]:
+        for segment in self._segments:
+            yield from segment
+
+    def __len__(self) -> int:
+        """Retained (in-memory) entries."""
+        return sum(len(segment) for segment in self._segments)
+
+    def entries(
+        self,
+        since: float | None = None,
+        kind: str | None = None,
+        device: str | None = None,
+    ) -> list[JournalEntry]:
+        """Retained entries filtered by time / kind / device (all optional).
+
+        ``device`` matches the entry's device field *or* a ``src`` field
+        naming the device -- an attack step toward ``cam`` and an insider
+        alert sourced from ``cam`` both belong to cam's audit trail.
+        """
+        out = []
+        for entry in self:
+            if since is not None and entry.at < since:
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            if device is not None and not (
+                entry.device == device or entry.fields.get("src") == device
+            ):
+                continue
+            out.append(entry)
+        return out
+
+    def for_device(self, device: str) -> list[JournalEntry]:
+        return self.entries(device=device)
+
+    def tail(self, n: int = 50) -> list[JournalEntry]:
+        """The most recent ``n`` retained entries, oldest first."""
+        if n <= 0:
+            return []
+        picked: deque[JournalEntry] = deque(maxlen=n)
+        for entry in self:
+            picked.append(entry)
+        return list(picked)
+
+    def kinds(self) -> dict[str, int]:
+        """Retained entry counts by kind (operator overview)."""
+        counts: dict[str, int] = {}
+        for entry in self:
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "recorded": self.recorded,
+            "retained": len(self),
+            "evicted": self.evicted,
+            "spilled": self.spilled,
+            "segment_size": self.segment_size,
+            "max_segments": self.max_segments,
+        }
+
+    def export_jsonl(self, path: str) -> int:
+        """Write every retained entry to ``path`` as JSON lines.
+
+        Returns the number of entries written.  This is the explicit
+        "dump the flight recorder" operation (CI attaches the result as a
+        build artifact); the ``spill_path`` mechanism covers the implicit
+        case of entries aging out of the ring mid-run.
+        """
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in self:
+                fh.write(json.dumps(entry.as_dict(), default=str) + "\n")
+                n += 1
+        return n
+
+    def __repr__(self) -> str:
+        return (
+            f"Journal(retained={len(self)}, recorded={self.recorded}, "
+            f"evicted={self.evicted}, enabled={self.enabled})"
+        )

@@ -137,12 +137,23 @@ class PolicyFSM:
             self.devices = tuple(sorted({*self.devices, rule.device}))
         self._validate()
 
-    def posture_for(self, state: SystemState, device: str) -> Posture:
-        """The winning posture for ``device`` in ``state``."""
+    def rule_for(self, state: SystemState, device: str) -> PostureRule | None:
+        """The winning rule for ``device`` in ``state`` (None = default).
+
+        This is the explain API behind incident reconstruction: it answers
+        *why* a device has its posture without counting a hit.
+        """
         for rule in self.rules:
             if rule.device == device and rule.predicate.matches(state):
-                rule.hits += 1
-                return rule.posture
+                return rule
+        return None
+
+    def posture_for(self, state: SystemState, device: str) -> Posture:
+        """The winning posture for ``device`` in ``state``."""
+        rule = self.rule_for(state, device)
+        if rule is not None:
+            rule.hits += 1
+            return rule.posture
         return self.default_posture
 
     def postures(self, state: SystemState) -> dict[str, Posture]:

@@ -90,6 +90,12 @@ class Posture:
     def module_kinds(self) -> tuple[str, ...]:
         return tuple(spec.kind for spec in self.modules)
 
+    def summary(self) -> str:
+        """Compact one-line form for journal fields: name + module kinds."""
+        if self.is_permissive:
+            return f"{self.name}(allow)"
+        return f"{self.name}({'+'.join(self.module_kinds())})"
+
     def __str__(self) -> str:
         if self.is_permissive:
             return f"Posture({self.name}: allow)"

@@ -114,6 +114,15 @@ class ConsistentUpdater:
             report.committed_at = self.sim.now
             self._c_committed.inc()
             self._h_commit.observe(0.0)
+            self.sim.journal.record(
+                "epoch-commit",
+                version=report.version,
+                mode=report.mode,
+                switches=0,
+                rules_installed=0,
+                rules_removed=0,
+                duration=0.0,
+            )
             if on_committed:
                 on_committed(report)
             return report
@@ -130,6 +139,15 @@ class ConsistentUpdater:
                     report.committed_at = self.sim.now
                     self._c_committed.inc()
                     self._h_commit.observe(report.committed_at - report.started_at)
+                    self.sim.journal.record(
+                        "epoch-commit",
+                        version=report.version,
+                        mode=report.mode,
+                        switches=report.switches,
+                        rules_installed=report.rules_installed,
+                        rules_removed=report.rules_removed,
+                        duration=report.duration,
+                    )
                     if on_committed:
                         on_committed(report)
 
@@ -208,4 +226,12 @@ class ConsistentUpdater:
             (self.channel.latency_to(sw.name) for sw in assignments), default=0.0
         )
         report.committed_at = self.sim.now + max_latency
+        self.sim.journal.record(
+            "epoch-commit",
+            version=report.version,
+            mode=report.mode,
+            switches=report.switches,
+            rules_installed=report.rules_installed,
+            duration=report.duration,
+        )
         return report

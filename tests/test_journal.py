@@ -1,0 +1,166 @@
+"""Unit tests for the flight recorder (:mod:`repro.obs.journal`)."""
+
+import json
+
+import pytest
+
+from repro.netsim.simulator import Simulator
+from repro.obs.journal import UNJOURNALED_ALERT_KINDS, Journal
+
+
+def _clocked(start: float = 0.0):
+    """A journal with a mutable clock the test advances by hand."""
+    state = {"now": start}
+    journal = Journal(clock=lambda: state["now"], segment_size=4, max_segments=2)
+    return journal, state
+
+
+class TestRecording:
+    def test_entries_are_stamped_and_sequenced(self):
+        journal, state = _clocked()
+        a = journal.record("alert", device="cam", trace=7, alert_kind="login-rejected")
+        state["now"] = 2.5
+        b = journal.record("verdict", device="cam", verdict="drop")
+        assert (a.seq, a.at, a.kind, a.device, a.trace_id) == (1, 0.0, "alert", "cam", 7)
+        assert a.fields == {"alert_kind": "login-rejected"}
+        assert (b.seq, b.at) == (2, 2.5)
+        assert journal.recorded == 2 and len(journal) == 2
+
+    def test_sequence_numbers_strictly_monotonic_across_eviction(self):
+        journal, __ = _clocked()
+        for i in range(30):
+            journal.record("e")
+        seqs = [e.seq for e in journal]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert journal.recorded == 30
+
+    def test_disabled_journal_is_a_noop(self):
+        journal = Journal(clock=lambda: 0.0, enabled=False)
+        assert journal.record("alert", device="cam") is None
+        assert journal.recorded == 0 and len(journal) == 0
+        assert list(journal) == []
+
+    def test_telemetry_is_excluded_by_convention(self):
+        assert "telemetry" in UNJOURNALED_ALERT_KINDS
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Journal(clock=lambda: 0.0, segment_size=0)
+        with pytest.raises(ValueError):
+            Journal(clock=lambda: 0.0, max_segments=0)
+
+
+class TestBoundedRetention:
+    def test_oldest_whole_segment_evicted(self):
+        journal, __ = _clocked()  # segment_size=4, max_segments=2
+        for i in range(13):
+            journal.record("e", i=i)
+        # Ring holds at most 2 full segments + the open head segment.
+        assert len(journal) <= 4 * 2 + 4
+        assert journal.evicted == journal.recorded - len(journal)
+        # Survivors are the most recent entries, in order.
+        retained = [e.fields["i"] for e in journal]
+        assert retained == list(range(13 - len(retained), 13))
+
+    def test_long_run_memory_is_bounded(self):
+        journal = Journal(clock=lambda: 0.0, segment_size=8, max_segments=3)
+        for i in range(10_000):
+            journal.record("e")
+        assert len(journal) <= 8 * (3 + 1)
+        assert journal.recorded == 10_000
+
+    def test_eviction_spills_to_jsonl(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 1.0, segment_size=2, max_segments=1, spill_path=str(spill)
+        )
+        for i in range(7):
+            journal.record("e", i=i)
+        assert journal.spilled == journal.evicted > 0
+        lines = [json.loads(line) for line in spill.read_text().splitlines()]
+        assert len(lines) == journal.spilled
+        # Spilled entries are the *oldest*; their seqs precede all retained.
+        assert max(e["seq"] for e in lines) < min(e.seq for e in journal)
+
+    def test_spill_failure_still_bounds_retention(self):
+        journal = Journal(
+            clock=lambda: 0.0,
+            segment_size=2,
+            max_segments=1,
+            spill_path="/nonexistent-dir/never/spill.jsonl",
+        )
+        for i in range(20):
+            journal.record("e")
+        assert journal.spilled == 0
+        assert journal.evicted > 0
+        assert len(journal) <= 2 * 2
+
+
+class TestQueries:
+    def _populated(self):
+        journal, state = _clocked()
+        journal.record("alert", device="cam", alert_kind="login-rejected")
+        state["now"] = 5.0
+        journal.record("verdict", device="win", verdict="drop")
+        journal.record("alert", device="win", src="cam", alert_kind="insider")
+        state["now"] = 9.0
+        journal.record("posture", device="win", posture="block-commands")
+        return journal
+
+    def test_filter_by_since_kind_device(self):
+        journal = self._populated()
+        assert [e.kind for e in journal.entries(since=5.0)] == [
+            "verdict",
+            "alert",
+            "posture",
+        ]
+        assert [e.device for e in journal.entries(kind="alert")] == ["cam", "win"]
+        assert [e.kind for e in journal.entries(device="win")] == [
+            "verdict",
+            "alert",
+            "posture",
+        ]
+
+    def test_device_filter_matches_src_field(self):
+        """An insider alert *sourced from* cam belongs to cam's trail."""
+        journal = self._populated()
+        kinds = [e.kind for e in journal.for_device("cam")]
+        assert kinds == ["alert", "alert"]
+
+    def test_tail_and_kinds(self):
+        journal = self._populated()
+        assert [e.seq for e in journal.tail(2)] == [3, 4]
+        assert journal.tail(0) == []
+        assert journal.kinds() == {"alert": 2, "verdict": 1, "posture": 1}
+
+    def test_stats_and_export(self, tmp_path):
+        journal = self._populated()
+        stats = journal.stats()
+        assert stats["recorded"] == 4 and stats["retained"] == 4
+        out = tmp_path / "dump.jsonl"
+        assert journal.export_jsonl(str(out)) == 4
+        dumped = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [d["seq"] for d in dumped] == [1, 2, 3, 4]
+        assert dumped[3]["fields"]["posture"] == "block-commands"
+
+
+class TestSimulatorIntegration:
+    def test_simulator_owns_a_simtime_journal(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: sim.journal.record("tick"))
+        sim.run()
+        (entry,) = list(sim.journal)
+        assert entry.at == 3.0
+
+    def test_observe_false_disables_journal(self):
+        sim = Simulator(observe=False)
+        assert sim.journal.enabled is False
+        assert sim.journal.record("tick") is None
+
+    def test_journal_gauges_registered(self):
+        sim = Simulator()
+        sim.journal.record("tick")
+        assert sim.metrics.value("journal_recorded") == 1
+        assert sim.metrics.value("journal_retained") == 1
+        assert sim.metrics.value("journal_evicted") == 0

@@ -85,6 +85,41 @@ class TestMetrics:
         assert round_tripped["metrics"]["enabled"] is True
         assert round_tripped["packets_dropped_unbound"] == 0
 
+    def test_report_embeds_journal_and_incidents(self):
+        dep = self.make_dep()
+        dep.secure(
+            "cam",
+            build_recommended_posture("password_proxy", "cam", new_password="S3c!"),
+        )
+        attacker = dep.attackers["attacker"]
+        for i in range(3):
+            dep.sim.schedule(
+                1.0 + 0.2 * i,
+                attacker.fire_and_forget,
+                protocol.login("attacker", "cam", "admin", "wrong"),
+            )
+        dep.run(until=30.0)
+        report = summarize(dep)
+        assert report.journal["recorded"] > 0
+        assert report.journal["kinds"].get("alert", 0) >= 3
+        assert len(report.journal["tail"]) <= 20
+        # cam escalated, so it gets an embedded incident digest.
+        assert "cam" in report.incidents
+        digest = report.incidents["cam"]
+        assert digest["alerts_by_kind"].get("login-rejected", 0) >= 3
+        assert "detect" in digest["stages"]
+        data = report.as_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_report_without_observability_has_empty_forensics(self):
+        from repro.netsim.simulator import Simulator
+
+        dep = SecuredDeployment.build(sim=Simulator(observe=False))
+        dep.add_device(smart_camera, "cam")
+        dep.finalize()
+        report = summarize(dep)
+        assert report.journal == {} and report.incidents == {}
+
     def test_ground_truth_compromise_visible(self):
         dep = self.make_dep()
         attacker = dep.attackers["attacker"]
@@ -113,8 +148,8 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Belkin Wemo" in out
 
-    def test_audit(self, capsys):
-        assert main(["audit"]) == 0
+    def test_model_audit(self, capsys):
+        assert main(["model-audit"]) == 0
         out = capsys.readouterr().out
         assert "ATTACKER" in out
         assert "hardening plan" in out
@@ -159,7 +194,65 @@ class TestObservabilityCli:
 
     def test_trace_unknown_device_fails_cleanly(self, capsys):
         assert main(["trace", "no-such-device"]) == 1
-        assert "no traces" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "error: unknown device 'no-such-device'" in out
+        assert "known:" in out  # the message names the valid devices
+
+    def test_trace_json_unknown_device_fails_cleanly(self, capsys):
+        assert main(["trace", "no-such-device", "--json"]) == 1
+        assert "unknown device" in capsys.readouterr().out
+
+    def test_metrics_empty_registry_fails_cleanly(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.netsim.simulator import Simulator
+
+        def unobserved_home():
+            dep = SecuredDeployment.build(sim=Simulator(observe=False))
+            dep.add_device(smart_camera, "cam")
+            dep.finalize()
+            return dep
+
+        monkeypatch.setattr(cli, "_attacked_home", unobserved_home)
+        assert main(["metrics"]) == 1
+        assert "metrics registry is empty" in capsys.readouterr().out
+
+    def test_audit_journal_text(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "audit journal:" in out and "recorded" in out
+        # The canned attack leaves security evidence on the record.
+        assert "alert" in out and "posture" in out
+
+    def test_audit_kind_filter(self, capsys):
+        assert main(["audit", "--kind", "posture"]) == 0
+        out = capsys.readouterr().out
+        body = [ln for ln in out.splitlines() if ln.startswith("  #")]
+        assert body and all(" posture" in ln for ln in body)
+
+    def test_audit_json(self, capsys):
+        assert main(["audit", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries and {"seq", "at", "kind", "fields"} <= set(entries[0])
+        kinds = {e["kind"] for e in entries}
+        assert "alert" in kinds and "attack-step" in kinds
+
+    def test_incident_text(self, capsys):
+        assert main(["incident", "cam"]) == 0
+        out = capsys.readouterr().out
+        assert "incident report: cam" in out
+        assert "timeline" in out and "detect" in out
+
+    def test_incident_json(self, capsys):
+        assert main(["incident", "cam", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["device"] == "cam"
+        assert data["timeline"] and data["chains"]
+        stages = {s["stage"] for c in data["chains"] for s in c["stages"]}
+        assert "detect" in stages and "ingest-alert" in stages
+
+    def test_incident_unknown_device_fails_cleanly(self, capsys):
+        assert main(["incident", "no-such-device"]) == 1
+        assert "unknown device" in capsys.readouterr().out
 
 
 def test_cli_policy_export(capsys):

@@ -242,3 +242,143 @@ class TestTracer:
         assert data[0]["stage"] == "detect"
         assert data[0]["latency"] == 1.0
         assert data[0]["attrs"] == {"n": 3}
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition conformance (PR 3 satellite)
+# ----------------------------------------------------------------------
+class TestPrometheusConformance:
+    NASTY = 'line1\nline2 "quoted" back\\slash'
+
+    def test_escape_unescape_round_trip(self):
+        from repro.obs.exporters import _unescape_label_value, escape_label_value
+
+        escaped = escape_label_value(self.NASTY)
+        assert "\n" not in escaped  # newlines never leak into the exposition
+        assert '\\"' in escaped and "\\\\" in escaped and "\\n" in escaped
+        assert _unescape_label_value(escaped) == self.NASTY
+
+    def test_nasty_label_values_survive_write_then_parse(self):
+        from repro.obs import parse_exposition
+
+        reg = MetricsRegistry()
+        reg.counter("alerts", device=self.NASTY).inc(3)
+        families = parse_exposition(to_prometheus(reg))
+        ((__, labels, value),) = families["alerts"]["samples"]
+        assert labels == {"device": self.NASTY}
+        assert value == 3.0
+
+    def test_help_and_type_exactly_once_per_family(self):
+        reg = MetricsRegistry()
+        # Three series of one family must share a single header pair.
+        for host in ("a", "b", "c"):
+            reg.counter("mbox_alerts", host=host).inc()
+        reg.gauge("sim_now").set(5.0)
+        text = to_prometheus(reg)
+        lines = text.splitlines()
+        for family in ("mbox_alerts", "sim_now"):
+            assert lines.count(
+                next(ln for ln in lines if ln.startswith(f"# TYPE {family} "))
+            ) == 1
+            assert sum(ln.startswith(f"# HELP {family} ") for ln in lines) == 1
+            assert sum(ln.startswith(f"# TYPE {family} ") for ln in lines) == 1
+            # Headers precede every sample of their family.
+            type_at = next(
+                i for i, ln in enumerate(lines) if ln.startswith(f"# TYPE {family} ")
+            )
+            samples_at = [
+                i
+                for i, ln in enumerate(lines)
+                if ln.startswith(family) and not ln.startswith("#")
+            ]
+            assert samples_at and min(samples_at) > type_at
+
+    def test_parser_rejects_duplicate_headers(self):
+        from repro.obs import parse_exposition
+
+        text = (
+            "# HELP x one\n# TYPE x counter\nx 1\n"
+            "# HELP x again\n# TYPE x counter\nx 2\n"
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_exposition(text)
+
+    def test_histogram_family_round_trips(self):
+        from repro.obs import parse_exposition
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(0.1, 1.0), site="edge")
+        for v in (0.05, 0.5, 2.0):
+            h.observe(v)
+        families = parse_exposition(to_prometheus(reg))
+        fam = families["lat"]
+        assert fam["type"] == "histogram"
+        by_name = {}
+        for name, labels, value in fam["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        # Cumulative buckets, then sum and count, all under the base family.
+        bucket_values = {lbl["le"]: v for lbl, v in by_name["lat_bucket"]}
+        assert bucket_values["0.1"] == 1.0
+        assert bucket_values["1.0"] == 2.0
+        assert bucket_values["+Inf"] == 3.0
+        assert by_name["lat_sum"][0][1] == pytest.approx(2.55)
+        assert by_name["lat_count"][0][1] == 3.0
+        assert by_name["lat_sum"][0][0] == {"site": "edge"}
+
+
+# ----------------------------------------------------------------------
+# unique() label dedup across multi-site fleets (PR 3 satellite)
+# ----------------------------------------------------------------------
+class TestUniqueLabelDedup:
+    def test_later_callers_get_numbered_names(self):
+        reg = MetricsRegistry()
+        assert reg.unique("edge") == "edge"
+        assert reg.unique("edge") == "edge#2"
+        assert reg.unique("edge") == "edge#3"
+        assert reg.unique("core") == "core"  # independent per prefix
+
+    def test_two_sites_sharing_one_simulator_never_alias(self):
+        """Two deployments on one simulator: same component names, distinct
+        series -- incrementing one site's counters must not move the other's."""
+        from repro.core.deployment import SecuredDeployment
+        from repro.netsim.simulator import Simulator
+
+        sim = Simulator()
+        site_a = SecuredDeployment.build(sim=sim)
+        site_b = SecuredDeployment.build(sim=sim)
+        site_a.finalize()
+        site_b.finalize()
+
+        a, b = site_a.controller, site_b.controller
+        assert a.metric_labels != b.metric_labels
+        assert a.metric_labels["controller"] == "controller"
+        assert b.metric_labels["controller"] == "controller#2"
+        pipelines = {
+            tuple(p.metric_labels.items())
+            for p in (a.pipeline, b.pipeline)
+        }
+        assert len(pipelines) == 2
+
+        a.packet_ins += 10
+        assert sim.metrics.value("controller_packet_ins", **a.metric_labels) == 10
+        assert sim.metrics.value("controller_packet_ins", **b.metric_labels) == 0
+
+
+# ----------------------------------------------------------------------
+# observe=False hands out shared no-op instruments (PR 3 satellite)
+# ----------------------------------------------------------------------
+class TestDisabledRegistryIdentity:
+    def test_noop_instruments_are_singletons(self):
+        """Every disabled counter/gauge/histogram is the *same* object --
+        instrument identity proves the no-op path allocates nothing per call."""
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a", x="1") is reg.counter("b", y="2")
+        assert reg.gauge("a") is reg.gauge("b", z="3")
+        assert reg.histogram("a") is reg.histogram("b", bounds=(1.0,))
+        # ...and nothing was registered: the store stays empty.
+        assert len(reg) == 0
+        assert list(reg) == []
+        reg.counter("a").inc(5)
+        reg.gauge("a").set(5)
+        reg.histogram("a").observe(5)
+        assert reg.value("a") is None

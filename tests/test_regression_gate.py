@@ -1,0 +1,153 @@
+"""The perf-regression gate (``benchmarks/regression.py``) as a pure function.
+
+The gate's ``compare`` takes plain dicts, so every CI-failure mode --
+including the acceptance criterion's synthetic >20% E9 throughput drop --
+is exercised here without running a single benchmark (the bench imports
+inside ``measure()`` are lazy for exactly this reason).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("regression_gate", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("regression_gate", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _baseline():
+    return {
+        "e9": [
+            {
+                "devices": 80,
+                "events": 13_530,
+                "events_per_s": 100_000.0,
+                "pipeline_rounds": 30,
+                "pipeline_applies": 160,
+            }
+        ],
+        "obs_overhead": 0.01,
+    }
+
+
+def _current(events_per_s=100_000.0, **overrides):
+    row = dict(_baseline()["e9"][0], events_per_s=events_per_s, **overrides)
+    return {"e9": [row], "obs_overhead": 0.01}
+
+
+class TestThroughputGate:
+    def test_synthetic_25pct_drop_fails(self, gate):
+        """Acceptance: a synthetic >20% E9 throughput drop trips the gate."""
+        violations = gate.compare(
+            _current(events_per_s=75_000.0), _baseline(), throughput_regression=0.20
+        )
+        assert len(violations) == 1
+        assert "e9@80dev" in violations[0]
+        assert "throughput dropped 25.0%" in violations[0]
+
+    def test_10pct_drop_passes(self, gate):
+        violations = gate.compare(
+            _current(events_per_s=90_000.0), _baseline(), throughput_regression=0.20
+        )
+        assert violations == []
+
+    def test_speedup_never_fails(self, gate):
+        assert gate.compare(_current(events_per_s=250_000.0), _baseline()) == []
+
+    def test_sizes_missing_from_baseline_are_skipped(self, gate):
+        current = _current(events_per_s=10.0)
+        current["e9"][0]["devices"] = 160  # no such baseline row
+        assert gate.compare(current, _baseline()) == []
+
+
+class TestDeterminismGate:
+    def test_event_count_drift_fails(self, gate):
+        violations = gate.compare(
+            _current(events=14_000), _baseline(), event_count_drift=0.02
+        )
+        assert len(violations) == 1
+        assert "events" in violations[0]
+        assert "re-record the baselines" in violations[0]
+
+    def test_pipeline_counter_drift_fails(self, gate):
+        violations = gate.compare(
+            _current(pipeline_applies=200), _baseline(), event_count_drift=0.02
+        )
+        assert any("pipeline_applies" in v for v in violations)
+
+    def test_within_drift_tolerance_passes(self, gate):
+        assert gate.compare(_current(events=13_531), _baseline()) == []
+
+
+class TestOverheadGate:
+    def test_excessive_obs_overhead_fails(self, gate):
+        current = _current()
+        current["obs_overhead"] = 0.15
+        violations = gate.compare(current, _baseline(), obs_overhead_limit=0.10)
+        assert len(violations) == 1
+        assert "obs-overhead" in violations[0]
+
+    def test_missing_overhead_is_not_a_violation(self, gate):
+        current = _current()
+        current["obs_overhead"] = None
+        assert gate.compare(current, _baseline()) == []
+
+
+class TestThresholdConfig:
+    def test_thresholds_pinned_in_one_config_block(self, gate):
+        assert gate.THROUGHPUT_REGRESSION == 0.20
+        assert gate.OBS_OVERHEAD_LIMIT == 0.10
+        assert gate.EVENT_COUNT_DRIFT == 0.02
+        assert set(gate.DETERMINISTIC_KEYS) == {
+            "events",
+            "pipeline_rounds",
+            "pipeline_applies",
+        }
+
+    def test_env_overrides(self, gate, monkeypatch):
+        monkeypatch.setenv("REPRO_REGRESSION_THROUGHPUT", "0.5")
+        violations = gate.compare(_current(events_per_s=60_000.0), _baseline())
+        assert violations == []  # 40% drop allowed under the override
+
+
+class TestTrajectory:
+    def test_appends_entries_in_order(self, gate, tmp_path):
+        path = tmp_path / "BENCH_TRAJECTORY.json"
+        gate.append_trajectory({"git_sha": "aaa"}, path)
+        history = gate.append_trajectory({"git_sha": "bbb"}, path)
+        assert [e["git_sha"] for e in history] == ["aaa", "bbb"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk == history
+
+    def test_corrupt_history_starts_fresh(self, gate, tmp_path):
+        path = tmp_path / "BENCH_TRAJECTORY.json"
+        path.write_text("{not json")
+        history = gate.append_trajectory({"git_sha": "ccc"}, path)
+        assert [e["git_sha"] for e in history] == ["ccc"]
+
+    def test_repo_trajectory_has_at_least_one_entry(self, gate):
+        """The gate has run at least once on this commit's baselines."""
+        history = json.loads(gate.TRAJECTORY_PATH.read_text())
+        assert isinstance(history, list) and history
+        entry = history[-1]
+        assert {"git_sha", "recorded_at", "e9", "obs_overhead", "violations"} <= set(
+            entry
+        )
+
+
+class TestBaselines:
+    def test_committed_baselines_load(self, gate):
+        baseline = gate.load_baseline()
+        assert baseline["e9"], "E9 baseline missing from benchmarks/results/"
+        assert {row["devices"] for row in baseline["e9"]} >= set(gate.SWEEP)
+        assert baseline["obs_overhead"] is not None
