@@ -17,7 +17,11 @@ but the simulation itself is deterministic:
   must match the baseline within ``EVENT_COUNT_DRIFT`` -- these numbers
   do not depend on the machine, so any drift is a behavior change that
   should have re-recorded the baselines (run the benches, commit the
-  updated ``benchmarks/results/*.json``).
+  updated ``benchmarks/results/*.json``);
+- **resilience**: the E12 chaos scenario's exposure window (sim-time, so
+  also machine-independent) -- the resilient arm must stay strictly below
+  the no-resilience arm and within ``RESILIENCE_REGRESSION`` of its
+  committed baseline.
 
 Usage::
 
@@ -44,9 +48,11 @@ from typing import Any
 THROUGHPUT_REGRESSION = 0.20   # max fractional E9 events/s drop vs baseline
 OBS_OVERHEAD_LIMIT = 0.10      # max instrumentation overhead (on vs off arm)
 EVENT_COUNT_DRIFT = 0.02       # max fractional drift of deterministic counts
+RESILIENCE_REGRESSION = 0.20   # max fractional growth of E12's exposure window
 SWEEP = (10, 40, 80)           # E9 device counts measured by the gate
 REPEATS = 5                    # best-of-N wall-clock estimator per data point
 DETERMINISTIC_KEYS = ("events", "pipeline_rounds", "pipeline_applies")
+E12_DETERMINISTIC_KEYS = ("attack_attempts", "attack_successes", "events")
 
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
@@ -55,6 +61,7 @@ SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
 
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
 OVERHEAD_BASELINE = RESULTS_DIR / "test_obs_overhead.json"
+E12_BASELINE = RESULTS_DIR / "test_e12_resilience.json"
 
 
 def _threshold(env: str, default: float) -> float:
@@ -70,10 +77,12 @@ def compare(
     throughput_regression: float | None = None,
     obs_overhead_limit: float | None = None,
     event_count_drift: float | None = None,
+    resilience_regression: float | None = None,
 ) -> list[str]:
     """Return the list of violations of ``current`` against ``baseline``.
 
-    Both are plain dicts: ``{"e9": [sweep rows], "obs_overhead": float}``.
+    Both are plain dicts: ``{"e9": [sweep rows], "obs_overhead": float,
+    "e12": {"baseline": {...}, "resilient": {...}}}``.
     Sweep rows join on their ``devices`` value; sizes present in only one
     side are skipped (the gate never fails on missing data -- a vanished
     baseline is a repo problem, not a perf regression).
@@ -89,6 +98,10 @@ def compare(
     if event_count_drift is None:
         event_count_drift = _threshold(
             "REPRO_REGRESSION_COUNT_DRIFT", EVENT_COUNT_DRIFT
+        )
+    if resilience_regression is None:
+        resilience_regression = _threshold(
+            "REPRO_REGRESSION_RESILIENCE", RESILIENCE_REGRESSION
         )
 
     violations: list[str] = []
@@ -123,6 +136,44 @@ def compare(
             f"obs-overhead: instrumentation costs {overhead:.1%} of "
             f"throughput (limit {obs_overhead_limit:.0%})"
         )
+
+    # E12: the resilience property itself (the resilient arm must bound
+    # the exposure window strictly below the no-resilience arm), plus a
+    # pinned ceiling on how far the resilient window may grow versus the
+    # committed numbers.  All sim-time, so machine-independent.
+    e12 = current.get("e12") or {}
+    e12_base = baseline.get("e12") or {}
+    cur_res, cur_none = e12.get("resilient"), e12.get("baseline")
+    if cur_res and cur_none:
+        if cur_res["exposure_s"] >= cur_none["exposure_s"]:
+            violations.append(
+                f"e12: resilience no longer bounds the exposure window "
+                f"({cur_res['exposure_s']}s resilient vs "
+                f"{cur_none['exposure_s']}s without)"
+            )
+        committed = e12_base.get("resilient") or {}
+        if committed.get("exposure_s", 0) > 0:
+            growth = cur_res["exposure_s"] / committed["exposure_s"] - 1.0
+            if growth > resilience_regression:
+                violations.append(
+                    f"e12: resilient exposure window grew {growth:.1%} "
+                    f"({committed['exposure_s']}s -> {cur_res['exposure_s']}s, "
+                    f"limit {resilience_regression:.0%})"
+                )
+        for arm, committed_arm in e12_base.items():
+            cur_arm = e12.get(arm)
+            if not cur_arm:
+                continue
+            for key in E12_DETERMINISTIC_KEYS:
+                if key not in committed_arm or key not in cur_arm:
+                    continue
+                b, c = committed_arm[key], cur_arm[key]
+                if abs(c - b) > event_count_drift * max(abs(b), 1):
+                    violations.append(
+                        f"e12/{arm}: deterministic counter {key} drifted "
+                        f"{b} -> {c} (allowed {event_count_drift:.0%}); "
+                        "a behavior change must re-record the baselines"
+                    )
     return violations
 
 
@@ -146,12 +197,14 @@ def append_trajectory(
 
 def load_baseline() -> dict[str, Any]:
     """The committed numbers this run is gated against."""
-    baseline: dict[str, Any] = {"e9": [], "obs_overhead": None}
+    baseline: dict[str, Any] = {"e9": [], "obs_overhead": None, "e12": {}}
     if E9_BASELINE.exists():
         baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
     if OVERHEAD_BASELINE.exists():
         overhead = json.loads(OVERHEAD_BASELINE.read_text()).get("overhead", {})
         baseline["obs_overhead"] = overhead.get("overhead")
+    if E12_BASELINE.exists():
+        baseline["e12"] = json.loads(E12_BASELINE.read_text()).get("arms", {})
     return baseline
 
 
@@ -161,6 +214,7 @@ def load_baseline() -> dict[str, Any]:
 def measure() -> dict[str, Any]:
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
+    from bench_e12_resilience import run_arms
     from bench_e9_scale import run_scale
     from bench_obs_overhead import run_workload
 
@@ -186,6 +240,9 @@ def measure() -> dict[str, Any]:
     off = max(off_runs, key=lambda r: r["events_per_s"])
     current["obs_overhead"] = 1.0 - on["events_per_s"] / off["events_per_s"]
     current["journal_recorded"] = on["journal"]
+
+    # E12 is deterministic (sim-time only): one run is the number.
+    current["e12"] = {row["arm"]: row for row in run_arms()}
 
     # CI artifact: a journal sample from the largest E9 run, so every
     # pipeline run leaves an inspectable flight-recorder dump behind.
@@ -226,6 +283,9 @@ def main(argv: list[str] | None = None) -> int:
             for row in current["e9"]
         ],
         "obs_overhead": current["obs_overhead"],
+        "e12_exposure_s": {
+            arm: row["exposure_s"] for arm, row in current.get("e12", {}).items()
+        },
         "violations": violations,
     }
     append_trajectory(entry)
@@ -239,6 +299,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"({row['events']:,} sim events, {row['pipeline_rounds']} rounds)"
             )
         print(f"obs overhead: {current['obs_overhead']:.1%}")
+        if current.get("e12"):
+            windows = " vs ".join(
+                f"{arm}={row['exposure_s']}s" for arm, row in current["e12"].items()
+            )
+            print(f"e12 exposure window: {windows}")
         print(f"trajectory: appended to {TRAJECTORY_PATH}")
         if current.get("journal_sample_entries") is not None:
             print(

@@ -15,7 +15,11 @@ Commands:
 - ``audit [--since T] [--kind K]`` -- same scenario, then query the
   security audit journal (the flight recorder).
 - ``incident <device>`` -- same scenario, then reconstruct the device's
-  incident: journal + traces + metrics joined into one timeline.
+  incident: journal + traces + metrics joined into one timeline
+  (``--chaos`` swaps in the fault-injection scenario).
+- ``chaos`` -- partition the control channel and crash a µmbox under
+  attack; compare the no-resilience baseline against retry + fail-closed
+  + health-check recovery.
 """
 
 from __future__ import annotations
@@ -402,10 +406,80 @@ def cmd_journal_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the standard resilience scenario under injected faults, both arms.
+
+    The baseline arm has no retry, no health checks and fail-open µmboxes;
+    the resilient arm retries control messages across the partition,
+    fails closed, and reboots + re-pins the crashed µmbox.  The printed
+    exposure window is the headline number of bench E12.
+    """
+    from repro.faults.chaos import ChaosGenerator
+    from repro.faults.scenario import run_resilience_scenario, standard_fault_plan
+
+    if args.random:
+        plan = ChaosGenerator(args.seed).generate(
+            args.duration,
+            endpoints=("*",),
+            devices=("cam", "plug"),
+            link_flaps=0,
+            partitions=1,
+            crashes=2,
+            max_fault=min(5.0, args.duration / 4),
+        )
+    else:
+        plan = standard_fault_plan()
+    arms = [False] if args.no_resilience else [False, True]
+    results = [
+        run_resilience_scenario(
+            resilient,
+            seed=args.seed,
+            horizon=args.duration,
+            drop_prob=args.drop,
+            jitter=args.jitter,
+            plan=plan,
+        )
+        for resilient in arms
+    ]
+    if args.json:
+        print(json.dumps({"plan": plan.as_dict(), "arms": results}, indent=2))
+        return 0
+    print(f"fault plan: {plan!r}")
+    for event in plan:
+        extra = f" for {event.duration}s" if event.duration else ""
+        print(f"  t={event.at:>7.3f}  {event.kind:<12} {event.target}{extra}")
+    cols = (
+        "attack_attempts",
+        "attack_successes",
+        "exposure_s",
+        "mean_time_to_reenforce_s",
+        "ctrl_retries",
+        "ctrl_giveups",
+        "mbox_restarts",
+        "fail_open_passes",
+    )
+    print(f"\n{'metric':<26}" + "".join(f"{r['arm']:>12}" for r in results))
+    for col in cols:
+        cells = "".join(f"{str(r.get(col)):>12}" for r in results)
+        print(f"{col:<26}{cells}")
+    if len(results) == 2:
+        base, res = results
+        print(
+            f"\nexposure window: {base['exposure_s']}s -> {res['exposure_s']}s "
+            f"({'bounded' if res['exposure_s'] < base['exposure_s'] else 'NOT bounded'})"
+        )
+    return 0
+
+
 def cmd_incident(args: argparse.Namespace) -> int:
     from repro.obs import reconstruct
 
-    dep = _attacked_home()
+    if args.chaos:
+        from repro.faults.scenario import run_resilience_scenario
+
+        dep = run_resilience_scenario(True, keep_dep=True)["dep"]
+    else:
+        dep = _attacked_home()
     if args.device not in dep.devices:
         known = ", ".join(sorted(dep.devices))
         print(f"error: unknown device {args.device!r} (known: {known})")
@@ -449,6 +523,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     incident.add_argument("device", nargs="?", default="cam")
     incident.add_argument("--json", action="store_true", help="incident dict instead of text")
+    incident.add_argument(
+        "--chaos",
+        action="store_true",
+        help="reconstruct from the chaos scenario (partition + µmbox crash)"
+        " instead of the canned brute-force home",
+    )
     incident.set_defaults(fn=cmd_incident)
 
     report = sub.add_parser("report", help="operator report for a secured home under attack")
@@ -469,6 +549,25 @@ def main(argv: list[str] | None = None) -> int:
     fleet = sub.add_parser("fleet", help="federated-signature story across N sites")
     fleet.add_argument("--sites", type=int, default=6)
     fleet.set_defaults(fn=cmd_fleet)
+
+    chaos = sub.add_parser(
+        "chaos", help="inject faults (partition, µmbox crash) and compare arms"
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="chaos + fault-model seed")
+    chaos.add_argument("--duration", type=float, default=30.0, help="simulated horizon")
+    chaos.add_argument("--drop", type=float, default=0.0, help="background control-loss prob")
+    chaos.add_argument("--jitter", type=float, default=0.0, help="max extra control delay")
+    chaos.add_argument(
+        "--random",
+        action="store_true",
+        help="draw the fault plan from the seeded chaos generator"
+        " instead of the standard partition+crash plan",
+    )
+    chaos.add_argument(
+        "--no-resilience", action="store_true", help="run only the baseline arm"
+    )
+    chaos.add_argument("--json", action="store_true", help="plan + both arms as JSON")
+    chaos.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -104,8 +104,17 @@ class SecuredDeployment:
         channel_latency: float = 0.002,
         env_tick: float = 1.0,
         consistent_updates: bool = False,
+        reliable_control: bool = False,
+        health_check_period: float | None = None,
     ) -> None:
         self.sim = sim or Simulator()
+        #: Resilience knobs: ``reliable_control`` gives the alert and
+        #: flow-mod paths at-least-once delivery (retry + dedup) so a lossy
+        #: or partitioned control channel delays enforcement instead of
+        #: silently losing it; ``health_check_period`` starts the µmbox
+        #: health sweep that reboots crashed instances and re-pins chains.
+        self.reliable_control = reliable_control
+        self.health_check_period = health_check_period
         self.topology = Topology(self.sim)
         self.with_iotsec = with_iotsec
         self._given_policy = policy
@@ -145,7 +154,9 @@ class SecuredDeployment:
             if consistent_updates:
                 from repro.sdn.consistency import ConsistentUpdater
 
-                updater = ConsistentUpdater(self.sim, self.channel)
+                updater = ConsistentUpdater(
+                    self.sim, self.channel, reliable=reliable_control
+                )
             self.orchestrator = PostureOrchestrator(
                 self.sim, self.manager, {}, updater=updater
             )
@@ -284,6 +295,11 @@ class SecuredDeployment:
         self.cluster.view = lambda key: (
             self.controller.view.get(key) if self.controller else None
         )
+        # µmbox health: crashed instances are detected by the periodic
+        # sweep, rebooted, and their chains re-pinned by the orchestrator.
+        if self.health_check_period is not None and self.manager is not None:
+            self.manager.on_recovery = lambda device: self.orchestrator.repin(device)
+            self.manager.start_health_checks(self.health_check_period)
         return self
 
     def _forward_alert(self, alert: Alert) -> None:
@@ -298,6 +314,10 @@ class SecuredDeployment:
                 "detail": dict(alert.detail),
                 "trace": alert.trace_id,
             },
+            # Security alerts are the trigger for every escalation: a lost
+            # alert is a lost re-enforcement, so they ride at-least-once
+            # when the deployment opts into reliable control.
+            reliable=self.reliable_control and alert.kind != "telemetry",
         )
 
     # ------------------------------------------------------------------

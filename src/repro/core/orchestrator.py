@@ -228,6 +228,42 @@ class PostureOrchestrator:
         return records
 
     # ------------------------------------------------------------------
+    def repin(self, device: str) -> bool:
+        """Re-pin a device's chain onto its freshly restarted µmbox.
+
+        Called by the manager's recovery path: the replacement instance
+        has a new name, so the tunnel binding is refreshed and the edge
+        switch's rules re-pushed (one epoch in consistent mode).  Returns
+        False when the device has no active chain to re-pin.
+        """
+        posture = self.current.get(device)
+        mbox = self.manager.host.mboxes.get(device)
+        attachment = self.attachments.get(device)
+        if posture is None or posture.is_permissive or mbox is None or attachment is None:
+            return False
+        self.tunnels.bind(device, mbox.name)
+        self.sim.journal.record(
+            "chain-repin",
+            device=device,
+            mbox=mbox.name,
+            posture=posture.name,
+            switch=attachment.switch.name,
+        )
+        if self.updater is not None:
+            self._rule_specs.setdefault(device, [])
+            self._push_epoch(attachment.switch)
+        else:
+            # Direct mode: rules are keyed by device/priority, not by mbox
+            # instance, so a re-install refreshes them idempotently.
+            attachment.switch.remove_where(
+                lambda r: device in (r.match.src, r.match.dst)
+                and r.priority
+                in (BYPASS_DST_PRIORITY, BYPASS_SRC_PRIORITY, TUNNEL_PRIORITY)
+            )
+            attachment.switch.install_many(self._device_rules(device, attachment))
+        return True
+
+    # ------------------------------------------------------------------
     def _device_rules(self, device: str, att: SwitchAttachment) -> list[FlowRule]:
         return [
             # Returned-from-cluster packets go through the controller's

@@ -1,0 +1,7 @@
+"""Fault injection: declarative plans, seeded chaos, and the standard
+resilience scenario (bench E12 / ``repro chaos``)."""
+
+from repro.faults.chaos import ChaosGenerator
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = ["FAULT_KINDS", "ChaosGenerator", "FaultEvent", "FaultPlan"]

@@ -1,0 +1,76 @@
+"""Seeded chaos: generate random-but-reproducible fault plans.
+
+The §4.2 "monkeying" idea applied to the *infrastructure* instead of the
+traffic: a :class:`ChaosGenerator` owns one seeded RNG and turns a shape
+(how many of each fault, over what horizon, against which targets) into a
+concrete :class:`~repro.faults.plan.FaultPlan`.  Same seed, same plan --
+chaos runs are experiments, not dice rolls.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class ChaosGenerator:
+    """Draws fault schedules from one seeded RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def generate(
+        self,
+        duration: float,
+        links: Sequence[str] = (),
+        endpoints: Sequence[str] = ("*",),
+        devices: Sequence[str] = (),
+        link_flaps: int = 2,
+        partitions: int = 1,
+        crashes: int = 2,
+        min_fault: float = 0.5,
+        max_fault: float = 5.0,
+        warmup: float = 1.0,
+    ) -> FaultPlan:
+        """A plan of ``link_flaps + partitions + crashes`` faults.
+
+        Fault times are uniform in ``[warmup, duration)`` (the warmup
+        keeps initial enforcement out of the blast radius -- a fault
+        before any posture exists tests nothing) and each outage lasts
+        uniform ``[min_fault, max_fault]`` seconds.  Target pools that
+        are empty simply contribute no faults of that kind.
+        """
+        if duration <= warmup:
+            raise ValueError(f"duration must exceed warmup ({duration} <= {warmup})")
+        if min_fault > max_fault:
+            raise ValueError(f"min_fault > max_fault ({min_fault} > {max_fault})")
+        events: list[FaultEvent] = []
+        rng = self.rng
+
+        def when() -> float:
+            return rng.uniform(warmup, duration)
+
+        def outage() -> float:
+            return rng.uniform(min_fault, max_fault)
+
+        if links:
+            for __ in range(link_flaps):
+                events.append(
+                    FaultEvent(when(), "link-flap", rng.choice(list(links)), outage())
+                )
+        if endpoints:
+            for __ in range(partitions):
+                events.append(
+                    FaultEvent(
+                        when(), "partition", rng.choice(list(endpoints)), outage()
+                    )
+                )
+        if devices:
+            for __ in range(crashes):
+                events.append(
+                    FaultEvent(when(), "mbox-crash", rng.choice(list(devices)))
+                )
+        return FaultPlan(events)

@@ -1,0 +1,161 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a schedule of infrastructure faults -- link flaps,
+control-channel partitions, µmbox crashes -- expressed in simulated time
+and applied to a :class:`~repro.core.deployment.SecuredDeployment`.  Plans
+are plain data (``as_dict``/``from_dict`` round-trip through JSON), so a
+chaos experiment is reviewable and replayable: the same plan against the
+same seed produces the same run.
+
+Fault kinds and their ``target`` syntax:
+
+=============  ====================================  =======================
+kind           target                                duration
+=============  ====================================  =======================
+link-flap      ``"a:b"`` (link endpoints)            seconds down, then up
+partition      endpoint name, or ``"*"`` for all     seconds unreachable
+mbox-crash     device name                           ignored (recovery is
+                                                     the health loop's job)
+=============  ====================================  =======================
+
+Every injected fault is journaled (kind ``"fault"``) so incident
+reconstruction shows *why* a device's µmbox died or its alerts stalled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import SecuredDeployment
+
+FAULT_KINDS = ("link-flap", "partition", "mbox-crash")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    at: float
+    kind: str
+    target: str
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (know {FAULT_KINDS})")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0 (got {self.at})")
+        if self.duration < 0:
+            raise ValueError(f"fault duration must be >= 0 (got {self.duration})")
+        if not self.target:
+            raise ValueError("fault target must be non-empty")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "target": self.target,
+            "duration": self.duration,
+        }
+
+
+class FaultPlan:
+    """An ordered schedule of :class:`FaultEvent`, applicable to a site."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at, e.kind, e.target))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def horizon(self) -> float:
+        """The simulated time by which every fault has fired and healed."""
+        return max((e.at + e.duration for e in self.events), default=0.0)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return {"events": [e.as_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            FaultEvent(
+                at=float(e["at"]),
+                kind=str(e["kind"]),
+                target=str(e["target"]),
+                duration=float(e.get("duration", 0.0)),
+            )
+            for e in data.get("events", ())
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, dep: "SecuredDeployment") -> int:
+        """Schedule every fault onto the deployment's simulator.
+
+        Partition windows are installed on the control channel's fault
+        model up front (they are declarative, keyed on sim-time); link
+        flaps and µmbox crashes are scheduled as events.  Returns the
+        number of faults armed.  Unknown link/device targets raise --
+        a chaos plan that silently does nothing proves nothing.
+        """
+        sim = dep.sim
+        for event in self.events:
+            if event.kind == "partition":
+                endpoints = None if event.target == "*" else (event.target,)
+                dep.channel.partition(
+                    event.at, event.at + event.duration, endpoints
+                )
+            elif event.kind == "link-flap":
+                link = self._find_link(dep, event.target)
+                sim.schedule_at(event.at, link.fail)
+                if event.duration > 0:
+                    sim.schedule_at(event.at + event.duration, link.restore)
+            elif event.kind == "mbox-crash":
+                if event.target not in dep.devices:
+                    raise KeyError(f"mbox-crash target {event.target!r} is not a device")
+                assert dep.manager is not None, "mbox-crash needs an IoTSec deployment"
+                sim.schedule_at(
+                    event.at, dep.manager.crash, event.target, "fault-plan"
+                )
+        # One journal record per fault at its fire time, with full detail.
+        for event in self.events:
+            device = event.target if event.kind == "mbox-crash" else ""
+
+            def journal(e: FaultEvent = event, device: str = device) -> None:
+                sim.journal.record(
+                    "fault",
+                    device=device,
+                    fault=e.kind,
+                    target=e.target,
+                    duration=e.duration,
+                )
+
+            sim.schedule_at(event.at, journal)
+        return len(self.events)
+
+    @staticmethod
+    def _find_link(dep: "SecuredDeployment", target: str):
+        a, __, b = target.partition(":")
+        if not b:
+            raise ValueError(f"link-flap target must be 'a:b' (got {target!r})")
+        for link in dep.topology.links:
+            if {link.a.name, link.b.name} == {a, b}:
+                return link
+        raise KeyError(f"no link {a!r}<->{b!r} in the topology")
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))
+        return f"FaultPlan({len(self.events)} events: {counts or 'empty'})"

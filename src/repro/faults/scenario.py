@@ -1,0 +1,200 @@
+"""The standard resilience scenario: partition + µmbox crash under attack.
+
+One protected home, two devices, two faults, two arms:
+
+- ``cam`` runs an (unpinned) monitor posture; an attacker hammers its
+  default-credential login.  The µmbox's login monitor raises alerts that
+  must cross the control channel for the policy loop to escalate the
+  camera to a firewall posture -- and the attack begins *inside* a
+  control-channel partition, so the first alerts are exactly the ones the
+  wire loses.
+- ``plug`` is pinned behind a command filter (``block_commands("on")``);
+  its µmbox is crashed mid-run while the attacker keeps firing backdoor
+  ``on`` commands.
+
+The **resilient** arm uses at-least-once control delivery (alerts and
+flow-mods retry across the partition), fail-closed degradation, and the
+µmbox health loop (crash -> sweep -> reboot -> chain re-pin).  The
+**baseline** arm is the paper's implicit adversary: exactly-once-if-lucky
+delivery, no health model, and fail-open degradation -- a lost alert is
+lost forever and a dead µmbox silently reverts its device to the
+vulnerable default.
+
+Everything is seeded and sim-timed: the same seed reproduces the same
+packets, drops, crashes and recoveries, which is what lets bench E12 gate
+the exposure window in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: The standard fault schedule (see module docstring).
+PARTITION_AT = 4.0
+PARTITION_LEN = 3.0
+CRASH_AT = 10.0
+ATTACK_CAM_START = 4.5
+ATTACK_CAM_PERIOD = 0.5
+ATTACK_PLUG_START = 1.0
+ATTACK_PLUG_PERIOD = 0.25
+HORIZON = 30.0
+HEALTH_PERIOD = 0.5
+
+
+def standard_fault_plan() -> FaultPlan:
+    """Partition the whole control channel, then crash the plug's µmbox."""
+    return FaultPlan(
+        [
+            FaultEvent(PARTITION_AT, "partition", "*", PARTITION_LEN),
+            FaultEvent(CRASH_AT, "mbox-crash", "plug"),
+        ]
+    )
+
+
+def run_resilience_scenario(
+    resilient: bool,
+    seed: int = 7,
+    horizon: float = HORIZON,
+    drop_prob: float = 0.0,
+    jitter: float = 0.0,
+    plan: FaultPlan | None = None,
+    keep_dep: bool = False,
+) -> dict[str, Any]:
+    """Run one arm of the standard scenario; returns the measurements.
+
+    ``drop_prob``/``jitter`` add seeded background loss and delay on top
+    of the plan's partitions (the chaos CLI exposes them; the bench keeps
+    them at zero so the numbers isolate the two injected faults).  With
+    ``keep_dep`` the deployment rides along under ``"dep"`` for forensics
+    (``repro incident --chaos``).
+    """
+    from repro.core.deployment import SecuredDeployment
+    from repro.devices import protocol
+    from repro.devices.library import WEMO_BACKDOOR_PORT, smart_camera, smart_plug
+    from repro.policy.posture import block_commands
+    from repro.sdn.channel import FaultModel
+
+    dep = SecuredDeployment.build(
+        consistent_updates=True,
+        reliable_control=resilient,
+        health_check_period=HEALTH_PERIOD if resilient else None,
+    )
+    dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_plug, "plug", load={"hazard": 1.0})
+    attacker = dep.add_attacker()
+    dep.finalize()
+    dep.channel.inject_faults(FaultModel(seed=seed, drop_prob=drop_prob, jitter=jitter))
+    plan = plan or standard_fault_plan()
+    plan.apply(dep)
+
+    dep.secure("plug", block_commands("on"))  # pinned, fail-closed
+    dep.enforce_baseline()  # cam: unpinned monitor posture, policy-driven
+
+    if not resilient:
+        # The no-resilience world has no degradation policy: a dead µmbox
+        # simply stops standing between the attacker and the device.
+        for mbox in dep.cluster.mboxes.values():
+            mbox.fail_mode = "open"
+
+    # -- attack waves ---------------------------------------------------
+    cam_attempts = 0
+    t = ATTACK_CAM_START
+    while t < horizon:
+        dep.sim.schedule_at(
+            t,
+            attacker.fire_and_forget,
+            protocol.login("attacker", "cam", "admin", "admin"),
+        )
+        cam_attempts += 1
+        t += ATTACK_CAM_PERIOD
+    plug_attempts = 0
+    t = ATTACK_PLUG_START
+    while t < horizon:
+        dep.sim.schedule_at(
+            t,
+            attacker.fire_and_forget,
+            protocol.command(
+                "attacker", "plug", "on", dport=WEMO_BACKDOOR_PORT
+            ),
+        )
+        plug_attempts += 1
+        t += ATTACK_PLUG_PERIOD
+
+    dep.run(until=horizon)
+
+    # -- measurements ---------------------------------------------------
+    cam = dep.devices["cam"]
+    plug = dep.devices["plug"]
+    cam_logins_ok = sum(
+        1 for __, src, __, ok in cam.login_log if ok and src == "attacker"
+    )
+    plug_cmds_ok = sum(
+        1 for r in plug.command_log if r.accepted and r.src == "attacker"
+    )
+
+    # Time from the first attack packet to the camera's enforcement
+    # posture landing (the detect -> escalate -> re-enforce chain).
+    cam_enforced_at = next(
+        (
+            r.at
+            for r in dep.orchestrator.records
+            if r.device == "cam" and r.posture not in ("allow", "monitor")
+        ),
+        None,
+    )
+    cam_exposure = (
+        (cam_enforced_at - ATTACK_CAM_START)
+        if cam_enforced_at is not None
+        else horizon - ATTACK_CAM_START
+    )
+
+    # The plug is exposed only while its traffic flows *uninspected*:
+    # fail-open downtime counts, fail-closed downtime blocks instead.
+    plug_exposure = 0.0
+    plug_downtime = 0.0
+    reenforce_times = []
+    if cam_enforced_at is not None:
+        reenforce_times.append(cam_exposure)
+    for outage in dep.manager.outages:
+        end = outage.restored_at if outage.restored_at is not None else horizon
+        plug_downtime += end - outage.down_at
+        if outage.fail_mode == "open":
+            plug_exposure += end - outage.down_at
+        if outage.restored_at is not None:
+            reenforce_times.append(outage.restored_at - outage.down_at)
+
+    channel = dep.channel
+    result: dict[str, Any] = {
+        "arm": "resilient" if resilient else "baseline",
+        "seed": seed,
+        "horizon_s": horizon,
+        "attack_attempts": cam_attempts + plug_attempts,
+        "attack_successes": cam_logins_ok + plug_cmds_ok,
+        "cam_login_successes": cam_logins_ok,
+        "plug_command_successes": plug_cmds_ok,
+        "exposure_s": round(cam_exposure + plug_exposure, 6),
+        "cam_reenforce_s": (
+            round(cam_exposure, 6) if cam_enforced_at is not None else None
+        ),
+        "plug_downtime_s": round(plug_downtime, 6),
+        "mean_time_to_reenforce_s": (
+            round(sum(reenforce_times) / len(reenforce_times), 6)
+            if reenforce_times
+            else None
+        ),
+        "plug_compromised": "attacker" in plug.compromised_by,
+        "ctrl_drops": channel.dropped,
+        "ctrl_retries": channel.retries,
+        "ctrl_giveups": channel.giveups,
+        "ctrl_duplicates": channel.duplicates,
+        "mbox_crashes": dep.manager.crashes,
+        "mbox_restarts": dep.manager.restarts,
+        "down_drops": dep.cluster.down_drops,
+        "fail_open_passes": dep.cluster.fail_open_passes,
+        "events": dep.sim.events_processed,
+    }
+    if keep_dep:
+        result["dep"] = dep
+    return result

@@ -150,6 +150,7 @@ class Mbox:
         device: str,
         elements: list[Element],
         kind: str = "custom",
+        fail_mode: str = "closed",
     ) -> None:
         self.name = name
         self.device = device
@@ -158,6 +159,14 @@ class Mbox:
         self.processed = 0
         self.dropped = 0
         self.ready = True  # manager flips this during boot/reconfigure
+        #: True while the instance is crashed (health checks restart it).
+        #: Distinct from ``not ready``: a booting µmbox queues packets for
+        #: later inspection; a *down* one degrades per ``fail_mode``.
+        self.down = False
+        #: Degradation policy while down: "closed" blocks the device's
+        #: traffic (enforcement µmboxes), "open" passes it uninspected
+        #: (pure monitoring).  Set from the posture at deploy time.
+        self.fail_mode = fail_mode
 
     def process(self, packet: Packet, ctx: MboxContext) -> tuple[Verdict, Packet]:
         self.processed += 1
@@ -223,6 +232,8 @@ class MboxHost(Node):
         self.tunnelled_in = 0
         self.returned = 0
         self.unbound_drops = 0
+        self.down_drops = 0
+        self.fail_open_passes = 0
         # Observability: callback gauges over the counters above, plus
         # per-kind alert counters (resolved lazily, cached by kind).
         metrics = sim.metrics
@@ -230,6 +241,10 @@ class MboxHost(Node):
         metrics.gauge("mbox_tunnelled_in", fn=lambda: self.tunnelled_in, **self.metric_labels)
         metrics.gauge("mbox_returned", fn=lambda: self.returned, **self.metric_labels)
         metrics.gauge("mbox_unbound_drops", fn=lambda: self.unbound_drops, **self.metric_labels)
+        metrics.gauge("mbox_down_drops", fn=lambda: self.down_drops, **self.metric_labels)
+        metrics.gauge(
+            "mbox_fail_open_passes", fn=lambda: self.fail_open_passes, **self.metric_labels
+        )
         metrics.gauge(
             "mbox_boot_queue_depth",
             fn=lambda: sum(len(q) for q in self._boot_queues.values()),
@@ -283,6 +298,33 @@ class MboxHost(Node):
                     verdict="drop",
                     mbox=self.name,
                     element="(unbound)",
+                    pkt=inner.pkt_id,
+                    src=inner.src,
+                )
+            return
+        if mbox.down:
+            # Degradation policy: a crashed enforcement µmbox fails closed
+            # (the device blocks -- unprotected is worse than unreachable);
+            # a crashed monitoring µmbox fails open (losing visibility is
+            # acceptable, losing connectivity is not).
+            if mbox.fail_mode == "open":
+                self.fail_open_passes += 1
+                self.sim.journal.record(
+                    "fail-open",
+                    device=device,
+                    mbox=mbox.name,
+                    pkt=inner.pkt_id,
+                    src=inner.src,
+                )
+                self._return_packet(inner, ingress, device, in_port)
+            else:
+                self.down_drops += 1
+                self.sim.journal.record(
+                    "verdict",
+                    device=device,
+                    verdict="drop",
+                    mbox=mbox.name,
+                    element="(mbox-down)",
                     pkt=inner.pkt_id,
                     src=inner.src,
                 )

@@ -160,6 +160,29 @@ class DeploymentRecord:
         return self.ready_at - self.requested_at
 
 
+@dataclass
+class OutageRecord:
+    """One µmbox crash -> detection -> restart cycle.
+
+    ``detected_at``/``restored_at`` stay ``None`` while the outage is
+    still undetected/unrepaired; the mean of ``restored_at - down_at``
+    over completed outages is the bench E12 "time to re-enforcement".
+    """
+
+    device: str
+    mbox: str
+    fail_mode: str
+    down_at: float
+    detected_at: float | None = None
+    restored_at: float | None = None
+
+    @property
+    def downtime(self) -> float | None:
+        if self.restored_at is None:
+            return None
+        return self.restored_at - self.down_at
+
+
 class MboxManager:
     """Creates, reconfigures and tears down µmboxes on one host."""
 
@@ -188,6 +211,18 @@ class MboxManager:
         self.boots = 0
         self.pool_hits = 0
         self.reconfigs = 0
+        # Health model: crashed instances are found by the periodic health
+        # sweep and rebooted; the orchestrator re-pins chains on recovery.
+        self.crashes = 0
+        self.restarts = 0
+        self.outages: list[OutageRecord] = []
+        self.health_check_period: float | None = None
+        #: Called with the device name once its replacement µmbox is ready
+        #: (the orchestrator re-pins the chain here).
+        self.on_recovery: Callable[[str], None] | None = None
+        self._postures: dict[str, Posture] = {}
+        self._restarting: set[str] = set()
+        self._stop_health: Callable[[], None] | None = None
         # Observability: lifecycle gauges plus per-operation latency
         # histograms (observed once per deploy -- control-plane frequency).
         metrics = sim.metrics
@@ -197,6 +232,9 @@ class MboxManager:
         metrics.gauge("mbox_pool_hits", fn=lambda: self.pool_hits, **self.metric_labels)
         metrics.gauge("mbox_reconfigs", fn=lambda: self.reconfigs, **self.metric_labels)
         metrics.gauge("mbox_pool_free", fn=lambda: self._pool, **self.metric_labels)
+        metrics.gauge("mbox_crashes", fn=lambda: self.crashes, **self.metric_labels)
+        metrics.gauge("mbox_restarts", fn=lambda: self.restarts, **self.metric_labels)
+        metrics.gauge("mbox_down", fn=self.down_count, **self.metric_labels)
         self._deploy_latency = {
             operation: metrics.histogram(
                 "mbox_deploy_latency", operation=operation, **self.metric_labels
@@ -223,6 +261,7 @@ class MboxManager:
         now = self.sim.now
         existing = self.host.mboxes.get(device)
         elements = self._elements_for(posture)
+        self._postures[device] = posture
 
         if existing is not None:
             self.reconfigs += 1
@@ -231,6 +270,7 @@ class MboxManager:
             def swap() -> None:
                 existing.reconfigure(elements)
                 existing.kind = posture.name
+                existing.fail_mode = posture.failure_mode()
 
             self.sim.schedule(self.reconfig_latency, swap)
             record = DeploymentRecord(device, posture.name, "reconfigure", now, ready_at)
@@ -249,6 +289,7 @@ class MboxManager:
             device=device,
             elements=elements,
             kind=posture.name,
+            fail_mode=posture.failure_mode(),
         )
         if self._pool > 0:
             self._pool -= 1
@@ -277,11 +318,137 @@ class MboxManager:
     def teardown(self, device: str) -> None:
         if device in self.host.mboxes:
             self.host.unbind(device)
+            self._postures.pop(device, None)
+            self._restarting.discard(device)
             self.records.append(
                 DeploymentRecord(device, "-", "teardown", self.sim.now, self.sim.now)
             )
             # The freed micro-VM rejoins the pool after a reset cycle.
             self.sim.schedule(self.pool_attach_latency, self._replenish)
+
+    # ------------------------------------------------------------------
+    # Health model: crash, detect, restart, recover
+    # ------------------------------------------------------------------
+    def down_count(self) -> int:
+        return sum(1 for mbox in self.host.mboxes.values() if mbox.down)
+
+    def posture_for(self, device: str) -> Posture | None:
+        """The posture the device's µmbox is currently built from."""
+        return self._postures.get(device)
+
+    def crash(self, device: str, reason: str = "fault") -> bool:
+        """Kill the device's µmbox instance (fault injection / chaos).
+
+        The instance stays bound but ``down``: the host degrades its
+        traffic per the posture's fail mode until the next health sweep
+        notices and reboots a replacement.  Returns False when the device
+        has no instance (or it is already down).
+        """
+        mbox = self.host.mboxes.get(device)
+        if mbox is None or mbox.down:
+            return False
+        mbox.down = True
+        self.crashes += 1
+        self.outages.append(
+            OutageRecord(
+                device=device,
+                mbox=mbox.name,
+                fail_mode=mbox.fail_mode,
+                down_at=self.sim.now,
+            )
+        )
+        self.sim.journal.record(
+            "mbox-crash",
+            device=device,
+            mbox=mbox.name,
+            fail_mode=mbox.fail_mode,
+            reason=reason,
+        )
+        return True
+
+    def start_health_checks(self, period: float = 1.0) -> Callable[[], None]:
+        """Sweep every instance every ``period`` seconds; reboot the dead.
+
+        Detection is *polled*, not instantaneous -- a crashed µmbox stays
+        down (degrading per its fail mode) until the sweep after the
+        crash, which bounds the exposure window at roughly
+        ``period + boot_latency``.  Returns (and remembers) the stop
+        callable.
+        """
+        if self._stop_health is not None:
+            self._stop_health()
+        self.health_check_period = period
+        self._stop_health = self.sim.every(period, self._health_sweep)
+        return self._stop_health
+
+    def stop_health_checks(self) -> None:
+        if self._stop_health is not None:
+            self._stop_health()
+            self._stop_health = None
+            self.health_check_period = None
+
+    def _outage_for(self, device: str) -> OutageRecord | None:
+        for record in reversed(self.outages):
+            if record.device == device:
+                return record
+        return None
+
+    def _health_sweep(self) -> None:
+        for device, mbox in list(self.host.mboxes.items()):
+            if mbox.down and device not in self._restarting:
+                self._restart(device)
+
+    def _restart(self, device: str) -> None:
+        """Cold-boot a replacement micro-VM for a crashed instance."""
+        posture = self._postures.get(device)
+        if posture is None:
+            return
+        self._restarting.add(device)
+        outage = self._outage_for(device)
+        if outage is not None and outage.detected_at is None:
+            outage.detected_at = self.sim.now
+        self.restarts += 1
+        now = self.sim.now
+        self.sim.journal.record(
+            "mbox-restart",
+            device=device,
+            posture=posture.name,
+            ready_at=now + self.boot_latency,
+        )
+
+        def come_up() -> None:
+            self._restarting.discard(device)
+            current = self._postures.get(device)
+            if current is None:
+                return  # torn down while rebooting
+            replacement = Mbox(
+                name=f"mbox-{next(self._ids)}",
+                device=device,
+                elements=self._elements_for(current),
+                kind=current.name,
+                fail_mode=current.failure_mode(),
+            )
+            self.host.bind(device, replacement)
+            record = self._outage_for(device)
+            if record is not None and record.restored_at is None:
+                record.restored_at = self.sim.now
+            self.sim.journal.record(
+                "mbox-recovered",
+                device=device,
+                mbox=replacement.name,
+                posture=current.name,
+                downtime=(record.downtime if record is not None else None),
+            )
+            if self.on_recovery is not None:
+                self.on_recovery(device)
+
+        self.boots += 1
+        record = DeploymentRecord(
+            device, posture.name, "boot", now, now + self.boot_latency
+        )
+        self.records.append(record)
+        self._deploy_latency["boot"].observe(record.latency)
+        self.sim.schedule(self.boot_latency, come_up)
 
     # ------------------------------------------------------------------
     def latency_stats(self) -> dict[str, list[float]]:

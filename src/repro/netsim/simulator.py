@@ -91,8 +91,17 @@ class Simulator:
         return event
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
-        return self.schedule(when - self.now, fn, *args)
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``.
+
+        Times computed from accumulated float periods can land an ulp or two
+        before ``now`` (e.g. ``10 * 0.1 < 1.0``); such infinitesimally
+        negative deltas are clamped to "this instant" rather than rejected.
+        Genuinely past times still raise.
+        """
+        delay = when - self.now
+        if delay < 0 and -delay <= 1e-9 * max(1.0, abs(self.now)):
+            delay = 0.0
+        return self.schedule(delay, fn, *args)
 
     def call_now(self, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` for the current instant (after the caller)."""
@@ -132,17 +141,29 @@ class Simulator:
         """Run events until the queue drains, ``until`` passes, or the budget.
 
         ``until`` is an absolute simulated time; events scheduled exactly at
-        ``until`` still fire.  ``max_events`` guards against runaway loops.
+        ``until`` still fire, and ``now`` always advances to ``until`` when
+        one is given (even on an empty queue) so back-to-back
+        ``run(until=...)`` calls carve out uniform windows regardless of
+        event density.  ``max_events`` guards against runaway loops; when
+        the budget stops the run early, ``now`` stays at the last fired
+        event (the window was not fully simulated).
         """
         executed = 0
-        while self._heap:
+        while True:
+            # Drain cancelled entries at the head so they neither linger in
+            # the heap after an early return nor mask the true next time.
+            while self._heap and self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
             if until is not None and self._heap[0][0] > until:
-                self.now = until
-                return
+                break
             if max_events is not None and executed >= max_events:
                 return
             if self.step():
                 executed += 1
+        if until is not None and until > self.now:
+            self.now = until
 
     def events_pending(self) -> int:
         """Number of scheduled (non-cancelled) events still in the queue."""
@@ -170,22 +191,28 @@ class Simulator:
         if period <= 0:
             raise ValueError(f"period must be positive (got {period})")
         stopped = False
-        pending: list[Event] = []
+        # Only the live (next) event is kept: long-running periodic tasks
+        # (health checks, telemetry) must not accumulate one dead Event per
+        # fired tick.
+        live: list[Event | None] = [None]
 
         def tick() -> None:
             if stopped:
                 return
             fn(*args)
             if until is None or self.now + period <= until:
-                pending.append(self.schedule(period, tick))
+                live[0] = self.schedule(period, tick)
+            else:
+                live[0] = None
 
         def stop() -> None:
             nonlocal stopped
             stopped = True
-            for event in pending:
-                event.cancel()
+            if live[0] is not None:
+                live[0].cancel()
+                live[0] = None
 
-        pending.append(self.schedule(period, tick))
+        live[0] = self.schedule(period, tick)
         return stop
 
     def timeline(self) -> Iterator[float]:

@@ -70,17 +70,57 @@ class MboxSpec:
         return f"{self.kind}({json.dumps(self.config_dict(), sort_keys=True, default=str)})"
 
 
+#: µmbox kinds that only observe traffic -- a posture made purely of these
+#: degrades *open* when its instance dies (losing visibility is acceptable;
+#: losing connectivity is not).  Anything that enforces degrades *closed*.
+MONITOR_ONLY_KINDS = frozenset({"telemetry_tap", "packet_logger", "login_monitor"})
+
+
 @dataclass(frozen=True)
 class Posture:
-    """A named chain of security modules applied to one device's traffic."""
+    """A named chain of security modules applied to one device's traffic.
+
+    ``fail_mode`` is the degradation policy when the posture's µmbox
+    instance crashes: ``"closed"`` (traffic blocks while the instance is
+    down -- the default for anything that enforces) or ``"open"`` (traffic
+    flows uninspected -- acceptable only for pure monitoring).  The empty
+    string means "derive from the module kinds".
+    """
 
     name: str
     modules: tuple[MboxSpec, ...] = ()
     description: str = ""
+    fail_mode: str = ""
 
     @classmethod
-    def make(cls, name: str, *modules: MboxSpec, description: str = "") -> "Posture":
-        return cls(name=name, modules=tuple(modules), description=description)
+    def make(
+        cls,
+        name: str,
+        *modules: MboxSpec,
+        description: str = "",
+        fail_mode: str = "",
+    ) -> "Posture":
+        if fail_mode not in ("", "open", "closed"):
+            raise ValueError(f"fail_mode must be '', 'open' or 'closed' (got {fail_mode!r})")
+        return cls(
+            name=name,
+            modules=tuple(modules),
+            description=description,
+            fail_mode=fail_mode,
+        )
+
+    def failure_mode(self) -> str:
+        """The resolved degradation policy: explicit, else derived.
+
+        Monitoring-only postures fail open; any posture with at least one
+        enforcing module fails closed -- an unprotected vulnerable device
+        is the thing this whole system exists to prevent.
+        """
+        if self.fail_mode:
+            return self.fail_mode
+        if self.modules and all(m.kind in MONITOR_ONLY_KINDS for m in self.modules):
+            return "open"
+        return "closed"
 
     @property
     def is_permissive(self) -> bool:

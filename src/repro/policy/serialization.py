@@ -36,7 +36,7 @@ from repro.policy.posture import MboxSpec, Posture
 # Postures
 # ----------------------------------------------------------------------
 def posture_to_dict(posture: Posture) -> dict[str, Any]:
-    return {
+    data = {
         "name": posture.name,
         "description": posture.description,
         "modules": [
@@ -44,6 +44,9 @@ def posture_to_dict(posture: Posture) -> dict[str, Any]:
             for spec in posture.modules
         ],
     }
+    if posture.fail_mode:
+        data["fail_mode"] = posture.fail_mode
+    return data
 
 
 def posture_from_dict(data: Mapping[str, Any]) -> Posture:
@@ -55,6 +58,7 @@ def posture_from_dict(data: Mapping[str, Any]) -> Posture:
         name=str(data.get("name", "unnamed")),
         modules=modules,
         description=str(data.get("description", "")),
+        fail_mode=str(data.get("fail_mode", "")),
     )
 
 

@@ -60,10 +60,16 @@ class ConsistentUpdater:
         sim: "Simulator",
         channel: "ControlChannel",
         controller_name: str = "controller",
+        reliable: bool = False,
     ) -> None:
         self.sim = sim
         self.channel = channel
         self.controller_name = controller_name
+        #: When True, install/flip messages use the channel's at-least-once
+        #: machinery (retry + dedup): a dropped flow-mod is retransmitted
+        #: until it lands (epoch commits late) or the channel gives up
+        #: (epoch stays open -- journaled, never silently half-applied).
+        self.reliable = reliable
         self._versions = itertools.count(1)
         self.reports: list[UpdateReport] = []
         # Observability: epoch counts and the commit-latency distribution
@@ -79,17 +85,21 @@ class ConsistentUpdater:
     def _send_and_apply(self, switch: "Switch", apply: Callable[[], None]) -> float:
         """Model one control-channel RTT around ``apply`` on the switch.
 
-        Returns the simulated time at which the switch will have applied the
-        change (one-way latency; the ack adds the return leg separately).
+        The message rides the control channel's RPC path, so the channel's
+        fault model (drops, jitter, partitions) applies, and -- with
+        ``reliable`` -- so do retransmission and receiver-side dedup:
+        ``apply`` executes at most once however often the wire loses it.
+        Returns the earliest simulated time at which the switch can have
+        applied the change (one-way latency, no faults).
         """
         latency = self.channel.latency_to(switch.name)
-        self.channel.sent += 1
-
-        def deliver() -> None:
-            self.channel.delivered += 1
-            apply()
-
-        self.sim.schedule(latency, deliver)
+        self.channel.call(
+            self.controller_name,
+            switch.name,
+            apply,
+            kind="flow-mod",
+            reliable=self.reliable,
+        )
         return self.sim.now + latency
 
     def push_two_phase(

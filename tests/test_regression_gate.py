@@ -103,11 +103,71 @@ class TestOverheadGate:
         assert gate.compare(current, _baseline()) == []
 
 
+def _e12(resilient_exposure=3.0, baseline_exposure=24.0, **overrides):
+    arms = {
+        "baseline": {
+            "exposure_s": baseline_exposure,
+            "attack_attempts": 167,
+            "attack_successes": 90,
+            "events": 1162,
+        },
+        "resilient": {
+            "exposure_s": resilient_exposure,
+            "attack_attempts": 167,
+            "attack_successes": 7,
+            "events": 1088,
+        },
+    }
+    arms["resilient"].update(overrides)
+    return arms
+
+
+class TestResilienceGate:
+    def test_unbounded_exposure_fails(self, gate):
+        """If the resilient arm no longer beats the no-resilience arm,
+        the resilience machinery is broken, whatever the baseline says."""
+        current = _current()
+        current["e12"] = _e12(resilient_exposure=25.0)
+        baseline = _baseline()
+        baseline["e12"] = _e12()
+        violations = gate.compare(current, baseline)
+        assert any("no longer bounds" in v for v in violations)
+
+    def test_exposure_growth_beyond_threshold_fails(self, gate):
+        current = _current()
+        current["e12"] = _e12(resilient_exposure=3.9)  # +30%
+        baseline = _baseline()
+        baseline["e12"] = _e12()
+        violations = gate.compare(current, baseline, resilience_regression=0.20)
+        assert any("exposure window grew 30.0%" in v for v in violations)
+
+    def test_exposure_within_threshold_passes(self, gate):
+        current = _current()
+        current["e12"] = _e12(resilient_exposure=3.3)  # +10%
+        baseline = _baseline()
+        baseline["e12"] = _e12()
+        assert gate.compare(current, baseline, resilience_regression=0.20) == []
+
+    def test_deterministic_counter_drift_fails(self, gate):
+        current = _current()
+        current["e12"] = _e12(attack_successes=20)
+        baseline = _baseline()
+        baseline["e12"] = _e12()
+        violations = gate.compare(current, baseline)
+        assert any("e12/resilient" in v and "attack_successes" in v for v in violations)
+
+    def test_missing_e12_baseline_is_not_a_violation(self, gate):
+        current = _current()
+        current["e12"] = _e12()
+        assert gate.compare(current, _baseline()) == []
+
+
 class TestThresholdConfig:
     def test_thresholds_pinned_in_one_config_block(self, gate):
         assert gate.THROUGHPUT_REGRESSION == 0.20
         assert gate.OBS_OVERHEAD_LIMIT == 0.10
         assert gate.EVENT_COUNT_DRIFT == 0.02
+        assert gate.RESILIENCE_REGRESSION == 0.20
         assert set(gate.DETERMINISTIC_KEYS) == {
             "events",
             "pipeline_rounds",
@@ -151,3 +211,6 @@ class TestBaselines:
         assert baseline["e9"], "E9 baseline missing from benchmarks/results/"
         assert {row["devices"] for row in baseline["e9"]} >= set(gate.SWEEP)
         assert baseline["obs_overhead"] is not None
+        assert set(baseline["e12"]) == {"baseline", "resilient"}, (
+            "E12 baseline missing from benchmarks/results/"
+        )

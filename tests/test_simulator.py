@@ -147,3 +147,68 @@ def test_independent_simulators_do_not_interfere():
     a.schedule(1.0, lambda: None)
     a.run()
     assert b.now == 0.0 and b.events_processed == 0
+
+
+# ----------------------------------------------------------------------
+# Time-semantics regressions (resilience PR)
+# ----------------------------------------------------------------------
+def test_schedule_at_clamps_float_drift(sim):
+    """Rescheduling at a time computed from accumulated periods must not
+    raise when float arithmetic lands an ulp before ``now``."""
+    period = 0.1
+    when = sum([period] * 10)  # 0.9999999999999999 < 1.0
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert when < sim.now  # the premise: accumulated float error
+    fired = []
+    sim.schedule_at(when, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 1.0  # clamped to "this instant", not time travel
+
+
+def test_schedule_at_rejects_genuinely_past_times(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_every_does_not_accumulate_dead_events(sim):
+    """A long-running periodic task keeps exactly one live event pending."""
+    stop = sim.every(1.0, lambda: None)
+    sim.run(until=500.0)
+    assert sim.events_pending() <= 1
+    assert len(sim._heap) <= 1
+    stop()
+    sim.run()
+    assert sim.events_pending() == 0
+
+
+def test_run_until_advances_now_on_empty_heap(sim):
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+    # and the semantics are uniform: a second window continues from there
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_never_rewinds(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    sim.run(until=2.0)  # window entirely in the past: no-op
+    assert sim.now == 5.0
+
+
+def test_run_drains_cancelled_heads_on_early_return(sim):
+    """Cancelled garbage past the ``until`` boundary must not linger."""
+    events = [sim.schedule(10.0, lambda: None) for __ in range(50)]
+    for event in events:
+        event.cancel()
+    keeper = sim.schedule(20.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert len(sim._heap) == 1  # only the live far-future event remains
+    keeper.cancel()
+    sim.run()
+    assert len(sim._heap) == 0
