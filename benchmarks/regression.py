@@ -21,7 +21,12 @@ but the simulation itself is deterministic:
 - **resilience**: the E12 chaos scenario's exposure window (sim-time, so
   also machine-independent) -- the resilient arm must stay strictly below
   the no-resilience arm and within ``RESILIENCE_REGRESSION`` of its
-  committed baseline.
+  committed baseline;
+- **survivability**: the E13 controller-HA pair -- the hot-standby blind
+  window must stay under ``FAILOVER_BLIND_RATIO`` of the cold-restart
+  arm's, and prioritized shedding must process at least
+  ``STORM_MIN_ENFORCING_FRAC`` of enforcing-class alerts under the 10x
+  storm.
 
 Usage::
 
@@ -49,10 +54,13 @@ THROUGHPUT_REGRESSION = 0.20   # max fractional E9 events/s drop vs baseline
 OBS_OVERHEAD_LIMIT = 0.10      # max instrumentation overhead (on vs off arm)
 EVENT_COUNT_DRIFT = 0.02       # max fractional drift of deterministic counts
 RESILIENCE_REGRESSION = 0.20   # max fractional growth of E12's exposure window
+FAILOVER_BLIND_RATIO = 0.20    # max standby blind window / crash blind window
+STORM_MIN_ENFORCING_FRAC = 0.90  # min enforcing-alert fraction under shedding
 SWEEP = (10, 40, 80)           # E9 device counts measured by the gate
 REPEATS = 5                    # best-of-N wall-clock estimator per data point
 DETERMINISTIC_KEYS = ("events", "pipeline_rounds", "pipeline_applies")
 E12_DETERMINISTIC_KEYS = ("attack_attempts", "attack_successes", "events")
+E13_DETERMINISTIC_KEYS = ("attack_attempts", "blind_window_s", "events")
 
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
@@ -62,6 +70,7 @@ SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
 OVERHEAD_BASELINE = RESULTS_DIR / "test_obs_overhead.json"
 E12_BASELINE = RESULTS_DIR / "test_e12_resilience.json"
+E13_BASELINE = RESULTS_DIR / "test_e13_controller_ha.json"
 
 
 def _threshold(env: str, default: float) -> float:
@@ -78,11 +87,15 @@ def compare(
     obs_overhead_limit: float | None = None,
     event_count_drift: float | None = None,
     resilience_regression: float | None = None,
+    failover_blind_ratio: float | None = None,
+    storm_min_enforcing_frac: float | None = None,
 ) -> list[str]:
     """Return the list of violations of ``current`` against ``baseline``.
 
     Both are plain dicts: ``{"e9": [sweep rows], "obs_overhead": float,
-    "e12": {"baseline": {...}, "resilient": {...}}}``.
+    "e12": {"baseline": {...}, "resilient": {...}},
+    "e13": {"failover": {"crash": {...}, "standby": {...}},
+    "storm": {"fifo": {...}, "shed": {...}}}}``.
     Sweep rows join on their ``devices`` value; sizes present in only one
     side are skipped (the gate never fails on missing data -- a vanished
     baseline is a repo problem, not a perf regression).
@@ -102,6 +115,14 @@ def compare(
     if resilience_regression is None:
         resilience_regression = _threshold(
             "REPRO_REGRESSION_RESILIENCE", RESILIENCE_REGRESSION
+        )
+    if failover_blind_ratio is None:
+        failover_blind_ratio = _threshold(
+            "REPRO_REGRESSION_FAILOVER_RATIO", FAILOVER_BLIND_RATIO
+        )
+    if storm_min_enforcing_frac is None:
+        storm_min_enforcing_frac = _threshold(
+            "REPRO_REGRESSION_STORM_FRAC", STORM_MIN_ENFORCING_FRAC
         )
 
     violations: list[str] = []
@@ -174,6 +195,45 @@ def compare(
                         f"{b} -> {c} (allowed {event_count_drift:.0%}); "
                         "a behavior change must re-record the baselines"
                     )
+
+    # E13: controller survivability.  Hard property gates first (ratios
+    # are pinned thresholds, not baseline-relative -- these are the
+    # issue's acceptance criteria), then determinism drift per arm.
+    e13 = current.get("e13") or {}
+    e13_base = baseline.get("e13") or {}
+    failover = e13.get("failover") or {}
+    crash, standby = failover.get("crash"), failover.get("standby")
+    if crash and standby and crash.get("blind_window_s", 0) > 0:
+        ratio = standby["blind_window_s"] / crash["blind_window_s"]
+        if ratio > failover_blind_ratio:
+            violations.append(
+                f"e13: failover blind window is {ratio:.1%} of the "
+                f"cold-restart window ({standby['blind_window_s']}s vs "
+                f"{crash['blind_window_s']}s, limit {failover_blind_ratio:.0%})"
+            )
+    shed = (e13.get("storm") or {}).get("shed")
+    if shed and shed.get("enforcing_processed_frac") is not None:
+        frac = shed["enforcing_processed_frac"]
+        if frac < storm_min_enforcing_frac:
+            violations.append(
+                f"e13: shedding processed only {frac:.1%} of enforcing "
+                f"alerts under the storm (floor {storm_min_enforcing_frac:.0%})"
+            )
+    for group in ("failover", "storm"):
+        for arm, committed_arm in (e13_base.get(group) or {}).items():
+            cur_arm = (e13.get(group) or {}).get(arm)
+            if not cur_arm:
+                continue
+            for key in E13_DETERMINISTIC_KEYS:
+                if key not in committed_arm or key not in cur_arm:
+                    continue
+                b, c = committed_arm[key], cur_arm[key]
+                if abs(c - b) > event_count_drift * max(abs(b), 1):
+                    violations.append(
+                        f"e13/{group}/{arm}: deterministic counter {key} "
+                        f"drifted {b} -> {c} (allowed {event_count_drift:.0%}); "
+                        "a behavior change must re-record the baselines"
+                    )
     return violations
 
 
@@ -197,7 +257,7 @@ def append_trajectory(
 
 def load_baseline() -> dict[str, Any]:
     """The committed numbers this run is gated against."""
-    baseline: dict[str, Any] = {"e9": [], "obs_overhead": None, "e12": {}}
+    baseline: dict[str, Any] = {"e9": [], "obs_overhead": None, "e12": {}, "e13": {}}
     if E9_BASELINE.exists():
         baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
     if OVERHEAD_BASELINE.exists():
@@ -205,6 +265,8 @@ def load_baseline() -> dict[str, Any]:
         baseline["obs_overhead"] = overhead.get("overhead")
     if E12_BASELINE.exists():
         baseline["e12"] = json.loads(E12_BASELINE.read_text()).get("arms", {})
+    if E13_BASELINE.exists():
+        baseline["e13"] = json.loads(E13_BASELINE.read_text()).get("arms", {})
     return baseline
 
 
@@ -215,6 +277,7 @@ def measure() -> dict[str, Any]:
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     from bench_e12_resilience import run_arms
+    from bench_e13_controller_ha import run_arms as run_ha_arms
     from bench_e9_scale import run_scale
     from bench_obs_overhead import run_workload
 
@@ -241,8 +304,12 @@ def measure() -> dict[str, Any]:
     current["obs_overhead"] = 1.0 - on["events_per_s"] / off["events_per_s"]
     current["journal_recorded"] = on["journal"]
 
-    # E12 is deterministic (sim-time only): one run is the number.
+    # E12/E13 are deterministic (sim-time only): one run is the number.
     current["e12"] = {row["arm"]: row for row in run_arms()}
+    ha = run_ha_arms()
+    current["e13"] = {
+        group: {row["arm"]: row for row in rows} for group, rows in ha.items()
+    }
 
     # CI artifact: a journal sample from the largest E9 run, so every
     # pipeline run leaves an inspectable flight-recorder dump behind.
@@ -286,6 +353,14 @@ def main(argv: list[str] | None = None) -> int:
         "e12_exposure_s": {
             arm: row["exposure_s"] for arm, row in current.get("e12", {}).items()
         },
+        "e13_blind_window_s": {
+            arm: row["blind_window_s"]
+            for arm, row in current.get("e13", {}).get("failover", {}).items()
+        },
+        "e13_enforcing_frac": {
+            arm: row["enforcing_processed_frac"]
+            for arm, row in current.get("e13", {}).get("storm", {}).items()
+        },
         "violations": violations,
     }
     append_trajectory(entry)
@@ -304,6 +379,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{arm}={row['exposure_s']}s" for arm, row in current["e12"].items()
             )
             print(f"e12 exposure window: {windows}")
+        if current.get("e13"):
+            blind = " vs ".join(
+                f"{arm}={row['blind_window_s']}s"
+                for arm, row in current["e13"].get("failover", {}).items()
+            )
+            frac = " vs ".join(
+                f"{arm}={row['enforcing_processed_frac']:.1%}"
+                for arm, row in current["e13"].get("storm", {}).items()
+            )
+            print(f"e13 blind window: {blind}; enforcing kept: {frac}")
         print(f"trajectory: appended to {TRAJECTORY_PATH}")
         if current.get("journal_sample_entries") is not None:
             print(

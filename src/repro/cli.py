@@ -19,7 +19,12 @@ Commands:
   (``--chaos`` swaps in the fault-injection scenario).
 - ``chaos`` -- partition the control channel and crash a µmbox under
   attack; compare the no-resilience baseline against retry + fail-closed
-  + health-check recovery.
+  + health-check recovery.  ``--plan`` selects the fault plan: the
+  built-ins ``standard`` and ``controller``, or a JSON file; malformed
+  plans exit 2 with a one-line error.
+- ``failover`` -- crash the controller mid-attack and compare cold
+  restart against hot-standby failover (``--storm`` compares the ingest
+  queue's shedding arms under a 10x alert flood instead).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import sys
 
 
 def _demo_fig4(protect: bool) -> None:
@@ -406,6 +412,78 @@ def cmd_journal_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_arm_table(results: list[dict], cols: tuple[str, ...]) -> None:
+    print(f"\n{'metric':<26}" + "".join(f"{r['arm']:>12}" for r in results))
+    for col in cols:
+        cells = "".join(f"{str(r.get(col)):>12}" for r in results)
+        print(f"{col:<26}{cells}")
+
+
+def _failover_comparison(seed: int, json_out: bool) -> int:
+    """Both arms of the controller-crash experiment (bench E13a)."""
+    from repro.faults.ha_scenario import run_failover_scenario
+
+    results = [run_failover_scenario(standby, seed=seed) for standby in (False, True)]
+    if json_out:
+        print(json.dumps(results, indent=2))
+        return 0
+    _print_arm_table(
+        results,
+        (
+            "attack_attempts",
+            "cam_login_successes",
+            "blind_window_s",
+            "cam_enforced_at",
+            "checkpoints",
+            "failovers",
+            "restarts",
+            "ctrl_retries",
+            "ctrl_giveups",
+            "events",
+        ),
+    )
+    crash, standby = results
+    if crash["blind_window_s"] > 0:
+        ratio = standby["blind_window_s"] / crash["blind_window_s"]
+        print(
+            f"\nblind window: {crash['blind_window_s']}s (cold restart) -> "
+            f"{standby['blind_window_s']}s (hot standby, {ratio:.1%} of the outage)"
+        )
+    return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    """Controller survivability, both arms (bench E13).
+
+    Default: crash the controller mid-attack and compare the cold-restart
+    blind window against hot-standby failover.  ``--storm``: flood the
+    ingest queue 10x over its service rate and compare plain drop-tail
+    against prioritized shedding.
+    """
+    if not args.storm:
+        return _failover_comparison(args.seed, args.json)
+
+    from repro.faults.ha_scenario import run_storm_scenario
+
+    results = [run_storm_scenario(shedding, seed=args.seed) for shedding in (False, True)]
+    if args.json:
+        print(json.dumps(results, indent=2))
+        return 0
+    _print_arm_table(
+        results, ("enforcing_processed_frac", "shed_transitions", "events")
+    )
+    for cls in ("enforcing", "telemetry"):
+        cells = "".join(f"{str(r['p99_latency_s'][cls]):>12}" for r in results)
+        print(f"{'p99_latency_s[' + cls + ']':<26}{cells}")
+    fifo, shed = results
+    print(
+        f"\nenforcing alerts kept under the storm: "
+        f"{fifo['enforcing_processed_frac']:.1%} (drop-tail) -> "
+        f"{shed['enforcing_processed_frac']:.1%} (prioritized shedding)"
+    )
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the standard resilience scenario under injected faults, both arms.
 
@@ -413,10 +491,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     the resilient arm retries control messages across the partition,
     fails closed, and reboots + re-pins the crashed µmbox.  The printed
     exposure window is the headline number of bench E12.
+
+    ``--plan`` picks the fault schedule: ``standard`` (partition + µmbox
+    crash), ``controller`` (delegates to the E13 controller-crash
+    comparison), or a path to a JSON plan document.  A malformed plan is
+    a usage error: one line on stderr, exit status 2.
     """
     from repro.faults.chaos import ChaosGenerator
+    from repro.faults.plan import FaultPlan
     from repro.faults.scenario import run_resilience_scenario, standard_fault_plan
 
+    if args.plan == "controller":
+        return _failover_comparison(args.seed, args.json)
     if args.random:
         plan = ChaosGenerator(args.seed).generate(
             args.duration,
@@ -427,8 +513,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             crashes=2,
             max_fault=min(5.0, args.duration / 4),
         )
-    else:
+    elif args.plan == "standard":
         plan = standard_fault_plan()
+    else:
+        try:
+            text = open(args.plan, encoding="utf-8").read()
+        except OSError as exc:
+            print(f"error: cannot read fault plan {args.plan!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            plan = FaultPlan.from_json(text)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     arms = [False] if args.no_resilience else [False, True]
     results = [
         run_resilience_scenario(
@@ -554,6 +651,11 @@ def main(argv: list[str] | None = None) -> int:
         "chaos", help="inject faults (partition, µmbox crash) and compare arms"
     )
     chaos.add_argument("--seed", type=int, default=7, help="chaos + fault-model seed")
+    chaos.add_argument(
+        "--plan",
+        default="standard",
+        help="fault plan: 'standard', 'controller', or a JSON plan file",
+    )
     chaos.add_argument("--duration", type=float, default=30.0, help="simulated horizon")
     chaos.add_argument("--drop", type=float, default=0.0, help="background control-loss prob")
     chaos.add_argument("--jitter", type=float, default=0.0, help="max extra control delay")
@@ -568,6 +670,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     chaos.add_argument("--json", action="store_true", help="plan + both arms as JSON")
     chaos.set_defaults(fn=cmd_chaos)
+
+    failover = sub.add_parser(
+        "failover", help="controller crash: cold restart vs hot-standby takeover"
+    )
+    failover.add_argument("--seed", type=int, default=7, help="scenario seed")
+    failover.add_argument(
+        "--storm",
+        action="store_true",
+        help="compare ingest-queue arms under a 10x alert storm instead",
+    )
+    failover.add_argument("--json", action="store_true", help="both arms as JSON")
+    failover.set_defaults(fn=cmd_failover)
 
     args = parser.parse_args(argv)
     return args.fn(args)

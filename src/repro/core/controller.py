@@ -27,6 +27,13 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.events import EventBus
 from repro.core.orchestrator import PostureOrchestrator
+from repro.core.overload import (
+    CLASS_ENFORCING,
+    CLASS_MONITOR,
+    CLASS_TELEMETRY,
+    IngestConfig,
+    IngestQueue,
+)
 from repro.core.pipeline import (
     DEFAULT_ESCALATIONS,
     EscalationRule,
@@ -69,6 +76,7 @@ class IoTSecController:
         channel: ControlChannel,
         topology: "Topology | None" = None,
         escalations: tuple[EscalationRule, ...] = DEFAULT_ESCALATIONS,
+        ingest: IngestConfig | None = None,
     ) -> None:
         self.name = name
         self.sim = sim
@@ -89,6 +97,22 @@ class IoTSecController:
         )
         self.devices: dict[str, "IoTDevice"] = {}
         self.packet_ins = 0
+        #: Set by :meth:`crash` -- a dead controller processes nothing.
+        self.crashed = False
+        #: Switches this controller serves packet-ins for (detached on crash).
+        self._adopted: list["Switch"] = []
+        self.ingest_config = ingest
+        #: Optional bounded priority ingest queue (None = direct dispatch).
+        self.ingest: IngestQueue | None = (
+            IngestQueue(
+                sim,
+                handler=lambda payload: self._dispatch_alert(*payload),
+                config=ingest,
+                name=name,
+            )
+            if ingest is not None
+            else None
+        )
         channel.register(name, self.on_control_message)
         # Observability: alert ingress by kind (cached counters) plus a
         # packet-in gauge over the attribute the data path increments.
@@ -141,6 +165,10 @@ class IoTSecController:
             self.view.set(f"env:{name}", variable.level)
 
     def _ingest_env(self, variable: str, level: str) -> None:
+        if self.crashed:
+            # Environment closures captured this (now dead) controller;
+            # the live sensor feed belongs to its successor.
+            return
         self.bus.publish("context", source="sensors", body={"variable": variable, "level": level})
         self.view.set(f"env:{variable}", level)
 
@@ -159,6 +187,8 @@ class IoTSecController:
     def adopt_packet_in(self, switch: "Switch") -> None:
         """Serve as the switch's reactive forwarder."""
         switch.packet_in_handler = self._on_packet_in
+        if switch not in self._adopted:
+            self._adopted.append(switch)
 
     def _on_packet_in(self, switch: "Switch", packet: "Packet", in_port: int) -> None:
         self.packet_ins += 1
@@ -195,6 +225,8 @@ class IoTSecController:
     # Control-channel ingress
     # ------------------------------------------------------------------
     def on_control_message(self, message: ControlMessage) -> None:
+        if self.crashed:
+            return
         if message.kind == "alert":
             self._on_alert(message.body, message.sent_at)
         elif message.kind == "context":
@@ -203,7 +235,21 @@ class IoTSecController:
             if variable:
                 self.view.set(f"env:{variable}", level)
 
+    def _alert_class(self, device: str, kind: str) -> int:
+        """Shedding priority: enforcing-posture alerts > monitor > telemetry."""
+        if kind == "telemetry":
+            return CLASS_TELEMETRY
+        posture = self.orchestrator.current.get(device)
+        if (
+            posture is not None
+            and not posture.is_permissive
+            and posture.name != "monitor"
+        ):
+            return CLASS_ENFORCING
+        return CLASS_MONITOR
+
     def _on_alert(self, body: dict[str, Any], sent_at: float) -> None:
+        """Arrival: account for the alert, then queue or dispatch it."""
         device = str(body.get("device", ""))
         kind = str(body.get("kind", ""))
         detail = dict(body.get("detail", {}))
@@ -217,6 +263,16 @@ class IoTSecController:
             self._alert_counters[kind] = counter
         counter.inc()
 
+        if self.ingest is not None:
+            self.ingest.offer(self._alert_class(device, kind), (body, sent_at))
+        else:
+            self._dispatch_alert(body, sent_at)
+
+    def _dispatch_alert(self, body: dict[str, Any], sent_at: float) -> None:
+        """Service: the alert reached the front of the loop -- process it."""
+        device = str(body.get("device", ""))
+        kind = str(body.get("kind", ""))
+        detail = dict(body.get("detail", {}))
         if kind == "telemetry":
             self._ingest_telemetry(device, detail)
             return
@@ -247,6 +303,16 @@ class IoTSecController:
                 and source in self.devices
                 and source != device
             ):
+                # Journaled separately so the write-ahead-log replay can
+                # rebuild the insider's escalation window too.
+                self.sim.journal.record(
+                    "alert-ingest",
+                    device=source,
+                    trace=trace,
+                    alert_kind="insider",
+                    controller=self.name,
+                    sent_at=sent_at,
+                )
                 self._escalate(source, "insider", at=sent_at)
         finally:
             tracer.pop()
@@ -331,6 +397,35 @@ class IoTSecController:
     def enforce_all(self) -> None:
         """Evaluate and apply the posture of every policy device now."""
         self.pipeline.enforce_all()
+
+    # ------------------------------------------------------------------
+    # Failure
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill this controller instance: it stops processing everything.
+
+        The endpoint is unregistered (in-flight reliable sends keep
+        retrying and will deliver to whichever controller registers the
+        name next -- restart or failover), adopted switches lose their
+        packet-in handler (reactive forwarding goes dark), the pipeline
+        is halted so no queued zero-delay round actuates posthumously,
+        and any queued ingest work is discarded.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.channel.unregister(self.name)
+        for switch in self._adopted:
+            if switch.packet_in_handler == self._on_packet_in:
+                switch.packet_in_handler = None
+        self.pipeline.halt()
+        dropped_queue = self.ingest.clear() if self.ingest is not None else 0
+        self.sim.journal.record(
+            "controller-crash",
+            controller=self.name,
+            queued_lost=dropped_queue,
+            view_keys=len(self.view.entries),
+        )
 
     # ------------------------------------------------------------------
     def context_of(self, device: str) -> str:

@@ -29,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from repro.attacks.attacker import Attacker
 from repro.core.controller import IoTSecController
+from repro.core.ha import Checkpointer, CheckpointStore, StandbyController, restore_controller
+from repro.core.overload import IngestConfig
 from repro.core.orchestrator import (
     PostureOrchestrator,
     SwitchAttachment,
@@ -95,6 +97,7 @@ class SecuredDeployment:
     INTERNET = "internet"
     HUB = "hub"
     CONTROLLER = "controller"
+    STANDBY = "standby"
 
     def __init__(
         self,
@@ -106,6 +109,13 @@ class SecuredDeployment:
         consistent_updates: bool = False,
         reliable_control: bool = False,
         health_check_period: float | None = None,
+        ingest: IngestConfig | None = None,
+        checkpointing: bool = False,
+        checkpoint_period: float = 5.0,
+        standby: bool = False,
+        heartbeat_period: float = 0.25,
+        failover_timeout: float = 1.0,
+        ha_seed: int = 0,
     ) -> None:
         self.sim = sim or Simulator()
         #: Resilience knobs: ``reliable_control`` gives the alert and
@@ -115,6 +125,22 @@ class SecuredDeployment:
         #: health sweep that reboots crashed instances and re-pins chains.
         self.reliable_control = reliable_control
         self.health_check_period = health_check_period
+        #: Survivability knobs (all strictly opt-in so the default event
+        #: schedule is unchanged): ``ingest`` puts the bounded priority
+        #: queue in front of alert handling; ``checkpointing`` starts the
+        #: periodic snapshot loop (restart capital); ``standby`` also
+        #: replicates checkpoints + journal deltas to a hot standby that
+        #: takes over on heartbeat timeout.
+        self.ingest_config = ingest
+        self.checkpointing = checkpointing
+        self.checkpoint_period = checkpoint_period
+        self.standby = standby
+        self.heartbeat_period = heartbeat_period
+        self.failover_timeout = failover_timeout
+        self.ha_seed = ha_seed
+        self.checkpoint_store: CheckpointStore | None = None
+        self.checkpointer: Checkpointer | None = None
+        self.standby_controller: StandbyController | None = None
         self.topology = Topology(self.sim)
         self.with_iotsec = with_iotsec
         self._given_policy = policy
@@ -282,6 +308,7 @@ class SecuredDeployment:
             orchestrator=self.orchestrator,
             channel=self.channel,
             topology=self.topology,
+            ingest=self.ingest_config,
         )
         self.controller.adopt_packet_in(self.edge)
         for room in self.rooms.values():
@@ -300,7 +327,103 @@ class SecuredDeployment:
         if self.health_check_period is not None and self.manager is not None:
             self.manager.on_recovery = lambda device: self.orchestrator.repin(device)
             self.manager.start_health_checks(self.health_check_period)
+        self._wire_survivability(self.controller)
+        if self.checkpointing or self.standby:
+            self.checkpoint_store = CheckpointStore()
+            self.checkpointer = Checkpointer(
+                self.controller,
+                self.checkpoint_store,
+                period=self.checkpoint_period,
+                channel=self.channel if self.standby else None,
+                standby=self.STANDBY if self.standby else None,
+                heartbeat_period=self.heartbeat_period if self.standby else None,
+            )
+        if self.standby:
+            self.standby_controller = StandbyController(
+                sim=self.sim,
+                channel=self.channel,
+                orchestrator=self.orchestrator,
+                topology=self.topology,
+                policy=self.policy,
+                devices=self.devices,
+                switches=[self.edge, *self.rooms.values()],
+                env=self.env,
+                name=self.STANDBY,
+                primary=self.CONTROLLER,
+                ingest=self.ingest_config,
+                heartbeat_timeout=self.failover_timeout,
+                seed=self.ha_seed,
+                on_takeover=self._on_takeover,
+            )
         return self
+
+    def _wire_survivability(self, controller: IoTSecController) -> None:
+        """Connect the ingest queue's backpressure to the µmbox host."""
+        if controller.ingest is not None and self.cluster is not None:
+            controller.ingest.on_shed = self.cluster.set_backpressure
+
+    def _on_takeover(self, controller: IoTSecController) -> None:
+        """The standby promoted a new primary: adopt it site-wide.
+
+        The cluster's alert sink and view closures resolve
+        ``self.controller`` dynamically, so rebinding the attribute is
+        enough for the data path; backpressure and the checkpoint loop
+        are re-wired to the new instance (local-only -- the standby seat
+        is now empty).
+        """
+        self.controller = controller
+        self._wire_survivability(controller)
+        if self.checkpoint_store is not None:
+            if self.checkpointer is not None:
+                self.checkpointer.stop()
+            self.checkpointer = Checkpointer(
+                controller, self.checkpoint_store, period=self.checkpoint_period
+            )
+
+    # ------------------------------------------------------------------
+    # Controller failure / recovery
+    # ------------------------------------------------------------------
+    def crash_controller(self) -> None:
+        """Kill the primary controller (fault injection entry point)."""
+        if self.controller is None:
+            raise RuntimeError("deployment has no controller to crash")
+        if self.checkpointer is not None:
+            # The checkpoint loop dies with the process; the store (its
+            # "disk") survives for restart.
+            self.checkpointer.stop()
+            self.checkpointer = None
+        self.controller.crash()
+
+    def restart_controller(self) -> IoTSecController:
+        """Cold restart from the latest local checkpoint + journal tail."""
+        if self.checkpoint_store is None or self.checkpoint_store.latest() is None:
+            raise RuntimeError(
+                "no checkpoint to restart from (enable checkpointing=True)"
+            )
+        checkpoint = self.checkpoint_store.latest()
+        assert checkpoint is not None
+        tail = [
+            e.as_dict() for e in self.sim.journal.entries_since(checkpoint.seq)
+        ]
+        controller = restore_controller(
+            sim=self.sim,
+            channel=self.channel,
+            orchestrator=self.orchestrator,
+            topology=self.topology,
+            devices=self.devices,
+            switches=[self.edge, *self.rooms.values()],
+            checkpoint=checkpoint,
+            tail=tail,
+            name=self.CONTROLLER,
+            ingest=self.ingest_config,
+            env=self.env,
+        )
+        self.controller = controller
+        self._wire_survivability(controller)
+        self.checkpointer = Checkpointer(
+            controller, self.checkpoint_store, period=self.checkpoint_period
+        )
+        return controller
 
     def _forward_alert(self, alert: Alert) -> None:
         self.channel.send(

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.obs import COUNT_BUCKETS
 from repro.policy.context import COMPROMISED, SEVERITY, SUSPICIOUS
 from repro.policy.pruning import PrunedPolicy
+from repro.policy.serialization import posture_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.events import EventBus
@@ -142,6 +143,25 @@ class EscalationEngine:
     def pending_counts(self) -> dict[tuple[str, str], int]:
         """Retained timestamps per (device, kind) -- for leak tests."""
         return {key: len(times) for key, times in self._alert_times.items()}
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[list]:
+        """Sliding-window timestamps in a stable, JSON-plain shape:
+        ``[[device, alert_kind, [t0, t1, ...]], ...]`` sorted by key."""
+        return [
+            [device, kind, list(times)]
+            for (device, kind), times in sorted(self._alert_times.items())
+            if times
+        ]
+
+    def restore(self, data: Iterable[Iterable]) -> None:
+        """Load a :meth:`snapshot` (replacing current window state)."""
+        self._alert_times = {
+            (str(device), str(kind)): [float(t) for t in times]
+            for device, kind, times in data
+        }
 
 
 class ReactivePipeline:
@@ -329,6 +349,34 @@ class ReactivePipeline:
                 applied=len(records),
             )
 
+    def halt(self) -> None:
+        """Stop the pipeline dead (the owning controller crashed).
+
+        Cancels any pending zero-delay flush and clears the dirty set so
+        a dead controller cannot actuate postures from beyond the grave.
+        """
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def dirty_snapshot(self) -> list[list]:
+        """The open round's dirty set as ``[[device, key, at], ...]``
+        sorted -- trace ids are process-local and deliberately dropped."""
+        return [
+            [device, key, at]
+            for device, (key, at, __) in sorted(self._dirty.items())
+        ]
+
+    def restore_dirty(self, data: Iterable[Iterable]) -> None:
+        """Merge a :meth:`dirty_snapshot` into the open round (traceless)."""
+        for device, key, at in data:
+            self._dirty.setdefault(str(device), (str(key), float(at), None))
+        self._schedule_flush()
+
     def evaluate_device(self, device: str, trigger_key: str) -> None:
         """Run an immediate round for one device (runtime policy updates)."""
         self._dirty.setdefault(
@@ -357,6 +405,8 @@ class ReactivePipeline:
         projected table and reverse-index entries are rebuilt."""
         self.pruned.add_rule(rule)
         self._refresh_policy_view()
+        # The serialized rule makes this entry a write-ahead-log record: a
+        # restored controller can re-add the rule from the journal alone.
         self.sim.journal.record(
             "policy-update",
             device=rule.device,
@@ -364,4 +414,10 @@ class ReactivePipeline:
             predicate=str(rule.predicate),
             posture=rule.posture.name,
             priority=rule.priority,
+            rule={
+                "when": dict(rule.predicate.requirements),
+                "device": rule.device,
+                "priority": rule.priority,
+                "posture": posture_to_dict(rule.posture),
+            },
         )

@@ -108,5 +108,15 @@ class GlobalView:
     def snapshot(self) -> dict[str, str]:
         return {key: entry.value for key, entry in self.entries.items()}
 
+    def restore(self, snapshot: dict[str, str]) -> None:
+        """Load a snapshot *silently* -- no change notification.
+
+        Used by checkpoint restore: the restored controller reconciles
+        explicitly afterwards, so firing per-key callbacks here would
+        trigger a spurious evaluation storm against a half-built view.
+        """
+        for key, value in snapshot.items():
+            self.entries[key] = ViewEntry(value=value, updated_at=self.sim.now)
+
     def __repr__(self) -> str:
         return f"GlobalView({len(self.entries)} keys, {self.total_updates} updates)"

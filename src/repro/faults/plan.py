@@ -9,14 +9,18 @@ same seed produces the same run.
 
 Fault kinds and their ``target`` syntax:
 
-=============  ====================================  =======================
-kind           target                                duration
-=============  ====================================  =======================
-link-flap      ``"a:b"`` (link endpoints)            seconds down, then up
-partition      endpoint name, or ``"*"`` for all     seconds unreachable
-mbox-crash     device name                           ignored (recovery is
-                                                     the health loop's job)
-=============  ====================================  =======================
+================  ====================================  =======================
+kind              target                                duration
+================  ====================================  =======================
+link-flap         ``"a:b"`` (link endpoints)            seconds down, then up
+partition         endpoint name, or ``"*"`` for all     seconds unreachable
+mbox-crash        device name                           ignored (recovery is
+                                                        the health loop's job)
+controller-crash  ``"controller"`` (informational)      ignored (recovery is
+                                                        failover/restart)
+alert-storm       device name, or ``"*"`` for all       seconds of flooding at
+                                                        ``intensity`` alerts/s
+================  ====================================  =======================
 
 Every injected fault is journaled (kind ``"fault"``) so incident
 reconstruction shows *why* a device's µmbox died or its alerts stalled.
@@ -24,13 +28,23 @@ reconstruction shows *why* a device's µmbox died or its alerts stalled.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.deployment import SecuredDeployment
 
-FAULT_KINDS = ("link-flap", "partition", "mbox-crash")
+FAULT_KINDS = (
+    "link-flap",
+    "partition",
+    "mbox-crash",
+    "controller-crash",
+    "alert-storm",
+)
+
+#: Default alert-storm rate when an event does not set ``intensity``.
+DEFAULT_STORM_RATE = 200.0
 
 
 @dataclass(frozen=True)
@@ -41,6 +55,9 @@ class FaultEvent:
     kind: str
     target: str
     duration: float = 0.0
+    #: Alert-storm rate in alerts/second (0 = :data:`DEFAULT_STORM_RATE`);
+    #: meaningless for other kinds.
+    intensity: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -49,16 +66,22 @@ class FaultEvent:
             raise ValueError(f"fault time must be >= 0 (got {self.at})")
         if self.duration < 0:
             raise ValueError(f"fault duration must be >= 0 (got {self.duration})")
+        if self.intensity < 0:
+            raise ValueError(f"fault intensity must be >= 0 (got {self.intensity})")
         if not self.target:
             raise ValueError("fault target must be non-empty")
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "at": self.at,
             "kind": self.kind,
             "target": self.target,
             "duration": self.duration,
         }
+        # Omitted when unset so pre-existing plan JSON round-trips unchanged.
+        if self.intensity:
+            out["intensity"] = self.intensity
+        return out
 
 
 class FaultPlan:
@@ -91,15 +114,47 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
-        return cls(
-            FaultEvent(
-                at=float(e["at"]),
-                kind=str(e["kind"]),
-                target=str(e["target"]),
-                duration=float(e.get("duration", 0.0)),
+        """Build a plan from plain data, rejecting malformed events.
+
+        Any unknown kind, missing field, or unparseable window raises
+        :class:`ValueError` naming the offending event -- a chaos plan
+        must fail loudly at parse time, not traceback mid-run.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"fault plan must be an object with an 'events' list "
+                f"(got {type(data).__name__})"
             )
-            for e in data.get("events", ())
-        )
+        events = data.get("events", ())
+        if isinstance(events, (str, Mapping)) or not isinstance(events, Iterable):
+            raise ValueError("fault plan 'events' must be a list of event objects")
+        parsed: list[FaultEvent] = []
+        for i, e in enumerate(events):
+            try:
+                parsed.append(
+                    FaultEvent(
+                        at=float(e["at"]),
+                        kind=str(e["kind"]),
+                        target=str(e["target"]),
+                        duration=float(e.get("duration", 0.0)),
+                        intensity=float(e.get("intensity", 0.0)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                detail = (
+                    f"missing field {exc}" if isinstance(exc, KeyError) else exc
+                )
+                raise ValueError(f"fault event #{i} ({e!r}): {detail}") from exc
+        return cls(parsed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON plan document; all failures become ValueError."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
 
     # ------------------------------------------------------------------
     def apply(self, dep: "SecuredDeployment") -> int:
@@ -130,6 +185,15 @@ class FaultPlan:
                 sim.schedule_at(
                     event.at, dep.manager.crash, event.target, "fault-plan"
                 )
+            elif event.kind == "controller-crash":
+                assert dep.with_iotsec, "controller-crash needs an IoTSec deployment"
+                sim.schedule_at(event.at, dep.crash_controller)
+            elif event.kind == "alert-storm":
+                if event.target != "*" and event.target not in dep.devices:
+                    raise KeyError(
+                        f"alert-storm target {event.target!r} is not a device"
+                    )
+                self._start_storm(dep, event)
         # One journal record per fault at its fire time, with full detail.
         for event in self.events:
             device = event.target if event.kind == "mbox-crash" else ""
@@ -145,6 +209,45 @@ class FaultPlan:
 
             sim.schedule_at(event.at, journal)
         return len(self.events)
+
+    @staticmethod
+    def _start_storm(dep: "SecuredDeployment", event: FaultEvent) -> None:
+        """Arm a telemetry flood at the controller's ingest path.
+
+        The storm models a compromised fleet (or buggy firmware) spraying
+        telemetry at ``intensity`` alerts/second over the event's window,
+        round-robin across the target devices.  It rides the ordinary
+        control channel, so it competes with real alerts exactly the way
+        the load-shedding queue is designed to arbitrate.
+        """
+        sim = dep.sim
+        targets = (
+            sorted(dep.devices) if event.target == "*" else [event.target]
+        )
+        if not targets:
+            return
+        rate = event.intensity or DEFAULT_STORM_RATE
+        period = 1.0 / rate
+        end = event.at + event.duration
+        counter = {"n": 0}
+
+        def burst() -> None:
+            device = targets[counter["n"] % len(targets)]
+            counter["n"] += 1
+            dep.channel.send(
+                "storm",
+                dep.CONTROLLER,
+                "alert",
+                {
+                    "device": device,
+                    "kind": "telemetry",
+                    "detail": {"storm": True, "n": counter["n"]},
+                },
+            )
+            if sim.now + period < end:
+                sim.schedule(period, burst)
+
+        sim.schedule_at(event.at, burst)
 
     @staticmethod
     def _find_link(dep: "SecuredDeployment", target: str):

@@ -234,6 +234,13 @@ class MboxHost(Node):
         self.unbound_drops = 0
         self.down_drops = 0
         self.fail_open_passes = 0
+        #: Controller backpressure (alert-storm shedding): while active,
+        #: only one in ``backpressure_sample`` telemetry alerts is
+        #: forwarded upstream -- the rest are recorded locally and counted.
+        self.backpressure = False
+        self.backpressure_sample = 8
+        self.telemetry_suppressed = 0
+        self._telemetry_seen = 0
         # Observability: callback gauges over the counters above, plus
         # per-kind alert counters (resolved lazily, cached by kind).
         metrics = sim.metrics
@@ -382,6 +389,13 @@ class MboxHost(Node):
         outer.payload["inspected"] = True
         self.send(outer, in_port)
 
+    def set_backpressure(self, active: bool) -> None:
+        """Controller shed-mode signal: sample telemetry locally while on."""
+        self.backpressure = active
+        self.sim.journal.record(
+            "backpressure", mbox=self.name, active=active
+        )
+
     def _on_alert(self, alert: Alert) -> None:
         self.alerts.append(alert)
         counter = self._alert_counters.get(alert.kind)
@@ -391,6 +405,14 @@ class MboxHost(Node):
             )
             self._alert_counters[alert.kind] = counter
         counter.inc()
+        if self.backpressure and alert.kind == "telemetry":
+            # Shedding controller: coalesce at the source.  Security alerts
+            # always go upstream; telemetry is sampled 1-in-N until the
+            # controller releases the pressure.
+            self._telemetry_seen += 1
+            if self._telemetry_seen % self.backpressure_sample != 1:
+                self.telemetry_suppressed += 1
+                return
         self.alert_sink(alert)
 
     # ------------------------------------------------------------------

@@ -149,6 +149,32 @@ class Journal:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent entry (0 = nothing yet).
+
+        This is the checkpoint high-water mark: a restore replays
+        retained entries with ``seq > checkpoint.seq``.
+        """
+        return self._next_seq - 1
+
+    def entries_since(self, seq: int) -> list[JournalEntry]:
+        """Retained entries with a sequence number strictly after ``seq``.
+
+        The write-ahead-log read path: entries older than the retention
+        ring are gone (evicted/spilled), so callers checkpoint often
+        enough that the tail past their checkpoint is still retained.
+        """
+        out = []
+        for segment in reversed(self._segments):
+            if segment and segment[-1].seq <= seq:
+                break
+            for entry in segment:
+                if entry.seq > seq:
+                    out.append(entry)
+        out.sort(key=lambda e: e.seq)
+        return out
+
     def __iter__(self) -> Iterator[JournalEntry]:
         for segment in self._segments:
             yield from segment

@@ -160,12 +160,24 @@ class ControlChannel:
         sim: "Simulator",
         latency: float = 0.002,
         retry_policy: RetryPolicy | None = None,
+        dedup_ttl: float = 60.0,
+        dedup_max: int = 4096,
     ) -> None:
         if latency < 0:
             raise ValueError("latency must be >= 0")
+        if dedup_ttl <= 0:
+            raise ValueError(f"dedup_ttl must be positive (got {dedup_ttl})")
+        if dedup_max <= 0:
+            raise ValueError(f"dedup_max must be positive (got {dedup_max})")
         self.sim = sim
         self.latency = latency
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Dedup-table retention.  The TTL must comfortably exceed the
+        #: worst-case retransmission span (default retry policy: ~25.6s of
+        #: backoff) or a late retransmission of an evicted id would be
+        #: delivered twice; the size cap bounds memory under bursts.
+        self.dedup_ttl = dedup_ttl
+        self.dedup_max = dedup_max
         self.fault_model: FaultModel | None = None
         self._handlers: dict[str, Callable[[ControlMessage], None]] = {}
         self._latency_override: dict[str, float] = {}
@@ -177,11 +189,14 @@ class ControlChannel:
         self.giveups = 0
         self.duplicates = 0
         self.acked = 0
-        #: receiver-side dedup: endpoint -> msg_ids already delivered
-        self._seen: dict[str, set[int]] = {}
+        self.dedup_evictions = 0
+        #: receiver-side dedup: endpoint -> {msg_id: expiry}.  The TTL is
+        #: constant, so insertion order *is* expiry order and eviction
+        #: pops from the front of the (insertion-ordered) dict.
+        self._seen: dict[str, dict[int, float]] = {}
         #: sender-side reliability state: msg_id -> pending retry timer
         self._inflight: dict[int, "Event"] = {}
-        self._acked_ids: set[int] = set()
+        self._acked_ids: dict[int, float] = {}
         metrics = sim.metrics
         self.metric_labels = {"channel": metrics.unique("control")}
         metrics.gauge("channel_sent", fn=lambda: self.sent, **self.metric_labels)
@@ -199,6 +214,37 @@ class ControlChannel:
         self._c_duplicates = metrics.counter(
             "channel_duplicates", **self.metric_labels
         )
+        self._c_dedup_evictions = metrics.counter(
+            "channel_dedup_evictions", **self.metric_labels
+        )
+
+    def _prune_dedup(self, table: dict[int, float], endpoint: str) -> None:
+        """Evict expired/oversize dedup entries from the table's front.
+
+        Entries are inserted with ``now + dedup_ttl`` and the TTL is
+        constant, so the insertion-ordered dict is also expiry-ordered:
+        eviction only ever needs to look at the oldest entry.  Evictions
+        are journaled (batched per call) -- losing dedup state early is a
+        correctness hazard worth an audit trail.
+        """
+        now = self.sim.now
+        evicted = 0
+        while table:
+            msg_id = next(iter(table))
+            if table[msg_id] <= now or len(table) > self.dedup_max:
+                del table[msg_id]
+                evicted += 1
+            else:
+                break
+        if evicted:
+            self.dedup_evictions += evicted
+            self._c_dedup_evictions.inc(evicted)
+            self.sim.journal.record(
+                "ctrl-dedup-evict",
+                endpoint=endpoint,
+                evicted=evicted,
+                retained=len(table),
+            )
 
     def register(self, name: str, handler: Callable[[ControlMessage], None]) -> None:
         """Register (or replace) the message handler for endpoint ``name``."""
@@ -336,7 +382,8 @@ class ControlChannel:
 
         def arrive() -> None:
             if reliable:
-                if message.msg_id in self._seen.setdefault(to, set()):
+                seen = self._seen.setdefault(to, {})
+                if message.msg_id in seen:
                     # Retransmission of an already-delivered message: the
                     # application layer must not see it twice.
                     self.duplicates += 1
@@ -351,7 +398,8 @@ class ControlChannel:
                     self._send_ack(message, to)
                     return
                 if deliver():
-                    self._seen[to].add(message.msg_id)
+                    seen[message.msg_id] = self.sim.now + self.dedup_ttl
+                    self._prune_dedup(seen, to)
                     self._send_ack(message, to)
                 # No handler: no ack -- the sender keeps retrying, which is
                 # exactly right for a crashed-and-restarting controller.
@@ -388,7 +436,8 @@ class ControlChannel:
             if message.msg_id in self._acked_ids:
                 return  # duplicate ack
             self.acked += 1
-            self._acked_ids.add(message.msg_id)
+            self._acked_ids[message.msg_id] = self.sim.now + self.dedup_ttl
+            self._prune_dedup(self._acked_ids, message.sender)
             timer = self._inflight.pop(message.msg_id, None)
             if timer is not None:
                 timer.cancel()

@@ -80,3 +80,65 @@ def test_negative_latency_rejected(sim):
     chan = ControlChannel(sim)
     with pytest.raises(ValueError):
         chan.set_latency_to("x", -0.5)
+
+
+# ---------------------------------------------------------------------------
+# Bounded receiver-side dedup
+# ---------------------------------------------------------------------------
+def test_dedup_rejects_bad_bounds(sim):
+    with pytest.raises(ValueError):
+        ControlChannel(sim, dedup_ttl=0)
+    with pytest.raises(ValueError):
+        ControlChannel(sim, dedup_max=0)
+
+
+def test_dedup_table_stays_bounded_over_10k_messages(sim):
+    """10k seeded reliable messages: delivery stays exactly-once while the
+    dedup table is evicted down to its size bound and expired-TTL entries
+    are pruned -- the table cannot grow with lifetime traffic."""
+    from repro.sdn.channel import FaultModel, RetryPolicy
+
+    chan = ControlChannel(
+        sim,
+        latency=0.002,
+        retry_policy=RetryPolicy(timeout=0.02, max_retries=8),
+        dedup_ttl=20.0,
+        dedup_max=512,
+    )
+    chan.inject_faults(FaultModel(seed=11, drop_prob=0.1))
+    got = []
+    chan.register("ctrl", lambda m: got.append(m.body["n"]))
+    for n in range(10_000):
+        sim.schedule(n * 0.01, chan.send, "sw", "ctrl", "alert", {"n": n}, True)
+    sim.run()
+    # Exactly-once to the application, despite drops + retries.
+    assert sorted(got) == list(range(10_000))
+    assert chan.giveups == 0 and chan.retries > 0
+    # The receiver's table is bounded by size, and TTL pruned the rest.
+    assert len(chan._seen["ctrl"]) <= 512
+    assert chan.dedup_evictions >= 10_000 - 512
+    # Evictions leave an audit trail (batched, not one entry per id; the
+    # journal's own retention bounds how far back the trail reaches).
+    evict_entries = sim.journal.entries(kind="ctrl-dedup-evict")
+    assert evict_entries
+    assert all(e.fields["evicted"] > 0 for e in evict_entries)
+    assert all(e.fields["retained"] <= 512 for e in evict_entries)
+
+
+def test_dedup_ttl_expires_old_entries(sim):
+    from repro.sdn.channel import RetryPolicy
+
+    chan = ControlChannel(
+        sim, latency=0.001, retry_policy=RetryPolicy(), dedup_ttl=1.0
+    )
+    chan.register("ctrl", lambda m: None)
+    chan.send("a", "ctrl", "x", reliable=True)
+    sim.run(until=0.5)
+    assert len(chan._seen["ctrl"]) == 1
+    # A later arrival prunes everything past its TTL.
+    sim.schedule(2.0, chan.send, "a", "ctrl", "y", None, True)
+    sim.run()
+    assert len(chan._seen["ctrl"]) == 1  # only the fresh id remains
+    # Two evictions: the receiver's seen-id and the sender's acked-id,
+    # both expired by the time the second exchange prunes the tables.
+    assert chan.dedup_evictions == 2

@@ -13,6 +13,8 @@ Everything is deterministic: the seeds below pin exact drop patterns, so
 these are replayable counterexample searches, not flaky statistics.
 """
 
+import json
+
 import pytest
 
 from repro.faults import ChaosGenerator, FaultEvent, FaultPlan
@@ -327,3 +329,64 @@ class TestChaosGenerator:
             ChaosGenerator().generate(duration=0.5)  # <= warmup
         with pytest.raises(ValueError):
             ChaosGenerator().generate(duration=10.0, min_fault=5.0, max_fault=1.0)
+
+
+class TestFaultPlanParsing:
+    """``from_json``/``from_dict`` reject malformed plans with an error
+    that names the offending event -- parse time, not mid-run."""
+
+    def test_unknown_kind_names_the_event(self):
+        with pytest.raises(ValueError, match=r"fault event #1 .*meteor-strike"):
+            FaultPlan.from_dict(
+                {
+                    "events": [
+                        {"at": 1.0, "kind": "partition", "target": "*"},
+                        {"at": 2.0, "kind": "meteor-strike", "target": "plug"},
+                    ]
+                }
+            )
+
+    def test_missing_field_names_the_event(self):
+        with pytest.raises(ValueError, match=r"fault event #0 .*'target'"):
+            FaultPlan.from_dict({"events": [{"at": 1.0, "kind": "partition"}]})
+
+    def test_malformed_window_names_the_event(self):
+        with pytest.raises(ValueError, match=r"fault event #0 "):
+            FaultPlan.from_dict(
+                {
+                    "events": [
+                        {
+                            "at": 1.0,
+                            "kind": "partition",
+                            "target": "*",
+                            "duration": "soon",
+                        }
+                    ]
+                }
+            )
+        with pytest.raises(ValueError, match=r"fault event #0 .*duration"):
+            FaultPlan.from_dict(
+                {
+                    "events": [
+                        {"at": 1.0, "kind": "partition", "target": "*", "duration": -3}
+                    ]
+                }
+            )
+
+    def test_rejects_non_object_plans(self):
+        with pytest.raises(ValueError, match="events"):
+            FaultPlan.from_dict([{"at": 1.0}])
+        with pytest.raises(ValueError, match="events"):
+            FaultPlan.from_dict({"events": "partition"})
+
+    def test_from_json_rejects_invalid_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{not json")
+
+    def test_from_json_round_trips_intensity(self):
+        plan = FaultPlan(
+            [FaultEvent(5.0, "alert-storm", "cam", 8.0, intensity=500.0)]
+        )
+        clone = FaultPlan.from_json(json.dumps(plan.as_dict()))
+        assert clone.as_dict() == plan.as_dict()
+        assert clone.events[0].intensity == 500.0

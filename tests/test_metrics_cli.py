@@ -282,3 +282,60 @@ def test_cli_demo_thermal(capsys):
     assert main(["demo", "thermal"]) == 0
     out = capsys.readouterr().out
     assert "window=open" in out and "window=closed" in out
+
+
+class TestFailoverCli:
+    def test_failover_both_arms(self, capsys):
+        assert main(["failover"]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out and "standby" in out
+        assert "blind window" in out
+
+    def test_failover_storm(self, capsys):
+        assert main(["failover", "--storm"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "shed" in out
+        assert "enforcing alerts kept" in out
+
+    def test_failover_json(self, capsys):
+        assert main(["failover", "--json"]) == 0
+        arms = json.loads(capsys.readouterr().out)
+        assert [a["arm"] for a in arms] == ["crash", "standby"]
+
+
+class TestChaosPlanCli:
+    def test_plan_controller_builtin(self, capsys):
+        assert main(["chaos", "--plan", "controller"]) == 0
+        assert "blind window" in capsys.readouterr().out
+
+    def test_plan_from_file(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {"events": [{"at": 2.0, "kind": "partition", "target": "*", "duration": 3.0}]}
+            )
+        )
+        assert main(["chaos", "--plan", str(plan)]) == 0
+        assert "exposure window" in capsys.readouterr().out
+
+    def test_malformed_plan_exits_2_with_one_line(self, tmp_path, capsys):
+        plan = tmp_path / "bad.json"
+        plan.write_text(
+            json.dumps({"events": [{"at": 1.0, "kind": "bogus", "target": "x"}]})
+        )
+        assert main(["chaos", "--plan", str(plan)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error:") and "bogus" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_unreadable_plan_exits_2(self, tmp_path, capsys):
+        assert main(["chaos", "--plan", str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read fault plan")
+
+    def test_invalid_json_plan_exits_2(self, tmp_path, capsys):
+        plan = tmp_path / "nota.json"
+        plan.write_text("{not json")
+        assert main(["chaos", "--plan", str(plan)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Tests for the bounded priority ingest queue (alert-storm shedding)."""
+
+import pytest
+
+from repro.core.overload import (
+    CLASS_ENFORCING,
+    CLASS_MONITOR,
+    CLASS_TELEMETRY,
+    IngestConfig,
+    IngestQueue,
+)
+
+
+def make_queue(sim, handled, **kwargs):
+    config = IngestConfig(**kwargs)
+    return IngestQueue(sim, handler=handled.append, config=config)
+
+
+class TestConfig:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            IngestConfig(capacity=0)
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            IngestConfig(low_watermark=0.8, high_watermark=0.5)
+        with pytest.raises(ValueError):
+            IngestConfig(low_watermark=0.0)
+
+    def test_rejects_negative_service_time(self):
+        with pytest.raises(ValueError):
+            IngestConfig(service_time=-1.0)
+
+
+class TestPriorityService:
+    def test_strict_class_order(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=8, service_time=0.01)
+        q.offer(CLASS_TELEMETRY, "t1")
+        q.offer(CLASS_MONITOR, "m1")
+        q.offer(CLASS_ENFORCING, "e1")
+        q.offer(CLASS_TELEMETRY, "t2")
+        sim.run()
+        assert handled == ["e1", "m1", "t1", "t2"]
+
+    def test_fifo_mode_is_arrival_order(self, sim):
+        handled = []
+        q = make_queue(
+            sim, handled, capacity=8, service_time=0.01, prioritized=False, shed=False
+        )
+        q.offer(CLASS_TELEMETRY, "t1")
+        q.offer(CLASS_ENFORCING, "e1")
+        sim.run()
+        assert handled == ["t1", "e1"]
+
+    def test_service_rate_paces_handling(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=8, service_time=0.5)
+        times = []
+        q.on_processed = lambda cls, lat: times.append(sim.now)
+        for i in range(3):
+            q.offer(CLASS_ENFORCING, i)
+        sim.run()
+        assert times == [0.5, 1.0, 1.5]
+
+
+class TestEviction:
+    def test_full_queue_evicts_newest_lower_class(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=2, service_time=1.0, shed=False)
+        assert q.offer(CLASS_TELEMETRY, "t1")
+        assert q.offer(CLASS_TELEMETRY, "t2")
+        # Full.  An enforcing arrival evicts the *newest* telemetry entry.
+        assert q.offer(CLASS_ENFORCING, "e1")
+        assert q.dropped[CLASS_TELEMETRY] == 1
+        sim.run()
+        assert handled == ["e1", "t1"]
+
+    def test_equal_class_is_dropped_not_evicted(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=1, service_time=1.0, shed=False)
+        assert q.offer(CLASS_ENFORCING, "e1")
+        assert not q.offer(CLASS_ENFORCING, "e2")
+        assert q.dropped[CLASS_ENFORCING] == 1
+
+    def test_fifo_mode_is_drop_tail(self, sim):
+        handled = []
+        q = make_queue(
+            sim, handled, capacity=1, service_time=1.0, prioritized=False, shed=False
+        )
+        assert q.offer(CLASS_TELEMETRY, "t1")
+        assert not q.offer(CLASS_ENFORCING, "e1")
+        assert q.dropped[CLASS_ENFORCING] == 1
+        sim.run()
+        assert handled == ["t1"]
+
+
+class TestShedMode:
+    def test_watermark_enter_and_exit(self, sim):
+        handled = []
+        q = make_queue(
+            sim,
+            handled,
+            capacity=10,
+            service_time=0.01,
+            high_watermark=0.5,
+            low_watermark=0.2,
+        )
+        shed_signals = []
+        q.on_shed = shed_signals.append
+        for i in range(5):
+            q.offer(CLASS_MONITOR, i)
+        assert q.shedding  # depth hit 5 >= 0.5 * 10
+        # Telemetry is refused at the door while shedding.
+        assert not q.offer(CLASS_TELEMETRY, "t")
+        assert q.dropped[CLASS_TELEMETRY] == 1
+        # Higher classes are still admitted.
+        assert q.offer(CLASS_ENFORCING, "e")
+        sim.run()
+        assert not q.shedding  # drained below 0.2 * 10
+        assert shed_signals == [True, False]
+        assert q.shed_transitions == 2
+
+    def test_shed_transitions_journaled(self, sim):
+        handled = []
+        q = make_queue(
+            sim, handled, capacity=4, service_time=0.01, high_watermark=0.5
+        )
+        for i in range(2):
+            q.offer(CLASS_TELEMETRY, i)
+        sim.run()
+        kinds = [e.kind for e in sim.journal.entries() if e.kind.startswith("shed")]
+        assert kinds == ["shed-on", "shed-off"]
+
+    def test_shed_disabled_never_triggers(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=2, service_time=0.01, shed=False)
+        q.offer(CLASS_TELEMETRY, "t1")
+        q.offer(CLASS_TELEMETRY, "t2")
+        assert not q.shedding and q.shed_transitions == 0
+
+
+class TestClear:
+    def test_clear_discards_and_cancels_service(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=8, service_time=0.5)
+        q.offer(CLASS_ENFORCING, "e1")
+        q.offer(CLASS_TELEMETRY, "t1")
+        assert q.clear() == 2
+        sim.run()
+        assert handled == [] and q.depth() == 0

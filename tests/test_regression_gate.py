@@ -214,3 +214,78 @@ class TestBaselines:
         assert set(baseline["e12"]) == {"baseline", "resilient"}, (
             "E12 baseline missing from benchmarks/results/"
         )
+
+
+def _e13(blind_standby=1.5, blind_crash=20.0, enforcing_frac=1.0, **overrides):
+    arms = {
+        "failover": {
+            "crash": {
+                "attack_attempts": 59,
+                "blind_window_s": blind_crash,
+                "events": 1014,
+            },
+            "standby": {
+                "attack_attempts": 59,
+                "blind_window_s": blind_standby,
+                "events": 571,
+            },
+        },
+        "storm": {
+            "fifo": {"enforcing_processed_frac": 0.05, "events": 12796},
+            "shed": {"enforcing_processed_frac": enforcing_frac, "events": 12717},
+        },
+    }
+    arms["failover"]["standby"].update(overrides)
+    return arms
+
+
+class TestSurvivabilityGate:
+    def test_thresholds_pinned(self, gate):
+        assert gate.FAILOVER_BLIND_RATIO == 0.20
+        assert gate.STORM_MIN_ENFORCING_FRAC == 0.90
+
+    def test_blind_ratio_beyond_threshold_fails(self, gate):
+        """A standby blind window at 25% of the outage trips the gate --
+        this is the issue's acceptance bound, not a baseline delta."""
+        current = _current()
+        current["e13"] = _e13(blind_standby=5.0)  # 25% of 20s
+        violations = gate.compare(current, _baseline(), failover_blind_ratio=0.20)
+        assert any("blind window" in v for v in violations)
+
+    def test_storm_fraction_below_floor_fails(self, gate):
+        current = _current()
+        current["e13"] = _e13(enforcing_frac=0.8)
+        violations = gate.compare(
+            current, _baseline(), storm_min_enforcing_frac=0.90
+        )
+        assert any("enforcing" in v for v in violations)
+
+    def test_within_bounds_passes(self, gate):
+        current = _current()
+        current["e13"] = _e13()
+        baseline = _baseline()
+        baseline["e13"] = _e13()
+        assert gate.compare(current, baseline) == []
+
+    def test_deterministic_counter_drift_fails(self, gate):
+        current = _current()
+        current["e13"] = _e13(events=700)  # standby arm drifted
+        baseline = _baseline()
+        baseline["e13"] = _e13()
+        violations = gate.compare(current, baseline)
+        assert any(
+            "e13/failover/standby" in v and "events" in v for v in violations
+        )
+
+    def test_missing_e13_baseline_is_not_a_violation(self, gate):
+        current = _current()
+        current["e13"] = _e13()
+        assert gate.compare(current, _baseline()) == []
+
+    def test_committed_e13_baseline_loads(self, gate):
+        baseline = gate.load_baseline()
+        assert set(baseline["e13"]) == {"failover", "storm"}, (
+            "E13 baseline missing from benchmarks/results/"
+        )
+        assert set(baseline["e13"]["failover"]) == {"crash", "standby"}
+        assert set(baseline["e13"]["storm"]) == {"fifo", "shed"}
