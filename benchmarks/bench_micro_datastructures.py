@@ -8,7 +8,15 @@ every packet or policy decision touches:
 - signature matching against an IDS rule set,
 - SystemState construction/hash (built once per policy evaluation),
 - pruned policy lookup,
-- one full end-to-end packet round trip through a tunnel + µmbox.
+- one full end-to-end packet round trip through a tunnel + µmbox,
+
+plus one bench per hot-path refactor win, so each stays won:
+
+- schedule/fire through the slab/free-list ``Event`` pool,
+- slotted ``Packet`` construction,
+- interned flow-key lookup (cache hit),
+- buffered journal append (the amortized write path),
+- megaflow-cached flow-table lookup (the one-dict-probe fast path).
 """
 
 from __future__ import annotations
@@ -22,9 +30,10 @@ from repro.learning.signatures import (
 )
 from repro.mboxes.base import MboxContext
 from repro.mboxes.ids import SignatureIDS
-from repro.netsim.packet import Packet
+from repro.netsim.packet import Packet, flow_key, intern_flow
 from repro.netsim.simulator import Simulator
 from repro.netsim.switch import Switch
+from repro.obs.journal import Journal
 from repro.policy.builder import PolicyBuilder
 from repro.policy.context import COMPROMISED, SUSPICIOUS, SystemState
 from repro.policy.posture import block_commands, quarantine
@@ -52,6 +61,31 @@ def test_flow_table_lookup_64_rules(benchmark):
     packet = Packet(src="attacker", dst="dev9", dport=8080)
     result = benchmark(switch.lookup, packet, 3)
     assert result is not None and result.priority == 500
+
+
+def test_flow_table_lookup_megaflow_hit(benchmark):
+    """Repeated lookup of one concrete 5-tuple: the megaflow-cache hit.
+
+    The first lookup scans the bucketed table and caches the winner; every
+    later identical lookup must be a single dict probe.  Any table change
+    clears the cache (correctness over retention).
+    """
+    sim = Simulator()
+    switch = Switch("sw", sim)
+    for i in range(16):
+        device = f"dev{i}"
+        switch.install(FlowRule(
+            match=FlowMatch(dst=device), actions=(Action.drop(),), priority=500,
+        ))
+    packet = Packet(src="attacker", dst="dev9", dport=8080)
+    warm = switch.lookup(packet, 3)  # populate the cache
+    result = benchmark(switch.lookup, packet, 3)
+    assert result is warm and result.priority == 500
+    assert len(switch._lookup_cache) == 1
+    switch.install(FlowRule(
+        match=FlowMatch(dst="dev9", dport=8080), actions=(Action.drop(),), priority=400,
+    ))
+    assert len(switch._lookup_cache) == 0  # install invalidates
 
 
 def test_signature_ids_match_30_rules(benchmark):
@@ -106,6 +140,75 @@ def test_pruned_policy_lookup_30_devices(benchmark):
         }
     )
     benchmark(pruned.posture_for, state, "dev7")
+
+
+def test_event_pool_schedule_fire(benchmark):
+    """Schedule + fire 100 events through the slab/free-list pool.
+
+    After the first batch every schedule() is a pool hit (pop + reinit,
+    no allocation): this is the per-event floor of the whole simulator.
+    """
+    sim = Simulator(observe=False)
+
+    def tick() -> None:
+        pass
+
+    def batch():
+        for i in range(100):
+            sim.schedule(0.001 * i, tick)
+        sim.run()
+
+    batch()  # prime the free list
+    benchmark(batch)
+    assert len(sim._free) >= 100  # the pool, not the allocator, fed the batch
+
+
+def test_slotted_packet_construction(benchmark):
+    """Packet is a hand-slotted class: building one must stay dict-free."""
+
+    def build():
+        return Packet(
+            src="attacker", dst="cam", protocol="http", dport=80,
+            payload={"action": "login"},
+        )
+
+    packet = benchmark(build)
+    assert not hasattr(packet, "__dict__")
+
+
+def test_flow_key_cache_hit(benchmark):
+    """Interned Flow lookup: a cache hit allocates nothing new."""
+    packet = Packet(src="cam", dst="hub", protocol="udp", sport=5353, dport=5353)
+    first = intern_flow(
+        packet.src, packet.dst, packet.protocol, packet.sport, packet.dport
+    )
+
+    def hit():
+        return packet.flow
+
+    flow = benchmark(hit)
+    assert flow is first  # same interned object, not an equal copy
+    assert flow_key(packet) == (
+        packet.src, packet.dst, packet.protocol, packet.sport, packet.dport
+    )
+
+
+def test_buffered_journal_append(benchmark):
+    """The amortized write path: one raw-tuple append per record call.
+
+    Segment-boundary bookkeeping (roll + evict) amortizes across
+    ``segment_size`` appends; the benchmark covers full segments so the
+    measured figure includes that amortized share.
+    """
+    journal = Journal(clock=lambda: 0.0, segment_size=512, max_segments=8)
+
+    def append_segment():
+        for __ in range(512):
+            journal.record("verdict", device="cam", verdict="drop", pkt=7)
+
+    benchmark(append_segment)
+    assert journal.recorded >= 512
+    assert len(journal) <= 512 * (8 + 1)  # retention stays bounded
 
 
 def test_end_to_end_packet_round_trip(benchmark):

@@ -8,9 +8,21 @@ simulated minutes of telemetry plus an attack sweep) with observability
 enabled (the default) and disabled (``Simulator(observe=False)``), and
 comparing simulator throughput.
 
-Arms are interleaved and each arm takes its best-of-3 wall time, so a
-noisy-neighbour blip on CI cannot fake a regression.  The threshold is
-5% locally (``REPRO_OBS_OVERHEAD_THRESHOLD`` overrides; CI uses 10%).
+Measurement protocol (shared with ``regression.py`` via
+:func:`measure_overhead`): one *warmup pair* is run and discarded (the
+first runs pay import, allocator and branch-predictor costs that have
+nothing to do with instrumentation), then ``REPEATS`` interleaved
+(on, off) pairs are measured and each arm takes its **best** run.
+Ambient machine noise only ever makes a run *slower*, so the max over N
+runs converges on each arm's true rate; per-pair ratios were tried and
+rejected -- single runs on a shared box swing tens of percent, and the
+two runs of a pair do not share that noise.  Because instrumentation
+cannot make the simulator faster, a negative best-of-N estimate is pure
+residual noise and is clamped to zero (the raw per-pair series is kept
+in the recorded baseline so the noise floor stays visible) -- earlier
+unclamped protocols recorded *negative* overheads in
+``BENCH_TRAJECTORY.json``.  The threshold is 5% locally
+(``REPRO_OBS_OVERHEAD_THRESHOLD`` overrides; CI uses 10%).
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from repro.netsim.simulator import Simulator
 FACTORY_CYCLE = [smart_camera, smart_plug, thermostat, smart_bulb]
 N_DEVICES = 20
 UNTIL = 1800.0
-REPEATS = 3
+REPEATS = 5
 
 
 def run_workload(observe: bool) -> dict:
@@ -77,16 +89,42 @@ def run_workload(observe: bool) -> dict:
     }
 
 
-def test_obs_overhead():
-    # Interleave the arms and keep each arm's best run: wall-clock noise
-    # only ever makes an arm look *slower*, so best-of-N is the fair
-    # estimate of its true cost.
+def measure_overhead(repeats: int = REPEATS) -> dict:
+    """Warmed, interleaved, best-of-N overhead estimate (see module doc).
+
+    Returns ``{"on": best-on-run, "off": best-off-run, "overhead":
+    clamped best-of-N overhead, "pair_overheads": [per-pair overheads]}``
+    -- the per-pair series is recorded so the noise floor is visible in
+    the artifacts instead of silently folded into one number.
+    """
+    # Warmup pair, discarded: the first run of each arm pays one-time
+    # costs (imports, allocator growth, branch caches) that would
+    # otherwise bias whichever arm happens to run first.
+    run_workload(observe=True)
+    run_workload(observe=False)
     on_runs, off_runs = [], []
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         on_runs.append(run_workload(observe=True))
         off_runs.append(run_workload(observe=False))
     on = max(on_runs, key=lambda r: r["events_per_s"])
     off = max(off_runs, key=lambda r: r["events_per_s"])
+    return {
+        "on": on,
+        "off": off,
+        # Instrumentation can only slow the simulator down; a negative
+        # estimate is residual noise, clamped so the trajectory never
+        # records an impossible speedup.
+        "overhead": max(0.0, 1.0 - on["events_per_s"] / off["events_per_s"]),
+        "pair_overheads": [
+            1.0 - a["events_per_s"] / b["events_per_s"]
+            for a, b in zip(on_runs, off_runs)
+        ],
+    }
+
+
+def test_obs_overhead():
+    estimate = measure_overhead()
+    on, off = estimate["on"], estimate["off"]
 
     # Identical simulated work in both arms -- otherwise the comparison
     # would be measuring workload drift, not instrumentation cost.
@@ -99,11 +137,11 @@ def test_obs_overhead():
     journal = Simulator().journal
     assert on["journal_retained"] <= journal.segment_size * journal.max_segments
 
-    overhead = 1.0 - on["events_per_s"] / off["events_per_s"]
+    overhead = estimate["overhead"]
     threshold = float(os.environ.get("REPRO_OBS_OVERHEAD_THRESHOLD", "0.05"))
 
     print_table(
-        "Obs overhead: E9-small with instrumentation on vs off (best of 3)",
+        f"Obs overhead: instrumentation on vs off (warmed best of {REPEATS})",
         ["Arm", "Sim events", "Wall (s)", "Events/s", "Series", "Traces"],
         [
             (
@@ -127,6 +165,7 @@ def test_obs_overhead():
             "on_events_per_s": on["events_per_s"],
             "off_events_per_s": off["events_per_s"],
             "overhead": overhead,
+            "pair_overheads": estimate["pair_overheads"],
             "threshold": threshold,
             "series": on["series"],
             "traces": on["traces"],

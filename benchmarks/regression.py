@@ -30,7 +30,14 @@ but the simulation itself is deterministic:
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/regression.py [--json]
+    PYTHONPATH=src python benchmarks/regression.py [--json] [--record]
+
+``--record`` refreshes the committed wall-clock baselines
+(``test_e9_whole_stack_scale.json``, ``test_e9_small_core_capacity.json``,
+``test_obs_overhead.json``) from this run's own best-of-N measurements.
+Baselines must be recorded with the *same estimator the gate uses*: a
+single lucky pytest-bench pass committed as the baseline would make the
+tightened 10% gate flake on the next ordinary run.
 
 ``compare`` is a pure function over plain dicts so the gate itself is
 unit-testable (including the synthetic-regression case) without running
@@ -50,12 +57,13 @@ from typing import Any
 # Regression thresholds -- the ONE place CI gates are pinned.  Environment
 # variables override for local experiments; CI uses these values.
 # ---------------------------------------------------------------------------
-THROUGHPUT_REGRESSION = 0.20   # max fractional E9 events/s drop vs baseline
+THROUGHPUT_REGRESSION = 0.10   # max fractional E9 events/s drop vs baseline
 OBS_OVERHEAD_LIMIT = 0.10      # max instrumentation overhead (on vs off arm)
 EVENT_COUNT_DRIFT = 0.02       # max fractional drift of deterministic counts
 RESILIENCE_REGRESSION = 0.20   # max fractional growth of E12's exposure window
 FAILOVER_BLIND_RATIO = 0.20    # max standby blind window / crash blind window
 STORM_MIN_ENFORCING_FRAC = 0.90  # min enforcing-alert fraction under shedding
+OBS_PROFILE_FRAC = 0.10        # max share of hot-loop time in any obs frame
 SWEEP = (10, 40, 80)           # E9 device counts measured by the gate
 REPEATS = 5                    # best-of-N wall-clock estimator per data point
 DETERMINISTIC_KEYS = ("events", "pipeline_rounds", "pipeline_applies")
@@ -68,6 +76,7 @@ TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_TRAJECTORY.json"
 SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
 
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
+E9_SMALL_BASELINE = RESULTS_DIR / "test_e9_small_core_capacity.json"
 OVERHEAD_BASELINE = RESULTS_DIR / "test_obs_overhead.json"
 E12_BASELINE = RESULTS_DIR / "test_e12_resilience.json"
 E13_BASELINE = RESULTS_DIR / "test_e13_controller_ha.json"
@@ -89,6 +98,7 @@ def compare(
     resilience_regression: float | None = None,
     failover_blind_ratio: float | None = None,
     storm_min_enforcing_frac: float | None = None,
+    obs_profile_frac: float | None = None,
 ) -> list[str]:
     """Return the list of violations of ``current`` against ``baseline``.
 
@@ -124,6 +134,8 @@ def compare(
         storm_min_enforcing_frac = _threshold(
             "REPRO_REGRESSION_STORM_FRAC", STORM_MIN_ENFORCING_FRAC
         )
+    if obs_profile_frac is None:
+        obs_profile_frac = _threshold("REPRO_OBS_PROFILE_FRAC", OBS_PROFILE_FRAC)
 
     violations: list[str] = []
     base_rows = {row["devices"]: row for row in baseline.get("e9", ())}
@@ -151,11 +163,43 @@ def compare(
                     "a behavior change must re-record the baselines"
                 )
 
+    # E9-small: the event-loop core probe, gated like the sweep rows
+    # (baseline-relative throughput plus exact deterministic event count).
+    small = current.get("e9_small")
+    base_small = baseline.get("e9_small")
+    if small and base_small:
+        if base_small.get("events_per_s", 0) > 0:
+            drop = 1.0 - small["events_per_s"] / base_small["events_per_s"]
+            if drop > throughput_regression:
+                violations.append(
+                    f"e9-small: core capacity dropped {drop:.1%} "
+                    f"({base_small['events_per_s']:,.0f} -> "
+                    f"{small['events_per_s']:,.0f} events/s, "
+                    f"limit {throughput_regression:.0%})"
+                )
+        if "events" in base_small and small.get("events") != base_small["events"]:
+            violations.append(
+                f"e9-small: deterministic event count drifted "
+                f"{base_small['events']} -> {small.get('events')}; "
+                "a behavior change must re-record the baselines"
+            )
+
     overhead = current.get("obs_overhead")
     if overhead is not None and overhead > obs_overhead_limit:
         violations.append(
             f"obs-overhead: instrumentation costs {overhead:.1%} of "
             f"throughput (limit {obs_overhead_limit:.0%})"
+        )
+
+    # cProfile smoke: instrumentation must stay amortized -- no single
+    # obs frame may own more than ``obs_profile_frac`` of hot-loop time.
+    profile = current.get("obs_profile")
+    if profile and profile.get("max_frac", 0.0) > obs_profile_frac:
+        violations.append(
+            f"obs-profile: frame {profile.get('max_frame')} owns "
+            f"{profile['max_frac']:.1%} of hot-loop time "
+            f"(limit {obs_profile_frac:.0%}); a per-event cost snuck "
+            "back into the observability layer"
         )
 
     # E12: the resilience property itself (the resilient arm must bound
@@ -257,9 +301,17 @@ def append_trajectory(
 
 def load_baseline() -> dict[str, Any]:
     """The committed numbers this run is gated against."""
-    baseline: dict[str, Any] = {"e9": [], "obs_overhead": None, "e12": {}, "e13": {}}
+    baseline: dict[str, Any] = {
+        "e9": [],
+        "e9_small": None,
+        "obs_overhead": None,
+        "e12": {},
+        "e13": {},
+    }
     if E9_BASELINE.exists():
         baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
+    if E9_SMALL_BASELINE.exists():
+        baseline["e9_small"] = json.loads(E9_SMALL_BASELINE.read_text()).get("small")
     if OVERHEAD_BASELINE.exists():
         overhead = json.loads(OVERHEAD_BASELINE.read_text()).get("overhead", {})
         baseline["obs_overhead"] = overhead.get("overhead")
@@ -273,13 +325,67 @@ def load_baseline() -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 # Measurement (lazy bench imports so the pure gate is importable anywhere)
 # ---------------------------------------------------------------------------
+def profile_obs_share() -> dict[str, Any]:
+    """cProfile smoke over one E9 run: the observability layer's share.
+
+    Profiles a small whole-stack run and reports, for every frame whose
+    code lives under ``repro/obs``, its *own* (tottime) share of the
+    hot-loop total.  The amortized-telemetry contract says instrumentation
+    rides the hot path as plain attribute adds and buffered appends, so no
+    single obs frame may exceed ``OBS_PROFILE_FRAC`` of the run -- if one
+    does, a per-event cost snuck back in (e.g. an eager gauge evaluation
+    or a per-record flush) and the gate fails.
+    """
+    import cProfile
+    import pstats
+
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    from bench_e9_scale import run_scale
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_scale(SWEEP[0]).pop("sim")
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    sep = os.sep
+    obs_marker = f"{sep}repro{sep}obs{sep}"
+    total = 0.0
+    obs_frames: dict[str, float] = {}
+    for (filename, lineno, funcname), (
+        __cc,
+        __nc,
+        tottime,
+        __ct,
+        __callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        total += tottime
+        if obs_marker in filename:
+            frame = f"{Path(filename).name}:{lineno}({funcname})"
+            obs_frames[frame] = obs_frames.get(frame, 0.0) + tottime
+    if total <= 0.0:
+        return {"max_frame": None, "max_frac": 0.0, "frames": {}}
+    shares = {
+        frame: tottime / total for frame, tottime in sorted(
+            obs_frames.items(), key=lambda kv: kv[1], reverse=True
+        )
+    }
+    max_frame = next(iter(shares), None)
+    return {
+        "max_frame": max_frame,
+        "max_frac": shares.get(max_frame, 0.0) if max_frame else 0.0,
+        "frames": dict(list(shares.items())[:10]),
+    }
+
+
 def measure() -> dict[str, Any]:
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     from bench_e12_resilience import run_arms
     from bench_e13_controller_ha import run_arms as run_ha_arms
-    from bench_e9_scale import run_scale
-    from bench_obs_overhead import run_workload
+    from bench_e9_scale import run_scale, run_small
+    from bench_obs_overhead import measure_overhead
 
     current: dict[str, Any] = {"e9": []}
     spill_sim = None
@@ -294,15 +400,18 @@ def measure() -> dict[str, Any]:
             spill_sim = row.pop("sim")
         current["e9"].append(max(rows, key=lambda r: r["events_per_s"]))
 
-    # Best-of-N interleaved arms, same estimator as the overhead bench.
-    on_runs, off_runs = [], []
-    for _ in range(REPEATS):
-        on_runs.append(run_workload(observe=True))
-        off_runs.append(run_workload(observe=False))
-    on = max(on_runs, key=lambda r: r["events_per_s"])
-    off = max(off_runs, key=lambda r: r["events_per_s"])
-    current["obs_overhead"] = 1.0 - on["events_per_s"] / off["events_per_s"]
-    current["journal_recorded"] = on["journal"]
+    # E9-small: the event-loop core capacity probe (best-of-N).
+    small_rows = [run_small() for _ in range(REPEATS)]
+    current["e9_small"] = max(small_rows, key=lambda r: r["events_per_s"])
+
+    # Warmed interleaved best-of-N pairs, shared with the overhead bench
+    # (one estimator, one definition of "overhead" everywhere).
+    estimate = measure_overhead(repeats=REPEATS)
+    current["obs_overhead"] = estimate["overhead"]
+    current["journal_recorded"] = estimate["on"]["journal"]
+
+    # cProfile smoke: no single obs-layer frame may dominate the hot loop.
+    current["obs_profile"] = profile_obs_share()
 
     # E12/E13 are deterministic (sim-time only): one run is the number.
     current["e12"] = {row["arm"]: row for row in run_arms()}
@@ -321,6 +430,61 @@ def measure() -> dict[str, Any]:
     return current
 
 
+def record_baselines(current: dict[str, Any]) -> list[Path]:
+    """Refresh the committed wall-clock baselines from ``current``.
+
+    Updates only the measurement sections (``sweep`` / ``small`` /
+    ``overhead``) in place, preserving any other keys the pytest benches
+    recorded (e.g. the E9 metrics snapshot), so a ``--record`` run and a
+    bench run stay mergeable.
+    """
+    import datetime
+
+    stamp = {
+        "git_sha": _git_sha(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    written: list[Path] = []
+
+    def _update(path: Path, benchmark: str, key: str, value: Any) -> None:
+        data: dict[str, Any] = {"benchmark": benchmark}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except ValueError:
+                pass
+        data.update(stamp)
+        data[key] = value
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+
+    _update(E9_BASELINE, "test_e9_whole_stack_scale", "sweep", current["e9"])
+    _update(
+        E9_SMALL_BASELINE,
+        "test_e9_small_core_capacity",
+        "small",
+        {
+            k: current["e9_small"][k]
+            for k in ("events", "run_s", "events_per_s")
+            if k in current.get("e9_small", {})
+        },
+    )
+    overhead_value = None
+    if OVERHEAD_BASELINE.exists():
+        try:
+            overhead_value = json.loads(OVERHEAD_BASELINE.read_text()).get("overhead")
+        except ValueError:
+            pass
+    if not isinstance(overhead_value, dict):
+        overhead_value = {}
+    overhead_value["overhead"] = current["obs_overhead"]
+    _update(OVERHEAD_BASELINE, "test_obs_overhead", "overhead", overhead_value)
+    return written
+
+
 def _git_sha() -> str:
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
@@ -332,9 +496,17 @@ def _git_sha() -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="refresh the committed wall-clock baselines from this run",
+    )
     args = parser.parse_args(argv)
 
     current = measure()
+    if args.record:
+        for path in record_baselines(current):
+            print(f"recorded baseline: {path}")
     baseline = load_baseline()
     violations = compare(current, baseline)
 
@@ -349,7 +521,13 @@ def main(argv: list[str] | None = None) -> int:
             {k: row[k] for k in ("devices", "events", "events_per_s") if k in row}
             for row in current["e9"]
         ],
+        "e9_small": {
+            k: current["e9_small"][k]
+            for k in ("events", "events_per_s")
+            if k in current.get("e9_small", {})
+        },
         "obs_overhead": current["obs_overhead"],
+        "obs_profile_max_frac": current.get("obs_profile", {}).get("max_frac"),
         "e12_exposure_s": {
             arm: row["exposure_s"] for arm, row in current.get("e12", {}).items()
         },
@@ -373,7 +551,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"e9@{row['devices']}dev: {row['events_per_s']:,.0f} events/s "
                 f"({row['events']:,} sim events, {row['pipeline_rounds']} rounds)"
             )
+        small = current.get("e9_small") or {}
+        if small:
+            print(
+                f"e9-small (event-loop core): {small['events_per_s']:,.0f} "
+                f"events/s ({small['events']:,} sim events)"
+            )
         print(f"obs overhead: {current['obs_overhead']:.1%}")
+        profile = current.get("obs_profile") or {}
+        if profile.get("max_frame"):
+            print(
+                f"obs profile: hottest obs frame {profile['max_frame']} at "
+                f"{profile['max_frac']:.1%} of hot-loop time"
+            )
         if current.get("e12"):
             windows = " vs ".join(
                 f"{arm}={row['exposure_s']}s" for arm, row in current["e12"].items()

@@ -114,6 +114,15 @@ class IoTSecController:
             else None
         )
         channel.register(name, self.on_control_message)
+        # Hot-path dispatch: control-message kinds resolve through one dict
+        # lookup instead of an if/elif chain that grows with each kind.
+        self._control_dispatch: dict[str, Any] = {
+            "alert": self._on_alert_message,
+            "context": self._on_context_message,
+        }
+        #: Per-device sensor maps (``report_key -> policy variable``),
+        #: cached at registration so telemetry ingest never rebuilds them.
+        self._sensor_maps: dict[str, dict[str, str]] = {}
         # Observability: alert ingress by kind (cached counters) plus a
         # packet-in gauge over the attribute the data path increments.
         metrics = sim.metrics
@@ -149,6 +158,9 @@ class IoTSecController:
     def register_device(self, device: "IoTDevice") -> None:
         """Track a device: seed its context and remember its sensor map."""
         self.devices[device.name] = device
+        model = getattr(device, "model", None)
+        if model is not None:
+            self._sensor_maps[device.name] = dict(model.sensors)
         self.view.set(f"ctx:{device.name}", NORMAL)
         self.view.set(f"dev:{device.name}", device.state)
 
@@ -227,13 +239,18 @@ class IoTSecController:
     def on_control_message(self, message: ControlMessage) -> None:
         if self.crashed:
             return
-        if message.kind == "alert":
-            self._on_alert(message.body, message.sent_at)
-        elif message.kind == "context":
-            variable = str(message.body.get("variable", ""))
-            level = str(message.body.get("level", ""))
-            if variable:
-                self.view.set(f"env:{variable}", level)
+        handler = self._control_dispatch.get(message.kind)
+        if handler is not None:
+            handler(message)
+
+    def _on_alert_message(self, message: ControlMessage) -> None:
+        self._on_alert(message.body, message.sent_at)
+
+    def _on_context_message(self, message: ControlMessage) -> None:
+        variable = str(message.body.get("variable", ""))
+        level = str(message.body.get("level", ""))
+        if variable:
+            self.view.set(f"env:{variable}", level)
 
     def _alert_class(self, device: str, kind: str) -> int:
         """Shedding priority: enforcing-posture alerts > monitor > telemetry."""
@@ -252,7 +269,9 @@ class IoTSecController:
         """Arrival: account for the alert, then queue or dispatch it."""
         device = str(body.get("device", ""))
         kind = str(body.get("kind", ""))
-        detail = dict(body.get("detail", {}))
+        # No defensive copy: ``**detail`` below already copies into the
+        # published event's body, and nothing here mutates it.
+        detail = body.get("detail") or {}
         self.bus.publish("alert", source=str(body.get("mbox", "")), device=device, kind_detail=kind, **detail)
 
         counter = self._alert_counters.get(kind)
@@ -272,7 +291,7 @@ class IoTSecController:
         """Service: the alert reached the front of the loop -- process it."""
         device = str(body.get("device", ""))
         kind = str(body.get("kind", ""))
-        detail = dict(body.get("detail", {}))
+        detail = body.get("detail") or {}  # read-only below; no copy needed
         if kind == "telemetry":
             self._ingest_telemetry(device, detail)
             return
@@ -321,12 +340,16 @@ class IoTSecController:
         state = detail.get("state")
         if state is not None:
             self.view.set(f"dev:{device}", str(state))
-        readings = detail.get("readings", {})
-        model = getattr(self.devices.get(device), "model", None)
-        if model is None:
+        readings = detail.get("readings")
+        if not readings:
             return
-        sensor_map = dict(model.sensors)
-        for report_key, value in dict(readings).items():
+        sensor_map = self._sensor_maps.get(device)
+        if sensor_map is None:
+            model = getattr(self.devices.get(device), "model", None)
+            if model is None:
+                return
+            sensor_map = self._sensor_maps[device] = dict(model.sensors)
+        for report_key, value in readings.items():
             variable = sensor_map.get(report_key)
             if variable is not None:
                 self.view.set(f"env:{variable}", str(value))

@@ -18,7 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _EVENT_IDS = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class SecurityEvent:
     """Anything the controller might react to."""
 
@@ -40,8 +40,13 @@ class EventBus:
         self.sim = sim
         self.history_limit = history_limit
         self.history: list[SecurityEvent] = []
-        self._subscribers: dict[str, list[EventCallback]] = defaultdict(list)
-        self._wildcard: list[EventCallback] = []
+        # Subscriber lists are stored as immutable tuples so ``publish``
+        # can iterate them directly: a subscribe() during delivery swaps
+        # in a *new* tuple, leaving the in-flight iteration untouched --
+        # the same snapshot semantics the old per-publish list() copies
+        # provided, without the per-event allocation.
+        self._subscribers: dict[str, tuple[EventCallback, ...]] = defaultdict(tuple)
+        self._wildcard: tuple[EventCallback, ...] = ()
         self.published = 0
         #: Lifetime per-kind publish counters.  Unlike ``history`` these are
         #: never trimmed, so long runs can still report totals (e.g. how
@@ -51,9 +56,9 @@ class EventBus:
     def subscribe(self, kind: str, callback: EventCallback) -> None:
         """Subscribe to one kind, or ``"*"`` for everything."""
         if kind == "*":
-            self._wildcard.append(callback)
+            self._wildcard = self._wildcard + (callback,)
         else:
-            self._subscribers[kind].append(callback)
+            self._subscribers[kind] = self._subscribers[kind] + (callback,)
 
     def publish(
         self,
@@ -70,9 +75,9 @@ class EventBus:
         self.history.append(event)
         if len(self.history) > self.history_limit:
             del self.history[: len(self.history) // 2]
-        for callback in list(self._subscribers.get(kind, ())):
+        for callback in self._subscribers.get(kind, ()):
             callback(event)
-        for callback in list(self._wildcard):
+        for callback in self._wildcard:
             callback(event)
         return event
 

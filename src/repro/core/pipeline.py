@@ -32,7 +32,7 @@ remain immediately observable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.obs import COUNT_BUCKETS
 from repro.policy.context import COMPROMISED, SEVERITY, SUSPICIOUS
@@ -114,24 +114,35 @@ class EscalationEngine:
 
     def __init__(self, rules: Iterable[EscalationRule]) -> None:
         self.rules: tuple[EscalationRule, ...] = tuple(rules)
-        self._by_kind: dict[str, list[EscalationRule]] = {}
-        self._max_window: dict[str, float] = {}
+        # Precomputed per-kind dispatch: one lookup yields both the rule
+        # tuple and the widest pruning window for that kind, so ``observe``
+        # never walks the full rule list or consults two dicts.
+        by_kind: dict[str, list[EscalationRule]] = {}
         for rule in self.rules:
-            self._by_kind.setdefault(rule.alert_kind, []).append(rule)
-            self._max_window[rule.alert_kind] = max(
-                self._max_window.get(rule.alert_kind, 0.0), rule.window
-            )
+            by_kind.setdefault(rule.alert_kind, []).append(rule)
+        self._kind_table: dict[str, tuple[tuple[EscalationRule, ...], float]] = {
+            kind: (tuple(kind_rules), max(r.window for r in kind_rules))
+            for kind, kind_rules in by_kind.items()
+        }
         self._alert_times: dict[tuple[str, str], list[float]] = {}
 
     def observe(self, device: str, alert_kind: str, at: float) -> str | None:
         """Record one alert; return the most severe context it triggers."""
         times = self._alert_times.setdefault((device, alert_kind), [])
         times.append(at)
-        horizon = at - self._max_window.get(alert_kind, 0.0)
-        if times and times[0] < horizon:
+        entry = self._kind_table.get(alert_kind)
+        if entry is None:
+            # No rule cares about this kind: horizon collapses to ``at``,
+            # so only same-instant timestamps survive (as before).
+            if times[0] < at:
+                times[:] = [t for t in times if t >= at]
+            return None
+        kind_rules, max_window = entry
+        horizon = at - max_window
+        if times[0] < horizon:
             times[:] = [t for t in times if t >= horizon]
         triggered: str | None = None
-        for rule in self._by_kind.get(alert_kind, ()):
+        for rule in kind_rules:
             recent = sum(1 for t in times if t >= at - rule.window)
             if recent >= rule.count and (
                 triggered is None
@@ -211,6 +222,10 @@ class ReactivePipeline:
         self._c_escalations = metrics.counter(
             "pipeline_escalations", **self.metric_labels
         )
+        #: device -> cached ``pipeline_device_applies`` counter, so each
+        #: actuation round does one dict lookup per record instead of a
+        #: full label-set get-or-create through the registry.
+        self._device_apply_counters: dict[str, Any] = {}
 
     def _refresh_policy_view(self) -> None:
         self._policy_keys = tuple(v.key for v in self.policy.space.variables())
@@ -319,9 +334,13 @@ class ReactivePipeline:
             )
             self.reactions.append(reaction)
             self._h_reaction.observe(reaction.latency)
-            metrics.counter(
-                "pipeline_device_applies", device=record.device, **self.metric_labels
-            ).inc()
+            counter = self._device_apply_counters.get(record.device)
+            if counter is None:
+                counter = metrics.counter(
+                    "pipeline_device_applies", device=record.device, **self.metric_labels
+                )
+                self._device_apply_counters[record.device] = counter
+            counter.inc()
             if trace is not None:
                 tracer.span(
                     trace,

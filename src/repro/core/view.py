@@ -24,7 +24,7 @@ ChangeCallback = Callable[[str, str | None, str], None]
 DirtyCallback = Callable[[str], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class ViewEntry:
     value: str
     updated_at: float
@@ -37,8 +37,12 @@ class GlobalView:
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.entries: dict[str, ViewEntry] = {}
-        self._subscribers: list[ChangeCallback] = []
-        self._dirty_subscribers: list[DirtyCallback] = []
+        # Tuples, not lists: _notify iterates them directly and a
+        # subscribe() during notification swaps in a new tuple without
+        # disturbing in-flight iteration (snapshot semantics, allocation
+        # free on the per-change path).
+        self._subscribers: tuple[ChangeCallback, ...] = ()
+        self._dirty_subscribers: tuple[DirtyCallback, ...] = ()
         self.total_updates = 0
 
     # ------------------------------------------------------------------
@@ -70,7 +74,7 @@ class GlobalView:
 
     # ------------------------------------------------------------------
     def subscribe(self, callback: ChangeCallback) -> None:
-        self._subscribers.append(callback)
+        self._subscribers = self._subscribers + (callback,)
 
     def subscribe_dirty(self, callback: DirtyCallback) -> None:
         """Lightweight change notification: just the key that went dirty.
@@ -79,12 +83,12 @@ class GlobalView:
         needs to mark devices dirty, not inspect old/new values, so the
         callback skips building the richer change tuple.
         """
-        self._dirty_subscribers.append(callback)
+        self._dirty_subscribers = self._dirty_subscribers + (callback,)
 
     def _notify(self, key: str, old: str | None, new: str) -> None:
-        for callback in list(self._subscribers):
+        for callback in self._subscribers:
             callback(key, old, new)
-        for dirty in list(self._dirty_subscribers):
+        for dirty in self._dirty_subscribers:
             dirty(key)
 
     # ------------------------------------------------------------------

@@ -115,6 +115,10 @@ class ContinuousVariable(EnvironmentVariable):
         self.minimum = minimum
         self.maximum = maximum
         self._value = self._clamp(initial)
+        # The discrete level is maintained on write (one bisect per set)
+        # rather than recomputed on every read -- physics ticks call
+        # ``set``/``add`` at simulation frequency.
+        self._level = self.level_names[bisect_right(self.thresholds, self._value)]
         #: (time, value) samples; bounded so week-long simulations do not
         #: accumulate gigabytes of physics history.
         self.history: list[tuple[float, float]] = []
@@ -132,14 +136,16 @@ class ContinuousVariable(EnvironmentVariable):
         return self._value
 
     def set(self, value: float, at: float | None = None) -> None:
-        old_level = self.level
-        self._value = self._clamp(value)
+        old_level = self._level
+        self._value = value = self._clamp(value)
+        new_level = self.level_names[bisect_right(self.thresholds, value)]
+        self._level = new_level
         if at is not None:
-            self.history.append((at, self._value))
+            self.history.append((at, value))
             if len(self.history) > self.history_limit:
                 # keep the most recent half; O(1) amortized
                 del self.history[: self.history_limit // 2]
-        if self.level != old_level:
+        if new_level != old_level:
             self._notify()
 
     def add(self, delta: float, at: float | None = None) -> None:
@@ -147,7 +153,7 @@ class ContinuousVariable(EnvironmentVariable):
 
     @property
     def level(self) -> str:
-        return self.level_names[bisect_right(self.thresholds, self._value)]
+        return self._level
 
     def levels(self) -> tuple[str, ...]:
         return self.level_names

@@ -40,7 +40,7 @@ class Verdict(enum.Enum):
     DROP = "drop"
 
 
-@dataclass
+@dataclass(slots=True)
 class Alert:
     """A security event raised by an element."""
 
@@ -58,7 +58,7 @@ class Alert:
         return f"Alert#{self.alert_id}[{self.kind}] {self.device} via {self.mbox}: {self.detail}"
 
 
-@dataclass
+@dataclass(slots=True)
 class MboxContext:
     """What an element can see beyond the packet itself.
 
@@ -258,6 +258,10 @@ class MboxHost(Node):
             **self.metric_labels,
         )
         self._alert_counters: dict[str, Any] = {}
+        # Zero-latency inspection reuses one context per device (only
+        # ``packet`` varies); a delayed inspection gets a fresh context so
+        # an in-flight one never sees a later packet.
+        self._ctx_cache: dict[str, MboxContext] = {}
 
     # ------------------------------------------------------------------
     # Binding (the manager/orchestrator calls these)
@@ -355,26 +359,49 @@ class MboxHost(Node):
         direction = "to_device" if inner.dst == device else "from_device"
         copied = inner.copy()
         copied.meta["direction"] = direction
-        ctx = MboxContext(
-            sim=self.sim,
-            mbox_name=mbox.name,
-            device=device,
-            view=self.view,
-            emit_alert=self._on_alert,
-            packet=copied,
-        )
-
-        def inspect() -> None:
-            verdict, result = mbox.process(copied, ctx)
-            if verdict is Verdict.PASS:
-                self._return_packet(result, ingress, device, in_port)
 
         if self.processing_latency > 0:
             # Model the µmbox's per-packet compute cost ("lightweight and
             # not ... high traffic rates", section 5.2) in simulated time.
-            self.sim.schedule(self.processing_latency, inspect)
+            # Fresh context: it must still hold *this* packet when the
+            # delayed inspection fires.
+            ctx = MboxContext(
+                sim=self.sim,
+                mbox_name=mbox.name,
+                device=device,
+                view=self.view,
+                emit_alert=self._on_alert,
+                packet=copied,
+            )
+            self.sim.schedule(
+                self.processing_latency, self._inspect, mbox, copied, ctx, ingress, device, in_port
+            )
         else:
-            inspect()
+            ctx = self._ctx_cache.get(device)
+            if ctx is None or ctx.mbox_name != mbox.name:
+                ctx = MboxContext(
+                    sim=self.sim,
+                    mbox_name=mbox.name,
+                    device=device,
+                    view=self.view,
+                    emit_alert=self._on_alert,
+                )
+                self._ctx_cache[device] = ctx
+            ctx.packet = copied
+            self._inspect(mbox, copied, ctx, ingress, device, in_port)
+
+    def _inspect(
+        self,
+        mbox: "Mbox",
+        packet: Packet,
+        ctx: MboxContext,
+        ingress: str,
+        device: str,
+        in_port: int,
+    ) -> None:
+        verdict, result = mbox.process(packet, ctx)
+        if verdict is Verdict.PASS:
+            self._return_packet(result, ingress, device, in_port)
 
     def _return_packet(self, inner: Packet, ingress: str, device: str, in_port: int) -> None:
         """Send the surviving packet back to the ingress switch, marked as

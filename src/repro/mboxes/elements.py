@@ -122,7 +122,7 @@ class SourceFilter(Element):
         return f"source_filter(allow={sorted(self.allowed_sources)})"
 
 
-@dataclass
+@dataclass(slots=True)
 class LoggedPacket:
     at: float
     direction: str

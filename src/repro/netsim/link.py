@@ -11,6 +11,11 @@ bound (``max_queue_delay``) discards packets that would wait longer --
 which is what makes volumetric attacks (DNS reflection) physically
 meaningful: they do not just add bytes, they crowd benign traffic off the
 wire.  Links can be administratively downed to model failures.
+
+Hot-path notes: the class is slotted, ``transmit``/``_deliver`` read the
+``_up`` flag directly (the ``up`` property stays for the admin surface),
+and the per-direction busy horizon lives in two plain floats instead of a
+dict keyed by direction.
 """
 
 from __future__ import annotations
@@ -26,6 +31,24 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class Link:
     """A bidirectional point-to-point link."""
+
+    __slots__ = (
+        "sim",
+        "a",
+        "b",
+        "latency",
+        "bandwidth",
+        "max_queue_delay",
+        "_up",
+        "delivered",
+        "dropped",
+        "queue_drops",
+        "_busy_until_ab",
+        "_busy_until_ba",
+        "port_a",
+        "port_b",
+        "metric_labels",
+    )
 
     #: Bumped whenever any link changes up/down state.  Routing caches use
     #: it (together with node/link counts) as an O(1) staleness check
@@ -59,7 +82,8 @@ class Link:
         self.delivered = 0
         self.dropped = 0
         self.queue_drops = 0
-        self._busy_until: dict[int, float] = {0: 0.0, 1: 0.0}  # per direction
+        self._busy_until_ab = 0.0  # a -> b serialization horizon
+        self._busy_until_ba = 0.0  # b -> a serialization horizon
         self.port_a = port_a if port_a is not None else a.free_port()
         self.port_b = port_b if port_b is not None else b.free_port()
         a.attach(self.port_a, self)
@@ -102,27 +126,33 @@ class Link:
         serialize FIFO; a packet that would queue longer than
         ``max_queue_delay`` is drop-tailed.
         """
-        if not self.up:
+        if not self._up:
             self.dropped += 1
             return
-        receiver = self.other_end(sender)
+        from_a = sender is self.a
         delay = self.latency
         if self.bandwidth is not None:
-            direction = 0 if sender is self.a else 1
             now = self.sim.now
-            start = max(now, self._busy_until[direction])
+            start = self._busy_until_ab if from_a else self._busy_until_ba
+            if start < now:
+                start = now
             if start - now > self.max_queue_delay:
                 self.queue_drops += 1
                 self.dropped += 1
                 return
             done = start + packet.size / self.bandwidth
-            self._busy_until[direction] = done
+            if from_a:
+                self._busy_until_ab = done
+            else:
+                self._busy_until_ba = done
             delay = (done - now) + self.latency
-        in_port = self._ingress_port(receiver)
-        self.sim.schedule(delay, self._deliver, receiver, packet, in_port)
+        if from_a:
+            self.sim.schedule(delay, self._deliver, self.b, packet, self.port_b)
+        else:
+            self.sim.schedule(delay, self._deliver, self.a, packet, self.port_a)
 
     def _deliver(self, receiver: "Node", packet: Packet, in_port: int) -> None:
-        if not self.up:
+        if not self._up:
             self.dropped += 1
             return
         self.delivered += 1
@@ -137,5 +167,5 @@ class Link:
         self.up = True
 
     def __repr__(self) -> str:
-        state = "up" if self.up else "DOWN"
+        state = "up" if self._up else "DOWN"
         return f"Link({self.a.name}<->{self.b.name}, {self.latency * 1e3:.2f}ms, {state})"

@@ -17,7 +17,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Node:
-    """Base class for anything attached to the simulated network."""
+    """Base class for anything attached to the simulated network.
+
+    Slotted: the per-packet counters and the port map are the hottest
+    attributes in the forwarding path.  Subclasses may still declare
+    ad-hoc attributes (they get a ``__dict__`` unless they opt into
+    ``__slots__`` themselves).
+    """
+
+    __slots__ = ("name", "sim", "ports", "rx_count", "tx_count", "rx_bytes", "tx_bytes")
 
     def __init__(self, name: str, sim: "Simulator") -> None:
         self.name = name
@@ -61,19 +69,21 @@ class Node:
         unplugged device rather than raising: callers in traffic generators
         should tolerate partial topologies.
         """
+        ports = self.ports
         if port is None:
-            if not self.ports:
+            if not ports:
                 return False  # an unplugged node: traffic goes nowhere
-            if len(self.ports) > 1:
+            if len(ports) > 1:
                 raise ValueError(
                     f"{self.name}: port must be given explicitly "
-                    f"({len(self.ports)} ports attached)"
+                    f"({len(ports)} ports attached)"
                 )
-            port = next(iter(self.ports))
-        link = self.ports.get(port)
+            port = next(iter(ports))
+        link = ports.get(port)
         if link is None:
             return False
-        packet.created_at = packet.created_at or self.sim.now
+        if not packet.created_at:
+            packet.created_at = self.sim.now
         packet.trace.append(self.name)
         self.tx_count += 1
         self.tx_bytes += packet.size

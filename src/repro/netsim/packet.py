@@ -6,18 +6,24 @@ this library are message-oriented (e.g. ``{"cmd": "on"}`` to a smart plug or
 ``{"action": "login", "username": ..., "password": ...}`` to a camera), so a
 structured payload keeps device and µmbox logic explicit rather than buried
 in byte parsing, while ``size`` preserves the traffic-volume dimension.
+
+Hot-path notes: :class:`Packet` is a hand-written ``__slots__`` class (it is
+allocated per hop on the forwarding path), :class:`Flow` objects are interned
+through a bounded cache so repeated lookups of the same 5-tuple share one
+object, and :func:`flow_key` exposes the raw tuple for code that only needs
+a dict/set key (connection trackers) without constructing a Flow at all.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 _PACKET_IDS = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flow:
     """A 5-tuple flow identifier."""
 
@@ -29,10 +35,34 @@ class Flow:
 
     def reversed(self) -> "Flow":
         """The flow for traffic in the opposite direction."""
-        return Flow(self.dst, self.src, self.protocol, self.dport, self.sport)
+        return intern_flow(self.dst, self.src, self.protocol, self.dport, self.sport)
 
 
-@dataclass
+#: Interned flows, keyed by 5-tuple.  Bounded: simulated experiments see a
+#: small, recurring set of flows, but a pathological workload must not leak.
+_FLOW_CACHE: dict[tuple[str, str, str, int, int], Flow] = {}
+_FLOW_CACHE_MAX = 65536
+
+
+def intern_flow(
+    src: str, dst: str, protocol: str = "tcp", sport: int = 0, dport: int = 0
+) -> Flow:
+    """A shared :class:`Flow` for the given 5-tuple (bounded intern cache)."""
+    key = (src, dst, protocol, sport, dport)
+    flow = _FLOW_CACHE.get(key)
+    if flow is None:
+        if len(_FLOW_CACHE) >= _FLOW_CACHE_MAX:
+            _FLOW_CACHE.clear()
+        flow = Flow(src, dst, protocol, sport, dport)
+        _FLOW_CACHE[key] = flow
+    return flow
+
+
+def flow_key(packet: "Packet") -> tuple[str, str, str, int, int]:
+    """The packet's 5-tuple as a plain tuple (cheap dict/set key)."""
+    return (packet.src, packet.dst, packet.protocol, packet.sport, packet.dport)
+
+
 class Packet:
     """A simulated packet / application message.
 
@@ -59,22 +89,50 @@ class Packet:
         Free-form annotations added by µmboxes (e.g. ``{"verdict": "drop"}``).
     """
 
-    src: str
-    dst: str
-    protocol: str = "tcp"
-    sport: int = 0
-    dport: int = 0
-    payload: dict[str, Any] = field(default_factory=dict)
-    size: int = 64
-    created_at: float = 0.0
-    pkt_id: int = field(default_factory=lambda: next(_PACKET_IDS))
-    trace: list[str] = field(default_factory=list)
-    meta: dict[str, Any] = field(default_factory=dict)
+    __slots__ = (
+        "src",
+        "dst",
+        "protocol",
+        "sport",
+        "dport",
+        "payload",
+        "size",
+        "created_at",
+        "pkt_id",
+        "trace",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        protocol: str = "tcp",
+        sport: int = 0,
+        dport: int = 0,
+        payload: dict[str, Any] | None = None,
+        size: int = 64,
+        created_at: float = 0.0,
+        pkt_id: int | None = None,
+        trace: list[str] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.sport = sport
+        self.dport = dport
+        self.payload = {} if payload is None else payload
+        self.size = size
+        self.created_at = created_at
+        self.pkt_id = next(_PACKET_IDS) if pkt_id is None else pkt_id
+        self.trace = [] if trace is None else trace
+        self.meta = {} if meta is None else meta
 
     @property
     def flow(self) -> Flow:
-        """The packet's 5-tuple flow."""
-        return Flow(self.src, self.dst, self.protocol, self.sport, self.dport)
+        """The packet's 5-tuple flow (interned)."""
+        return intern_flow(self.src, self.dst, self.protocol, self.sport, self.dport)
 
     def copy(self, **overrides: Any) -> "Packet":
         """A deep-enough copy with a fresh packet id and optional overrides.

@@ -7,37 +7,119 @@ reads the wall clock, which keeps every experiment deterministic and fast.
 Events scheduled for the same instant fire in the order they were scheduled
 (FIFO tie-breaking via a monotonically increasing sequence number), which
 makes runs reproducible regardless of heap internals.
+
+Hot-path notes (see docs/architecture.md, "Performance architecture"):
+
+- :class:`Event` is a ``__slots__`` class and fired events are recycled
+  through a free list, so steady-state simulation allocates no event
+  objects at all.  The recycling contract: **an Event reference is dead
+  once the event has fired (or been popped as cancelled)** — holders must
+  drop their reference no later than the callback itself (every internal
+  user clears its stored event as the first action when it fires).
+  Calling ``cancel()`` through a stale reference would cancel whatever
+  unrelated event has since been allotted the recycled object.
+- :meth:`run` inlines the pop/skip/fire loop rather than calling
+  :meth:`step` per event; both share the same observable semantics.
+- :meth:`every` uses a preallocated :class:`_Periodic` dispatch object
+  instead of a pair of closures, so each tick re-arms itself without
+  rebuilding cells.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterator
 
 from repro.obs import Journal, MetricsRegistry, Tracer
 
+#: Upper bound on the event free list.  The pool only needs to cover the
+#: peak number of in-flight events; anything beyond that is kept out of
+#: the heap anyway, so a modest cap bounds memory without hurting reuse.
+_POOL_MAX = 4096
+#: Sentinel horizon for ``run(until=None)``: every event time compares below.
+_INF = float("inf")
 
-@dataclass
+
 class Event:
     """A scheduled callback.
 
-    Events order by ``(time, seq)`` so that simultaneous events preserve
-    scheduling order.  The heap stores ``(time, seq, event)`` tuples so
-    ordering uses fast tuple comparison; the event object itself never
-    needs to be compared.
+    The heap stores ``(time, seq, event)`` tuples so ordering uses fast
+    tuple comparison; the event object itself is never compared.  Slotted
+    and pooled: see the module docstring for the recycling contract.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time arrives."""
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
+
+class _Periodic:
+    """Precomputed dispatch object behind :meth:`Simulator.every`.
+
+    One instance per recurrence; the simulator schedules the instance
+    itself as the event callback, so each tick is a plain ``__call__``
+    with no closure-cell traffic.  Only the live (next) event is kept:
+    long-running periodic tasks (health checks, telemetry) must not
+    accumulate one dead Event per fired tick.
+    """
+
+    __slots__ = ("sim", "period", "fn", "args", "until", "stopped", "event")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        period: float,
+        fn: Callable[..., None],
+        args: tuple,
+        until: float | None,
+    ) -> None:
+        self.sim = sim
+        self.period = period
+        self.fn = fn
+        self.args = args
+        self.until = until
+        self.stopped = False
+        self.event: Event | None = sim.schedule(period, self)
+
+    def __call__(self) -> None:
+        if self.stopped:
+            return
+        self.fn(*self.args)
+        sim = self.sim
+        if self.until is None or sim.now + self.period <= self.until:
+            self.event = sim.schedule(self.period, self)
+        else:
+            self.event = None
+
+    def stop(self) -> None:
+        self.stopped = True
+        event = self.event
+        if event is not None:
+            event.cancelled = True
+            self.event = None
 
 
 class Simulator:
@@ -58,6 +140,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        self._free: list[Event] = []
         self._events_processed = 0
         self._executing = False
         #: Shared observability: every component of an experiment registers
@@ -82,12 +165,24 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
         Negative delays are rejected: the simulator never travels backwards.
-        Returns the :class:`Event`, which the caller may later ``cancel()``.
+        Returns the :class:`Event`, which the caller may later ``cancel()``
+        (only while it has not yet fired — see the recycling contract).
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        time = self.now + delay
+        seq = next(self._seq)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, event))
         return event
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
@@ -107,14 +202,23 @@ class Simulator:
         """Schedule ``fn(*args)`` for the current instant (after the caller)."""
         return self.schedule(0.0, fn, *args)
 
+    def _recycle(self, event: Event) -> None:
+        """Return a dead event to the free list (drop refs it pinned)."""
+        event.fn = None  # type: ignore[assignment]
+        event.args = ()
+        if len(self._free) < _POOL_MAX:
+            self._free.append(event)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the single next event.  Returns False when the queue is empty."""
-        while self._heap:
-            __, __, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            __, __, event = heappop(heap)
             if event.cancelled:
+                self._recycle(event)
                 continue
             self.now = event.time
             self._executing = True
@@ -123,6 +227,7 @@ class Simulator:
             finally:
                 self._executing = False
             self._events_processed += 1
+            self._recycle(event)
             return True
         return False
 
@@ -148,20 +253,49 @@ class Simulator:
         the budget stops the run early, ``now`` stays at the last fired
         event (the window was not fully simulated).
         """
+        # Single inlined pop/skip/fire loop (the semantic twin of step()
+        # called in a while loop, minus the per-event call overhead).
+        # Cancelled entries are dropped wherever they surface at the head,
+        # so they neither linger in the heap after an early return nor
+        # mask the true next time.  The ``_executing`` flag and the
+        # processed counter are maintained per *run*, not per event: no
+        # code observes them between events (only callbacks run inside the
+        # loop, and they see ``_executing=True`` either way), and the
+        # counter is settled in the ``finally`` before ``run`` returns --
+        # even when a callback raises.
+        heap = self._heap
+        free = self._free
+        pop = heappop
+        limit = until if until is not None else _INF
+        budget = max_events if max_events is not None else -1
         executed = 0
-        while True:
-            # Drain cancelled entries at the head so they neither linger in
-            # the heap after an early return nor mask the true next time.
-            while self._heap and self._heap[0][2].cancelled:
-                heapq.heappop(self._heap)
-            if not self._heap:
-                break
-            if until is not None and self._heap[0][0] > until:
-                break
-            if max_events is not None and executed >= max_events:
-                return
-            if self.step():
+        self._executing = True
+        try:
+            while heap:
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    pop(heap)
+                    event.fn = None  # type: ignore[assignment]
+                    event.args = ()
+                    if len(free) < _POOL_MAX:
+                        free.append(event)
+                    continue
+                if head[0] > limit:
+                    break
+                if executed == budget:
+                    return
+                pop(heap)
+                self.now = event.time
+                event.fn(*event.args)
                 executed += 1
+                event.fn = None  # type: ignore[assignment]
+                event.args = ()
+                if len(free) < _POOL_MAX:
+                    free.append(event)
+        finally:
+            self._executing = False
+            self._events_processed += executed
         if until is not None and until > self.now:
             self.now = until
 
@@ -190,30 +324,7 @@ class Simulator:
         """
         if period <= 0:
             raise ValueError(f"period must be positive (got {period})")
-        stopped = False
-        # Only the live (next) event is kept: long-running periodic tasks
-        # (health checks, telemetry) must not accumulate one dead Event per
-        # fired tick.
-        live: list[Event | None] = [None]
-
-        def tick() -> None:
-            if stopped:
-                return
-            fn(*args)
-            if until is None or self.now + period <= until:
-                live[0] = self.schedule(period, tick)
-            else:
-                live[0] = None
-
-        def stop() -> None:
-            nonlocal stopped
-            stopped = True
-            if live[0] is not None:
-                live[0].cancel()
-                live[0] = None
-
-        live[0] = self.schedule(period, tick)
-        return stop
+        return _Periodic(self, period, fn, args, until).stop
 
     def timeline(self) -> Iterator[float]:
         """Yield the (sorted) times of currently pending events (debugging)."""

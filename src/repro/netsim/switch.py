@@ -19,6 +19,14 @@ from repro.sdn.tunnel import TUNNEL_PROTOCOL, detunnel, tunnel_packet
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.simulator import Simulator
 
+#: Cache-miss sentinel (``None`` is a valid cached lookup result).
+_MISS = object()
+
+#: Megaflow cache bound: IoT homes have few distinct 5-tuples, so the
+#: cache normally holds tens of entries; the cap only guards pathological
+#: traffic (e.g. a port-scanning attacker) from growing it without bound.
+_LOOKUP_CACHE_MAX = 1024
+
 
 class Switch(Node):
     """A flow-table switch with controller punting and version filtering."""
@@ -42,6 +50,10 @@ class Switch(Node):
         self._by_dst: dict[str, list[tuple[tuple[int, int, int], FlowRule]]] = {}
         self._by_src: dict[str, list[tuple[tuple[int, int, int], FlowRule]]] = {}
         self._wild: list[tuple[tuple[int, int, int], FlowRule]] = []
+        # Megaflow cache (the OVS trick): the winning rule per concrete
+        # 5-tuple + in_port.  Any table or epoch change clears it -- the
+        # scan is the slow path, the cache hit is one dict probe.
+        self._lookup_cache: dict[tuple, Optional[FlowRule]] = {}
         # Observability: callback gauges over the counters above -- they
         # cost nothing until a snapshot samples them.
         metrics = sim.metrics
@@ -67,6 +79,7 @@ class Switch(Node):
         self._by_dst = {}
         self._by_src = {}
         self._wild = []
+        self._lookup_cache.clear()
         for rule in self.flow_table:
             self._index_add(rule)
 
@@ -75,6 +88,7 @@ class Switch(Node):
         self.flow_table.append(rule)
         self.flow_table.sort(key=FlowRule.sort_key)
         self._index_add(rule)
+        self._lookup_cache.clear()
 
     def install_many(self, rules: list[FlowRule]) -> None:
         """Install a batch of rules with a single table re-sort.
@@ -88,6 +102,7 @@ class Switch(Node):
         self.flow_table.sort(key=FlowRule.sort_key)
         for rule in rules:
             self._index_add(rule)
+        self._lookup_cache.clear()
 
     def remove_where(self, predicate: Callable[[FlowRule], bool]) -> int:
         """Remove rules satisfying ``predicate``; returns how many."""
@@ -105,6 +120,7 @@ class Switch(Node):
     def set_active_version(self, version: Optional[int]) -> None:
         """Flip the active configuration epoch (two-phase update commit)."""
         self.active_version = version
+        self._lookup_cache.clear()
 
     def lookup(self, packet: Packet, in_port: int) -> Optional[FlowRule]:
         """Highest-priority live rule matching the packet, or None.
@@ -112,12 +128,21 @@ class Switch(Node):
         A rule is live when it is version-independent or tagged with the
         active version.
         """
+        active = self.active_version
+        src = packet.src
+        dst = packet.dst
+        protocol = packet.protocol
+        sport = packet.sport
+        dport = packet.dport
+        cache_key = (src, dst, protocol, sport, dport, in_port)
+        cached = self._lookup_cache.get(cache_key, _MISS)
+        if cached is not _MISS:
+            return cached
         best: Optional[FlowRule] = None
         best_key: Optional[tuple[int, int, int]] = None
-        active = self.active_version
         for bucket in (
-            self._by_dst.get(packet.dst),
-            self._by_src.get(packet.src),
+            self._by_dst.get(dst),
+            self._by_src.get(src),
             self._wild,
         ):
             if not bucket:
@@ -127,8 +152,22 @@ class Switch(Node):
                     continue
                 if rule.version is not None and rule.version != active:
                     continue
-                if rule.match.matches(packet, in_port):
+                # FlowMatch.matches, inlined over locals: this is the
+                # innermost loop of the data path.
+                m = rule.match
+                if (
+                    (m.src is None or m.src == src)
+                    and (m.dst is None or m.dst == dst)
+                    and (m.protocol is None or m.protocol == protocol)
+                    and (m.sport is None or m.sport == sport)
+                    and (m.dport is None or m.dport == dport)
+                    and (m.in_port is None or m.in_port == in_port)
+                ):
                     best, best_key = rule, key
+        cache = self._lookup_cache
+        if len(cache) >= _LOOKUP_CACHE_MAX:
+            cache.clear()
+        cache[cache_key] = best
         return best
 
     # ------------------------------------------------------------------
@@ -163,20 +202,23 @@ class Switch(Node):
             self.miss_drops += 1
 
     def _apply(self, actions: tuple[Action, ...], packet: Packet, in_port: int) -> None:
+        # Ordered by data-path frequency: edge traffic is dominated by
+        # tunnel/forward actions; drop/controller are the cold verdicts.
         for action in actions:
-            if action.kind == "drop":
-                self.dropped += 1
-            elif action.kind == "forward":
-                self.send(packet, action.port)
-            elif action.kind == "controller":
-                self._table_miss(packet, in_port)
-            elif action.kind == "tunnel":
+            kind = action.kind
+            if kind == "tunnel":
                 outer = tunnel_packet(packet, self.name, action.target)
                 if action.via is not None:
                     # Address the outer packet to the cluster host so that
                     # intermediate switches can route it there.
                     outer.dst = action.via
                 self.send(outer, action.port)
+            elif kind == "forward":
+                self.send(packet, action.port)
+            elif kind == "drop":
+                self.dropped += 1
+            elif kind == "controller":
+                self._table_miss(packet, in_port)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,10 +19,15 @@ Design constraints (shared with the rest of :mod:`repro.obs`):
   whole segment is evicted -- optionally spilled to a JSONL file first --
   so long runs cannot grow memory with event volume (the same contract as
   the tracer's ``max_traces``).
-- **Near-zero hot-path cost.**  ``record`` is one object construction and
-  a list append.  Per-packet PASS verdicts are *not* journaled (only
-  drops, alerts, and control-plane actions are security-relevant);
-  routine ``telemetry`` alerts are excluded like they are from tracing.
+- **Near-zero hot-path cost.**  ``record`` appends one raw tuple to the
+  head segment buffer; :class:`JournalEntry` objects are materialized
+  lazily, only when a reader (forensics, WAL replay, spill/export) asks.
+  Derived counters (``recorded``) fall out of the sequence counter and
+  eviction bookkeeping runs only on segment boundaries, so the per-call
+  cost is amortized exactly as in a buffer-then-ship telemetry pipeline.
+  Per-packet PASS verdicts are *not* journaled (only drops, alerts, and
+  control-plane actions are security-relevant); routine ``telemetry``
+  alerts are excluded like they are from tracing.
 - **Disableable.**  ``Journal(enabled=False)`` (what
   ``Simulator(observe=False)`` creates) makes ``record`` a no-op, so the
   overhead bench measures the journal's cost along with the rest of the
@@ -80,6 +85,18 @@ class JournalEntry:
         )
 
 
+def _raw_as_dict(raw: tuple) -> dict[str, Any]:
+    """Dict form of a raw segment tuple (spill/export without an entry)."""
+    return {
+        "seq": raw[0],
+        "at": raw[1],
+        "kind": raw[2],
+        "device": raw[3],
+        "trace_id": raw[4],
+        "fields": dict(raw[5]),
+    }
+
+
 class Journal:
     """Bounded ring of append-only journal segments with optional spill."""
 
@@ -100,9 +117,13 @@ class Journal:
         self.segment_size = segment_size
         self.max_segments = max_segments
         self.spill_path = spill_path
-        self._segments: deque[list[JournalEntry]] = deque([[]])
+        # Segments hold raw ``(seq, at, kind, device, trace_id, fields)``
+        # tuples; ``_head`` aliases the open segment so the write path
+        # never indexes the deque.  Readers materialize JournalEntry
+        # objects on demand (reads are forensic-frequency, writes are not).
+        self._head: list[tuple] = []
+        self._segments: deque[list[tuple]] = deque([self._head])
         self._next_seq = 1
-        self.recorded = 0
         self.evicted = 0
         self.spilled = 0
 
@@ -111,28 +132,29 @@ class Journal:
     # ------------------------------------------------------------------
     def record(
         self, kind: str, device: str = "", trace: int | None = None, **fields: Any
-    ) -> JournalEntry | None:
-        """Append one entry; returns None when the journal is disabled."""
+    ) -> None:
+        """Append one entry (a no-op when the journal is disabled)."""
         if not self.enabled:
             return None
-        entry = JournalEntry(
-            seq=self._next_seq,
-            at=self.clock(),
-            kind=kind,
-            device=device,
-            trace_id=trace,
-            fields=fields,
-        )
-        self._next_seq += 1
-        self.recorded += 1
-        head = self._segments[-1]
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        head = self._head
         if len(head) >= self.segment_size:
-            self._segments.append([entry])
+            # Segment boundary: roll the buffer and settle eviction --
+            # the only bookkeeping that is not a plain append.
+            head = [(seq, self.clock(), kind, device, trace, fields)]
+            self._segments.append(head)
+            self._head = head
             if len(self._segments) > self.max_segments:
                 self._evict_oldest()
         else:
-            head.append(entry)
-        return entry
+            head.append((seq, self.clock(), kind, device, trace, fields))
+        return None
+
+    @property
+    def recorded(self) -> int:
+        """Entries ever recorded (derived from the sequence counter)."""
+        return self._next_seq - 1
 
     def _evict_oldest(self) -> None:
         segment = self._segments.popleft()
@@ -140,8 +162,8 @@ class Journal:
         if self.spill_path is not None:
             try:
                 with open(self.spill_path, "a", encoding="utf-8") as fh:
-                    for entry in segment:
-                        fh.write(json.dumps(entry.as_dict(), default=str) + "\n")
+                    for raw in segment:
+                        fh.write(json.dumps(_raw_as_dict(raw), default=str) + "\n")
                 self.spilled += len(segment)
             except OSError:
                 pass  # spill is best-effort; retention bounds still hold
@@ -167,17 +189,18 @@ class Journal:
         """
         out = []
         for segment in reversed(self._segments):
-            if segment and segment[-1].seq <= seq:
+            if segment and segment[-1][0] <= seq:
                 break
-            for entry in segment:
-                if entry.seq > seq:
-                    out.append(entry)
-        out.sort(key=lambda e: e.seq)
-        return out
+            for raw in segment:
+                if raw[0] > seq:
+                    out.append(raw)
+        out.sort(key=lambda raw: raw[0])
+        return [JournalEntry(*raw) for raw in out]
 
     def __iter__(self) -> Iterator[JournalEntry]:
         for segment in self._segments:
-            yield from segment
+            for raw in segment:
+                yield JournalEntry(*raw)
 
     def __len__(self) -> int:
         """Retained (in-memory) entries."""
@@ -251,9 +274,10 @@ class Journal:
         """
         n = 0
         with open(path, "w", encoding="utf-8") as fh:
-            for entry in self:
-                fh.write(json.dumps(entry.as_dict(), default=str) + "\n")
-                n += 1
+            for segment in self._segments:
+                for raw in segment:
+                    fh.write(json.dumps(_raw_as_dict(raw), default=str) + "\n")
+                    n += 1
         return n
 
     def __repr__(self) -> str:

@@ -92,19 +92,21 @@ class ConnectionTracker:
     established: set[tuple[str, str, str, int, int]] = field(default_factory=set)
 
     def note_outbound(self, packet: Packet) -> None:
-        flow = packet.flow
+        # The packet's 5-tuple, taken directly off the header fields --
+        # same key as flow_key(packet), no Flow object in the fast path.
         self.established.add(
-            (flow.src, flow.dst, flow.protocol, flow.sport, flow.dport)
+            (packet.src, packet.dst, packet.protocol, packet.sport, packet.dport)
         )
 
     def is_reply(self, packet: Packet) -> bool:
-        flow = packet.flow.reversed()
+        # Reversed 5-tuple: a reply to (src, dst, sport, dport) travels
+        # (dst, src, dport, sport).
         return (
-            flow.src,
-            flow.dst,
-            flow.protocol,
-            flow.sport,
-            flow.dport,
+            packet.dst,
+            packet.src,
+            packet.protocol,
+            packet.dport,
+            packet.sport,
         ) in self.established
 
     def __len__(self) -> int:

@@ -44,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _MSG_IDS = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMessage:
     """An envelope on the control channel."""
 
@@ -380,31 +380,35 @@ class ControlChannel:
         if self.fault_model is not None:
             delay += self.fault_model.extra_delay()
 
+        if not reliable:
+            # Fast path: no dedup, no ack -- deliver directly, without
+            # building the reliable arrival closure (alerts and telemetry
+            # ride here, at data-plane volume).
+            self.sim.schedule(delay, deliver)
+            return
+
         def arrive() -> None:
-            if reliable:
-                seen = self._seen.setdefault(to, {})
-                if message.msg_id in seen:
-                    # Retransmission of an already-delivered message: the
-                    # application layer must not see it twice.
-                    self.duplicates += 1
-                    self._c_duplicates.inc()
-                    self.sim.journal.record(
-                        "ctrl-dup",
-                        device=self._journal_device(message),
-                        msg=message.msg_id,
-                        msg_kind=message.kind,
-                        to=to,
-                    )
-                    self._send_ack(message, to)
-                    return
-                if deliver():
-                    seen[message.msg_id] = self.sim.now + self.dedup_ttl
-                    self._prune_dedup(seen, to)
-                    self._send_ack(message, to)
-                # No handler: no ack -- the sender keeps retrying, which is
-                # exactly right for a crashed-and-restarting controller.
+            seen = self._seen.setdefault(to, {})
+            if message.msg_id in seen:
+                # Retransmission of an already-delivered message: the
+                # application layer must not see it twice.
+                self.duplicates += 1
+                self._c_duplicates.inc()
+                self.sim.journal.record(
+                    "ctrl-dup",
+                    device=self._journal_device(message),
+                    msg=message.msg_id,
+                    msg_kind=message.kind,
+                    to=to,
+                )
+                self._send_ack(message, to)
                 return
-            deliver()
+            if deliver():
+                seen[message.msg_id] = self.sim.now + self.dedup_ttl
+                self._prune_dedup(seen, to)
+                self._send_ack(message, to)
+            # No handler: no ack -- the sender keeps retrying, which is
+            # exactly right for a crashed-and-restarting controller.
 
         self.sim.schedule(delay, arrive)
 

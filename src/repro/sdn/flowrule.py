@@ -17,7 +17,7 @@ from repro.netsim.packet import Packet
 _RULE_IDS = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowMatch:
     """A header-level match predicate.  ``None`` fields are wildcards."""
 
@@ -82,7 +82,7 @@ class FlowMatch:
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Action:
     """A forwarding action.
 

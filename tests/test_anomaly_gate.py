@@ -7,11 +7,16 @@ from repro.mboxes.base import MboxContext, Verdict
 from repro.netsim.packet import Packet
 
 
+class _RecordingContext(MboxContext):
+    """Regains ``__dict__`` (MboxContext is slotted) so the fixture can
+    attach the captured alerts list."""
+
+
 @pytest.fixture
 def make_ctx(sim):
     def build(view_values=None):
         alerts = []
-        ctx = MboxContext(
+        ctx = _RecordingContext(
             sim=sim,
             mbox_name="m",
             device="thermo",

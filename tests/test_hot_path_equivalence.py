@@ -1,0 +1,204 @@
+"""Hot-path refactor equivalence: seeded runs must not change behavior.
+
+The data-plane refactor (slotted events/packets, free-list pools, buffered
+journal segments, dispatch-table loops) is wall-clock-only by contract:
+a seeded run must schedule the same events, produce the same journal
+entries, and land on the same deterministic counters as it did before the
+refactor.  These tests pin that contract against fixtures recorded on the
+pre-refactor tree (``tests/fixtures/hot_path_equivalence.json``).
+
+Three seeded scenarios are pinned:
+
+- **e9-small** -- a fully-tunnelled 12-device home with telemetry and an
+  attack sweep (the E9 hot path in miniature);
+- **e12-resilient** -- the standard chaos scenario's resilient arm
+  (partitions, retries, µmbox crash/reboot);
+- **e13-standby** -- the hot-standby failover arm (checkpoints,
+  replication, takeover).
+
+Each scenario is reduced to a sha256 digest over every retained journal
+entry plus a handful of deterministic counters.  Re-record (only after an
+*intentional* behavior change) with::
+
+    REPRO_RECORD_FIXTURES=1 PYTHONPATH=src python -m pytest \
+        tests/test_hot_path_equivalence.py -q
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.attacks.exploits import EXPLOITS
+from repro.core.deployment import SecuredDeployment
+from repro.core.orchestrator import build_recommended_posture
+from repro.devices.library import smart_bulb, smart_camera, smart_plug, thermostat
+from repro.faults.ha_scenario import run_failover_scenario
+from repro.faults.scenario import run_resilience_scenario
+
+FIXTURE_PATH = Path(__file__).resolve().parent / "fixtures" / "hot_path_equivalence.json"
+RECORDING = bool(os.environ.get("REPRO_RECORD_FIXTURES"))
+
+FACTORY_CYCLE = (smart_camera, smart_plug, thermostat, smart_bulb)
+
+
+# Journal fields backed by process-global allocation counters (packet ids,
+# control-message ids).  They depend on what else ran earlier in the same
+# interpreter, not on the seeded scenario, so the digest must ignore them.
+_ALLOCATION_ID_FIELDS = frozenset({"pkt", "msg"})
+
+
+def journal_digest(sim) -> str:
+    """sha256 over every retained journal entry, in canonical JSON form."""
+    h = hashlib.sha256()
+    for entry in sim.journal:
+        d = entry.as_dict()
+        fields = d.get("fields")
+        if fields and not _ALLOCATION_ID_FIELDS.isdisjoint(fields):
+            d["fields"] = {
+                k: v for k, v in fields.items() if k not in _ALLOCATION_ID_FIELDS
+            }
+        h.update(json.dumps(d, sort_keys=True, default=str).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def run_e9_small(n_devices: int = 12, until: float = 240.0) -> dict:
+    """The E9 hot path in miniature: tunnelled devices, telemetry, attacks."""
+    dep = SecuredDeployment.build()
+    trusted = (dep.HUB, dep.CONTROLLER)
+    for i in range(n_devices):
+        factory = FACTORY_CYCLE[i % len(FACTORY_CYCLE)]
+        device = dep.add_device(
+            factory, f"dev{i}", report_to="hub", telemetry_period=20.0
+        )
+        device.start_telemetry()
+    attacker = dep.add_attacker()
+    dep.finalize()
+    for i in range(n_devices):
+        name = f"dev{i}"
+        device = dep.devices[name]
+        if "exposed-credentials" in device.firmware.flaw_classes():
+            posture = build_recommended_posture("password_proxy", name)
+        elif device.firmware.flaw_classes() & {"backdoor", "exposed-access"}:
+            posture = build_recommended_posture(
+                "stateful_firewall", name, trusted_sources=trusted
+            )
+        else:
+            posture = build_recommended_posture("monitor", name, sku=device.sku)
+        dep.secure(name, posture)
+    EXPLOITS["default_credential_hijack"].launch(attacker, "dev0", dep.sim)
+    EXPLOITS["backdoor_command"].launch(
+        attacker, "dev1", dep.sim, backdoor_port=49153, command="on"
+    )
+    dep.run(until=until)
+
+    stats = dep.controller.pipeline.stats
+    channel = dep.channel
+    return {
+        "journal_sha256": journal_digest(dep.sim),
+        "counters": {
+            "events_processed": dep.sim.events_processed,
+            "journal_recorded": dep.sim.journal.recorded,
+            "journal_retained": len(dep.sim.journal),
+            "pipeline_ingested": stats.ingested,
+            "pipeline_rounds": stats.rounds,
+            "pipeline_evaluations": stats.evaluations,
+            "pipeline_applies": stats.applies,
+            "channel_sent": channel.sent,
+            "channel_delivered": channel.delivered,
+            "compromised": sum(
+                1 for d in dep.devices.values() if d.is_compromised()
+            ),
+        },
+    }
+
+
+def run_e12_resilient() -> dict:
+    row = run_resilience_scenario(resilient=True, seed=7, keep_dep=True)
+    dep = row.pop("dep")
+    return {
+        "journal_sha256": journal_digest(dep.sim),
+        "counters": {
+            "events_processed": dep.sim.events_processed,
+            "journal_recorded": dep.sim.journal.recorded,
+            "attack_attempts": row["attack_attempts"],
+            "attack_successes": row["attack_successes"],
+            "exposure_s": row["exposure_s"],
+            "ctrl_drops": row["ctrl_drops"],
+            "ctrl_retries": row["ctrl_retries"],
+            "ctrl_giveups": row["ctrl_giveups"],
+            "mbox_restarts": row["mbox_restarts"],
+        },
+    }
+
+
+def run_e13_standby() -> dict:
+    row = run_failover_scenario(standby=True, seed=7, keep_dep=True)
+    dep = row.pop("dep")
+    return {
+        "journal_sha256": journal_digest(dep.sim),
+        "counters": {
+            "events_processed": dep.sim.events_processed,
+            "journal_recorded": dep.sim.journal.recorded,
+            "attack_attempts": row["attack_attempts"],
+            "blind_window_s": row["blind_window_s"],
+            "failovers": row["failovers"],
+            "replayed": row["replayed"],
+            "ctrl_giveups": row["ctrl_giveups"],
+        },
+    }
+
+
+SCENARIOS = {
+    "e9_small": run_e9_small,
+    "e12_resilient": run_e12_resilient,
+    "e13_standby": run_e13_standby,
+}
+
+
+def _load_fixture() -> dict:
+    if not FIXTURE_PATH.exists():
+        pytest.fail(
+            f"missing fixture {FIXTURE_PATH}; record it with "
+            "REPRO_RECORD_FIXTURES=1 (on a tree whose behavior is the "
+            "intended reference)"
+        )
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+def _record(name: str, result: dict) -> None:
+    FIXTURE_PATH.parent.mkdir(exist_ok=True)
+    fixture = json.loads(FIXTURE_PATH.read_text()) if FIXTURE_PATH.exists() else {}
+    fixture[name] = result
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_seeded_run_matches_pre_refactor_fixture(name):
+    result = SCENARIOS[name]()
+    if RECORDING:
+        _record(name, result)
+        return
+    expected = _load_fixture()[name]
+    assert result["counters"] == expected["counters"], (
+        f"{name}: deterministic counters drifted -- the refactor changed "
+        "behavior, not just speed"
+    )
+    assert result["journal_sha256"] == expected["journal_sha256"], (
+        f"{name}: journal digest changed -- the flight recorder saw a "
+        "different history than the pre-refactor tree"
+    )
+
+
+def test_seeded_run_is_self_deterministic():
+    """Two identical seeded runs in one process agree exactly -- the
+    precondition for cross-commit digest pinning to mean anything."""
+    a = run_e9_small(n_devices=6, until=120.0)
+    b = run_e9_small(n_devices=6, until=120.0)
+    assert a["counters"] == b["counters"]
+    assert a["journal_sha256"] == b["journal_sha256"]

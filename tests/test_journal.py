@@ -18,13 +18,26 @@ def _clocked(start: float = 0.0):
 class TestRecording:
     def test_entries_are_stamped_and_sequenced(self):
         journal, state = _clocked()
-        a = journal.record("alert", device="cam", trace=7, alert_kind="login-rejected")
+        journal.record("alert", device="cam", trace=7, alert_kind="login-rejected")
         state["now"] = 2.5
-        b = journal.record("verdict", device="cam", verdict="drop")
+        journal.record("verdict", device="cam", verdict="drop")
+        a, b = list(journal)
         assert (a.seq, a.at, a.kind, a.device, a.trace_id) == (1, 0.0, "alert", "cam", 7)
         assert a.fields == {"alert_kind": "login-rejected"}
         assert (b.seq, b.at) == (2, 2.5)
         assert journal.recorded == 2 and len(journal) == 2
+
+    def test_record_does_not_touch_the_clock_when_disabled(self):
+        """Zero-cost contract: a disabled journal must not even read time."""
+        calls = []
+
+        def clock() -> float:
+            calls.append(1)
+            return 0.0
+
+        journal = Journal(clock=clock, enabled=False)
+        journal.record("alert", device="cam")
+        assert calls == []
 
     def test_sequence_numbers_strictly_monotonic_across_eviction(self):
         journal, __ = _clocked()

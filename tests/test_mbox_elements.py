@@ -18,10 +18,15 @@ from repro.mboxes.ratelimit import RateLimiter
 from repro.netsim.packet import Packet
 
 
+class _RecordingContext(MboxContext):
+    """Regains ``__dict__`` (MboxContext is slotted) so the fixture can
+    attach the captured alerts list."""
+
+
 @pytest.fixture
 def ctx(sim):
     alerts = []
-    context = MboxContext(
+    context = _RecordingContext(
         sim=sim,
         mbox_name="mbox-test",
         device="dev",

@@ -382,3 +382,29 @@ class TestDisabledRegistryIdentity:
         reg.gauge("a").set(5)
         reg.histogram("a").observe(5)
         assert reg.value("a") is None
+
+    def test_gauge_callbacks_never_evaluated_when_disabled(self):
+        """observe=False must not merely hide gauges -- the registered
+        callback must never run (a lambda over live state could be
+        arbitrarily expensive)."""
+        reg = MetricsRegistry(enabled=False)
+        calls = []
+        reg.gauge("hot", fn=lambda: calls.append(1) or 0.0)
+        assert reg.snapshot()["gauges"] == {}
+        assert calls == []
+
+    def test_null_instrument_methods_are_bytecode_noops(self):
+        """The null path is *truly* zero-cost: each no-op method body is
+        a bare return (no attribute writes, no calls) -- the bytecode-level
+        equivalent of ``pass``."""
+        import dis
+
+        from repro.obs.registry import _NullCounter, _NullGauge, _NullHistogram
+
+        def _pass(self, value=0):
+            pass
+
+        expected = [op.opname for op in dis.get_instructions(_pass)]
+        for method in (_NullCounter.inc, _NullGauge.set, _NullHistogram.observe):
+            ops = [op.opname for op in dis.get_instructions(method)]
+            assert ops == expected, f"{method.__qualname__} is not a bare no-op"
