@@ -26,7 +26,14 @@ but the simulation itself is deterministic:
   window must stay under ``FAILOVER_BLIND_RATIO`` of the cold-restart
   arm's, and prioritized shedding must process at least
   ``STORM_MIN_ENFORCING_FRAC`` of enforcing-class alerts under the 10x
-  storm.
+  storm;
+- **durability**: the E14 telemetry-plane pair (also sim-time) -- the
+  durable arm must deliver every record it emitted across the 2.5 h
+  partition (``telemetry_loss == 0``, a hard gate) with the buffer's
+  peak depth under ``E14_PEAK_BUFFER_LIMIT``, while the lossy arm still
+  shows the loss the durable plane exists to prevent.  The durable arm's
+  dead-letter queue is exported to ``results/dlq_sample.jsonl`` as a CI
+  artifact.
 
 Usage::
 
@@ -63,23 +70,34 @@ EVENT_COUNT_DRIFT = 0.02       # max fractional drift of deterministic counts
 RESILIENCE_REGRESSION = 0.20   # max fractional growth of E12's exposure window
 FAILOVER_BLIND_RATIO = 0.20    # max standby blind window / crash blind window
 STORM_MIN_ENFORCING_FRAC = 0.90  # min enforcing-alert fraction under shedding
+E14_PEAK_BUFFER_LIMIT = 2048   # max stream-buffer records held during the outage
 OBS_PROFILE_FRAC = 0.10        # max share of hot-loop time in any obs frame
 SWEEP = (10, 40, 80)           # E9 device counts measured by the gate
 REPEATS = 5                    # best-of-N wall-clock estimator per data point
 DETERMINISTIC_KEYS = ("events", "pipeline_rounds", "pipeline_applies")
 E12_DETERMINISTIC_KEYS = ("attack_attempts", "attack_successes", "events")
 E13_DETERMINISTIC_KEYS = ("attack_attempts", "blind_window_s", "events")
+E14_DETERMINISTIC_KEYS = (
+    "emitted",
+    "received",
+    "telemetry_loss",
+    "delivered",
+    "peak_depth",
+    "events",
+)
 
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
 TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_TRAJECTORY.json"
 SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
+DLQ_SAMPLE_PATH = RESULTS_DIR / "dlq_sample.jsonl"
 
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
 E9_SMALL_BASELINE = RESULTS_DIR / "test_e9_small_core_capacity.json"
 OVERHEAD_BASELINE = RESULTS_DIR / "test_obs_overhead.json"
 E12_BASELINE = RESULTS_DIR / "test_e12_resilience.json"
 E13_BASELINE = RESULTS_DIR / "test_e13_controller_ha.json"
+E14_BASELINE = RESULTS_DIR / "test_e14_durable_telemetry.json"
 
 
 def _threshold(env: str, default: float) -> float:
@@ -99,6 +117,7 @@ def compare(
     failover_blind_ratio: float | None = None,
     storm_min_enforcing_frac: float | None = None,
     obs_profile_frac: float | None = None,
+    e14_peak_buffer_limit: float | None = None,
 ) -> list[str]:
     """Return the list of violations of ``current`` against ``baseline``.
 
@@ -136,6 +155,10 @@ def compare(
         )
     if obs_profile_frac is None:
         obs_profile_frac = _threshold("REPRO_OBS_PROFILE_FRAC", OBS_PROFILE_FRAC)
+    if e14_peak_buffer_limit is None:
+        e14_peak_buffer_limit = _threshold(
+            "REPRO_E14_PEAK_BUFFER", E14_PEAK_BUFFER_LIMIT
+        )
 
     violations: list[str] = []
     base_rows = {row["devices"]: row for row in baseline.get("e9", ())}
@@ -278,6 +301,47 @@ def compare(
                         f"drifted {b} -> {c} (allowed {event_count_drift:.0%}); "
                         "a behavior change must re-record the baselines"
                     )
+
+    # E14: telemetry durability.  Zero loss is an absolute property, not a
+    # baseline delta: any record the durable plane emitted but never
+    # processed is a bug.  The peak-depth ceiling pins bounded memory, and
+    # the lossy arm must keep *showing* loss -- if it stops, the scenario
+    # no longer exercises the partition the durable plane exists for.
+    e14 = current.get("e14") or {}
+    e14_base = baseline.get("e14") or {}
+    durable, lossy = e14.get("durable"), e14.get("lossy")
+    if durable:
+        if durable.get("telemetry_loss", 0) != 0:
+            violations.append(
+                f"e14: durable arm lost {durable['telemetry_loss']} records "
+                "across the partition (must be exactly 0)"
+            )
+        if durable.get("peak_depth", 0) > e14_peak_buffer_limit:
+            violations.append(
+                f"e14: stream buffer peaked at {durable['peak_depth']} records "
+                f"(ceiling {e14_peak_buffer_limit:.0f}); the outage no longer "
+                "fits the pinned memory budget"
+            )
+    if lossy and lossy.get("telemetry_loss", 1) <= 0:
+        violations.append(
+            "e14: the lossy arm shows no telemetry loss -- the partition "
+            "scenario stopped exercising the failure the durable plane "
+            "is gated on"
+        )
+    for arm, committed_arm in e14_base.items():
+        cur_arm = e14.get(arm)
+        if not cur_arm:
+            continue
+        for key in E14_DETERMINISTIC_KEYS:
+            if key not in committed_arm or key not in cur_arm:
+                continue
+            b, c = committed_arm[key], cur_arm[key]
+            if abs(c - b) > event_count_drift * max(abs(b), 1):
+                violations.append(
+                    f"e14/{arm}: deterministic counter {key} drifted "
+                    f"{b} -> {c} (allowed {event_count_drift:.0%}); "
+                    "a behavior change must re-record the baselines"
+                )
     return violations
 
 
@@ -307,6 +371,7 @@ def load_baseline() -> dict[str, Any]:
         "obs_overhead": None,
         "e12": {},
         "e13": {},
+        "e14": {},
     }
     if E9_BASELINE.exists():
         baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
@@ -319,6 +384,8 @@ def load_baseline() -> dict[str, Any]:
         baseline["e12"] = json.loads(E12_BASELINE.read_text()).get("arms", {})
     if E13_BASELINE.exists():
         baseline["e13"] = json.loads(E13_BASELINE.read_text()).get("arms", {})
+    if E14_BASELINE.exists():
+        baseline["e14"] = json.loads(E14_BASELINE.read_text()).get("arms", {})
     return baseline
 
 
@@ -384,6 +451,7 @@ def measure() -> dict[str, Any]:
         sys.path.insert(0, str(BENCH_DIR))
     from bench_e12_resilience import run_arms
     from bench_e13_controller_ha import run_arms as run_ha_arms
+    from bench_e14_durable_telemetry import run_arms as run_durable_arms
     from bench_e9_scale import run_scale, run_small
     from bench_obs_overhead import measure_overhead
 
@@ -413,11 +481,17 @@ def measure() -> dict[str, Any]:
     # cProfile smoke: no single obs-layer frame may dominate the hot loop.
     current["obs_profile"] = profile_obs_share()
 
-    # E12/E13 are deterministic (sim-time only): one run is the number.
+    # E12/E13/E14 are deterministic (sim-time only): one run is the number.
     current["e12"] = {row["arm"]: row for row in run_arms()}
     ha = run_ha_arms()
     current["e13"] = {
         group: {row["arm"]: row for row in rows} for group, rows in ha.items()
+    }
+    # E14 also exports the durable arm's dead-letter queue as a CI
+    # artifact alongside the journal sample below.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    current["e14"] = {
+        row["arm"]: row for row in run_durable_arms(str(DLQ_SAMPLE_PATH))
     }
 
     # CI artifact: a journal sample from the largest E9 run, so every
@@ -539,6 +613,10 @@ def main(argv: list[str] | None = None) -> int:
             arm: row["enforcing_processed_frac"]
             for arm, row in current.get("e13", {}).get("storm", {}).items()
         },
+        "e14_telemetry_loss": {
+            arm: row["telemetry_loss"] for arm, row in current.get("e14", {}).items()
+        },
+        "e14_peak_depth": current.get("e14", {}).get("durable", {}).get("peak_depth"),
         "violations": violations,
     }
     append_trajectory(entry)
@@ -579,6 +657,17 @@ def main(argv: list[str] | None = None) -> int:
                 for arm, row in current["e13"].get("storm", {}).items()
             )
             print(f"e13 blind window: {blind}; enforcing kept: {frac}")
+        if current.get("e14"):
+            loss = " vs ".join(
+                f"{arm}={row['telemetry_loss']}"
+                for arm, row in current["e14"].items()
+            )
+            durable_row = current["e14"].get("durable", {})
+            print(
+                f"e14 telemetry loss: {loss}; peak buffer depth "
+                f"{durable_row.get('peak_depth')} "
+                f"(dlq sample -> {DLQ_SAMPLE_PATH})"
+            )
         print(f"trajectory: appended to {TRAJECTORY_PATH}")
         if current.get("journal_sample_entries") is not None:
             print(

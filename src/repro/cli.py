@@ -25,6 +25,10 @@ Commands:
 - ``failover`` -- crash the controller mid-attack and compare cold
   restart against hot-standby failover (``--storm`` compares the ingest
   queue's shedding arms under a 10x alert flood instead).
+- ``dlq`` -- run the durable-telemetry home (store-and-forward buffers +
+  offset-tracked replay) with a rogue peer injecting malformed and
+  reputation-flagged stream records, then inspect the controller's
+  dead-letter queue: what was quarantined, from whom, and why.
 """
 
 from __future__ import annotations
@@ -568,6 +572,114 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _durable_home():
+    """The canned durable-telemetry scenario behind ``dlq``: a secured
+    home whose alerts ride the store-and-forward stream, with a rogue
+    peer injecting malformed records and a reputation-flagged host."""
+    from repro import SecuredDeployment
+    from repro.attacks.exploits import EXPLOITS
+    from repro.devices.library import smart_camera, smart_plug
+
+    dep = SecuredDeployment.build(durable_telemetry=True)
+    dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_plug, "plug")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    dep.enforce_baseline()
+    consumer = dep.controller.stream
+    assert consumer is not None
+    # Reputation decision: everything "rogue-host" sends is quarantined.
+    consumer.flag_host("rogue-host")
+
+    def inject_flagged() -> None:
+        dep.channel.send(
+            "rogue-host",
+            dep.CONTROLLER,
+            "stream",
+            {
+                "host": "rogue-host",
+                "lane": "bulk",
+                "records": [
+                    {
+                        "offset": 1,
+                        "at": dep.sim.now,
+                        "body": {
+                            "device": "cam",
+                            "kind": "telemetry",
+                            "mbox": "spoofed",
+                            "detail": {"state": "recording"},
+                            "trace": None,
+                        },
+                    }
+                ],
+            },
+        )
+
+    def inject_malformed() -> None:
+        dep.channel.send(
+            "buggy-host",
+            dep.CONTROLLER,
+            "stream",
+            {
+                "host": "buggy-host",
+                "lane": "bulk",
+                "records": [
+                    {"offset": 1, "at": dep.sim.now, "body": {"device": "", "kind": "telemetry"}},
+                    {"offset": 2, "at": dep.sim.now, "body": {"device": "plug", "kind": ""}},
+                ],
+            },
+        )
+
+    dep.sim.schedule(5.0, inject_flagged)
+    dep.sim.schedule(6.0, inject_malformed)
+    EXPLOITS["brute_force_login"].launch(attacker, "cam", dep.sim)
+    dep.run(until=60.0)
+    return dep
+
+
+def cmd_dlq(args: argparse.Namespace) -> int:
+    """Inspect the dead-letter queue of the durable-telemetry scenario."""
+    dep = _durable_home()
+    dlq = dep.controller.dlq
+    consumer = dep.controller.stream
+    assert dlq is not None and consumer is not None
+    entries = dlq.entries(device=args.device or None, reason=args.reason or None)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "stats": dlq.stats(),
+                    "consumer": consumer.stats(),
+                    "entries": entries,
+                },
+                indent=2,
+                default=str,
+            )
+        )
+        return 0
+    stats = dlq.stats()
+    reasons = ", ".join(f"{k}={v}" for k, v in sorted(stats["by_reason"].items()))
+    print(
+        f"dead-letter queue: {stats['depth']} retained,"
+        f" {stats['quarantined']} quarantined ({reasons or 'none'})"
+    )
+    print(
+        f"stream consumer: {consumer.delivered} delivered,"
+        f" {consumer.duplicates} duplicates, {consumer.gaps} gaps"
+    )
+    if not entries:
+        print("(no matching entries)")
+        return 0
+    print(f"\n{'t':>9}  {'host':<12}{'reason':<18}{'device':<10}{'kind':<12}offset")
+    for entry in entries:
+        print(
+            f"{entry['at']:>9.3f}  {entry['host']:<12}{entry['reason']:<18}"
+            f"{entry['device'] or '-':<10}{entry['alert_kind'] or '-':<12}"
+            f"{entry['offset'] if entry['offset'] is not None else '-'}"
+        )
+    return 0
+
+
 def cmd_incident(args: argparse.Namespace) -> int:
     from repro.obs import reconstruct
 
@@ -582,7 +694,9 @@ def cmd_incident(args: argparse.Namespace) -> int:
         print(f"error: unknown device {args.device!r} (known: {known})")
         return 1
     state = dep.controller.pipeline.system_state()
-    incident = reconstruct(dep.sim, args.device, policy=dep.policy, state=state)
+    incident = reconstruct(
+        dep.sim, args.device, policy=dep.policy, state=state, dlq=dep.controller.dlq
+    )
     if args.json:
         print(json.dumps(incident.as_dict(), indent=2))
     else:
@@ -682,6 +796,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     failover.add_argument("--json", action="store_true", help="both arms as JSON")
     failover.set_defaults(fn=cmd_failover)
+
+    dlq = sub.add_parser(
+        "dlq", help="inspect the durable-telemetry dead-letter queue"
+    )
+    dlq.add_argument("--device", default=None, help="only entries for this device")
+    dlq.add_argument("--reason", default=None, help="only entries with this refusal reason")
+    dlq.add_argument("--json", action="store_true", help="stats + entries as JSON")
+    dlq.set_defaults(fn=cmd_dlq)
 
     args = parser.parse_args(argv)
     return args.fn(args)

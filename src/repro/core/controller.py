@@ -41,6 +41,7 @@ from repro.core.pipeline import (
     ReactivePipeline,
 )
 from repro.core.view import GlobalView
+from repro.obs.stream import DeadLetterQueue, StreamConsumer
 from repro.policy.context import NORMAL, SEVERITY, UNPATCHED
 from repro.policy.fsm import PolicyFSM
 from repro.sdn.channel import ControlChannel, ControlMessage
@@ -77,6 +78,8 @@ class IoTSecController:
         topology: "Topology | None" = None,
         escalations: tuple[EscalationRule, ...] = DEFAULT_ESCALATIONS,
         ingest: IngestConfig | None = None,
+        durable_telemetry: bool = False,
+        host_trust: Any = None,
     ) -> None:
         self.name = name
         self.sim = sim
@@ -120,6 +123,24 @@ class IoTSecController:
             "alert": self._on_alert_message,
             "context": self._on_context_message,
         }
+        #: Durable telemetry plane (opt-in): the consumer end of every
+        #: host's store-and-forward stream, plus the dead-letter queue for
+        #: records refused at the door (schema failures, flagged hosts).
+        self.durable_telemetry = durable_telemetry
+        self.dlq: DeadLetterQueue | None = None
+        self.stream: StreamConsumer | None = None
+        if durable_telemetry:
+            self.dlq = DeadLetterQueue(sim, name=name)
+            self.stream = StreamConsumer(
+                sim,
+                channel,
+                name,
+                deliver=self._on_alert,
+                dlq=self.dlq,
+                defer=self._defer_bulk,
+                host_trust=host_trust,
+            )
+            self._control_dispatch["stream"] = self.stream.on_batch
         #: Per-device sensor maps (``report_key -> policy variable``),
         #: cached at registration so telemetry ingest never rebuilds them.
         self._sensor_maps: dict[str, dict[str, str]] = {}
@@ -251,6 +272,11 @@ class IoTSecController:
         level = str(message.body.get("level", ""))
         if variable:
             self.view.set(f"env:{variable}", level)
+
+    def _defer_bulk(self) -> bool:
+        """Shed mode: tell the stream consumer to leave bulk records in
+        the host buffer (defer-to-buffer) instead of dropping them."""
+        return self.ingest is not None and self.ingest.would_shed(CLASS_TELEMETRY)
 
     def _alert_class(self, device: str, kind: str) -> int:
         """Shedding priority: enforcing-posture alerts > monitor > telemetry."""

@@ -52,6 +52,7 @@ from repro.sdn.channel import ControlChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.learning.repository import CrowdRepository
+    from repro.obs.stream import HostStream, StreamConfig
 
 
 def default_home_environment(sim: Simulator, tick: float = 1.0) -> Environment:
@@ -110,6 +111,8 @@ class SecuredDeployment:
         reliable_control: bool = False,
         health_check_period: float | None = None,
         ingest: IngestConfig | None = None,
+        durable_telemetry: bool = False,
+        stream_config: "StreamConfig | None" = None,
         checkpointing: bool = False,
         checkpoint_period: float = 5.0,
         standby: bool = False,
@@ -132,6 +135,14 @@ class SecuredDeployment:
         #: replicates checkpoints + journal deltas to a hot standby that
         #: takes over on heartbeat timeout.
         self.ingest_config = ingest
+        #: Durable telemetry plane (opt-in): the cluster host gets a
+        #: store-and-forward buffer in front of the lossy channel and the
+        #: controller a stream consumer + dead-letter queue, so alerts
+        #: and telemetry survive partitions (replayed in order) instead
+        #: of vanishing with the wire.
+        self.durable_telemetry = durable_telemetry
+        self.stream_config = stream_config
+        self.host_stream: "HostStream | None" = None
         self.checkpointing = checkpointing
         self.checkpoint_period = checkpoint_period
         self.standby = standby
@@ -309,7 +320,19 @@ class SecuredDeployment:
             channel=self.channel,
             topology=self.topology,
             ingest=self.ingest_config,
+            durable_telemetry=self.durable_telemetry,
         )
+        if self.durable_telemetry:
+            from repro.obs.stream import HostStream
+
+            self.host_stream = HostStream(
+                self.sim,
+                host=self.CLUSTER,
+                channel=self.channel,
+                controller=self.CONTROLLER,
+                config=self.stream_config,
+            )
+            self.cluster.attach_stream(self.host_stream)
         self.controller.adopt_packet_in(self.edge)
         for room in self.rooms.values():
             self.controller.adopt_packet_in(room)
@@ -351,6 +374,7 @@ class SecuredDeployment:
                 name=self.STANDBY,
                 primary=self.CONTROLLER,
                 ingest=self.ingest_config,
+                durable_telemetry=self.durable_telemetry,
                 heartbeat_timeout=self.failover_timeout,
                 seed=self.ha_seed,
                 on_takeover=self._on_takeover,
@@ -417,6 +441,7 @@ class SecuredDeployment:
             name=self.CONTROLLER,
             ingest=self.ingest_config,
             env=self.env,
+            durable_telemetry=self.durable_telemetry,
         )
         self.controller = controller
         self._wire_survivability(controller)
@@ -426,6 +451,22 @@ class SecuredDeployment:
         return controller
 
     def _forward_alert(self, alert: Alert) -> None:
+        if self.host_stream is not None:
+            # Durable plane: the alert enters the host's store-and-forward
+            # buffer and ships (and re-ships) as an offset-ordered batch
+            # until the controller acknowledges it -- partitions delay it,
+            # they no longer delete it.
+            self.host_stream.offer(
+                alert.kind,
+                {
+                    "device": alert.device,
+                    "kind": alert.kind,
+                    "mbox": alert.mbox,
+                    "detail": dict(alert.detail),
+                    "trace": alert.trace_id,
+                },
+            )
+            return
         self.channel.send(
             self.CLUSTER,
             self.CONTROLLER,

@@ -409,6 +409,7 @@ def _revive(
     escalations: tuple[EscalationRule, ...],
     ingest: "IngestConfig | None",
     env: "Environment | None",
+    durable_telemetry: bool = False,
 ) -> tuple[IoTSecController, dict[str, int], tuple[int, int]]:
     """Build + restore + replay + re-adopt + reconcile (shared core)."""
     policy = policy_from_dict(
@@ -423,6 +424,10 @@ def _revive(
         topology=topology,
         escalations=escalations,
         ingest=ingest,
+        # Stream offsets are in-memory controller state, so a revived
+        # controller starts a fresh consumer: hosts replay from their ack
+        # watermark and the consumer adopts the base on first contact.
+        durable_telemetry=durable_telemetry,
     )
     for device in devices.values():
         controller.register_device(device)
@@ -456,6 +461,7 @@ def restore_controller(
     escalations: tuple[EscalationRule, ...] = DEFAULT_ESCALATIONS,
     ingest: "IngestConfig | None" = None,
     env: "Environment | None" = None,
+    durable_telemetry: bool = False,
 ) -> IoTSecController:
     """Cold restart: rebuild the controller from checkpoint + WAL tail.
 
@@ -477,6 +483,7 @@ def restore_controller(
         escalations=escalations,
         ingest=ingest,
         env=env,
+        durable_telemetry=durable_telemetry,
     )
     sim.journal.record(
         "controller-restart",
@@ -518,6 +525,7 @@ class StandbyController:
         primary: str = "controller",
         escalations: tuple[EscalationRule, ...] = DEFAULT_ESCALATIONS,
         ingest: "IngestConfig | None" = None,
+        durable_telemetry: bool = False,
         heartbeat_timeout: float = 1.0,
         check_period: float = 0.25,
         seed: int = 0,
@@ -536,6 +544,7 @@ class StandbyController:
         self.primary = primary
         self.escalations = escalations
         self.ingest = ingest
+        self.durable_telemetry = durable_telemetry
         self.on_takeover = on_takeover
         #: Cold fallback: a takeover before the first checkpoint arrives
         #: starts from the policy the site was deployed with.
@@ -634,6 +643,7 @@ class StandbyController:
                 escalations=self.escalations,
                 ingest=self.ingest,
                 env=self.env,
+                durable_telemetry=self.durable_telemetry,
             )
         finally:
             tracer.pop()

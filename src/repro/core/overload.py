@@ -142,10 +142,20 @@ class IngestQueue:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
+    def would_shed(self, cls: int) -> bool:
+        """Whether offering ``cls`` right now would be refused at the door.
+
+        The durable telemetry stream consults this *before* consuming a
+        bulk record: instead of offering and losing it, the consumer
+        defers -- the record stays in the host's buffer and replays once
+        shedding ends (defer-to-buffer instead of drop).
+        """
+        return self.shedding and self.config.shed and cls == CLASS_TELEMETRY
+
     def offer(self, cls: int, payload: Any) -> bool:
         """Enqueue one message; returns False when it was shed/dropped."""
         cfg = self.config
-        if self.shedding and cfg.shed and cls == CLASS_TELEMETRY:
+        if self.would_shed(cls):
             # Shed mode: telemetry is refused at the door -- the
             # backpressure signal asked the hosts to sample locally.
             self._drop(cls)

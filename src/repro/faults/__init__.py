@@ -2,6 +2,12 @@
 resilience scenario (bench E12 / ``repro chaos``)."""
 
 from repro.faults.chaos import ChaosGenerator
-from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan, long_partition_plan
 
-__all__ = ["FAULT_KINDS", "ChaosGenerator", "FaultEvent", "FaultPlan"]
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosGenerator",
+    "FaultEvent",
+    "FaultPlan",
+    "long_partition_plan",
+]

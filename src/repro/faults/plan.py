@@ -84,6 +84,31 @@ class FaultEvent:
         return out
 
 
+def long_partition_plan(
+    start: float = 60.0, hours: float = 2.5, endpoints: str = "*"
+) -> "FaultPlan":
+    """A multi-hour control-plane blackout (the E14 durability scenario).
+
+    One partition window of ``hours`` simulated hours starting at
+    ``start``: the outage a durable telemetry stream must ride out with
+    zero loss at bounded memory.  ``endpoints`` narrows the partition
+    (e.g. ``"controller"`` blocks only controller-bound traffic);
+    the default ``"*"`` severs the whole control channel.
+    """
+    if hours <= 0:
+        raise ValueError(f"hours must be positive (got {hours})")
+    return FaultPlan(
+        [
+            FaultEvent(
+                at=start,
+                kind="partition",
+                target=endpoints,
+                duration=hours * 3600.0,
+            )
+        ]
+    )
+
+
 class FaultPlan:
     """An ordered schedule of :class:`FaultEvent`, applicable to a site."""
 

@@ -241,6 +241,16 @@ class MboxHost(Node):
         self.backpressure_sample = 8
         self.telemetry_suppressed = 0
         self._telemetry_seen = 0
+        #: Per-device counts sampled away in the *current* backpressure
+        #: window; journaled (kind ``telemetry-elided``) when the window
+        #: closes so incident timelines can say "N records elided here".
+        self._suppressed_window: dict[str, int] = {}
+        self._window_started = 0.0
+        #: Optional durable store-and-forward stream
+        #: (:class:`repro.obs.stream.HostStream`).  While attached, shed
+        #: mode *defers* telemetry into the buffer instead of sampling it
+        #: away, so local sampling is skipped entirely.
+        self.stream = None
         # Observability: callback gauges over the counters above, plus
         # per-kind alert counters (resolved lazily, cached by kind).
         metrics = sim.metrics
@@ -416,8 +426,33 @@ class MboxHost(Node):
         outer.payload["inspected"] = True
         self.send(outer, in_port)
 
+    def attach_stream(self, stream) -> None:
+        """Install a durable store-and-forward stream for this host's alerts."""
+        self.stream = stream
+
     def set_backpressure(self, active: bool) -> None:
-        """Controller shed-mode signal: sample telemetry locally while on."""
+        """Controller shed-mode signal: sample telemetry locally while on.
+
+        Each window's per-device sampled-away counts are journaled when
+        the pressure releases (kind ``telemetry-elided``), so a forensic
+        timeline states "N records elided here" instead of showing a
+        silent gap.  (Counts from a window still open at inspection time
+        are in ``_suppressed_window`` / the ``telemetry_suppressed``
+        counter.)
+        """
+        if active and not self.backpressure:
+            self._window_started = self.sim.now
+            self._suppressed_window = {}
+        elif not active and self.backpressure:
+            for device in sorted(self._suppressed_window):
+                self.sim.journal.record(
+                    "telemetry-elided",
+                    device=device,
+                    mbox=self.name,
+                    count=self._suppressed_window[device],
+                    since=self._window_started,
+                )
+            self._suppressed_window = {}
         self.backpressure = active
         self.sim.journal.record(
             "backpressure", mbox=self.name, active=active
@@ -432,13 +467,18 @@ class MboxHost(Node):
             )
             self._alert_counters[alert.kind] = counter
         counter.inc()
-        if self.backpressure and alert.kind == "telemetry":
+        if self.backpressure and alert.kind == "telemetry" and self.stream is None:
             # Shedding controller: coalesce at the source.  Security alerts
             # always go upstream; telemetry is sampled 1-in-N until the
-            # controller releases the pressure.
+            # controller releases the pressure.  (With a durable stream
+            # attached, nothing is sampled away: the consumer defers bulk
+            # records into the buffer instead, and they replay later.)
             self._telemetry_seen += 1
             if self._telemetry_seen % self.backpressure_sample != 1:
                 self.telemetry_suppressed += 1
+                self._suppressed_window[alert.device] = (
+                    self._suppressed_window.get(alert.device, 0) + 1
+                )
                 return
         self.alert_sink(alert)
 

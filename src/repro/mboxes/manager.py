@@ -397,6 +397,13 @@ class MboxManager:
         for device, mbox in list(self.host.mboxes.items()):
             if mbox.down and device not in self._restarting:
                 self._restart(device)
+        # The sweep doubles as the durable stream's observation pulse:
+        # while a telemetry backlog exists (partitioned controller), the
+        # stream journals its depth at a rate-limited cadence so incident
+        # timelines span the outage instead of going dark.
+        stream = self.host.stream
+        if stream is not None:
+            stream.heartbeat()
 
     def _restart(self, device: str) -> None:
         """Cold-boot a replacement micro-VM for a crashed instance."""

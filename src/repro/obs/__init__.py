@@ -23,6 +23,12 @@ Three primitives and their glue:
   time.  :func:`reconstruct` (:mod:`repro.obs.incident`) joins journal +
   traces + metrics into a per-device incident timeline.
 
+The durable telemetry plane (:mod:`repro.obs.stream`) sits between the
+µmbox hosts and the controller: per-host store-and-forward buffers with
+offset-tracked, acknowledged, in-order replay across partitions, plus a
+dead-letter queue that quarantines malformed or untrusted records as
+inspectable evidence.
+
 Exporters (:mod:`repro.obs.exporters`) turn a registry into a plain JSON
 snapshot or Prometheus-style text exposition (escaped labels, one
 ``# HELP``/``# TYPE`` per family; :func:`parse_exposition` round-trips).
@@ -45,13 +51,23 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.stream import (
+    DeadLetterQueue,
+    HostStream,
+    StreamConfig,
+    StreamConsumer,
+    StreamRecord,
+    validate_record,
+)
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
+    "DeadLetterQueue",
     "Gauge",
     "Histogram",
+    "HostStream",
     "Incident",
     "IncidentChain",
     "Journal",
@@ -59,9 +75,13 @@ __all__ = [
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "Span",
+    "StreamConfig",
+    "StreamConsumer",
+    "StreamRecord",
     "Tracer",
     "parse_exposition",
     "reconstruct",
     "to_prometheus",
     "trace_as_dicts",
+    "validate_record",
 ]

@@ -154,7 +154,7 @@ def _span_sort_key(span) -> tuple[float, int]:
 
 
 def reconstruct(
-    sim: "Simulator", device: str, policy: Any = None, state: Any = None
+    sim: "Simulator", device: str, policy: Any = None, state: Any = None, dlq: Any = None
 ) -> Incident:
     """Rebuild the incident timeline for ``device`` from ``sim``'s evidence.
 
@@ -164,8 +164,34 @@ def reconstruct(
     which rule currently decides the device's posture
     (:meth:`PolicyFSM.rule_for`) -- the "why", next to the journal's
     "what" and the trace's "when".
+
+    ``dlq`` (a :class:`~repro.obs.stream.DeadLetterQueue`) adds the
+    quarantined evidence: records the stream consumer refused for this
+    device appear on the timeline with ``source="dlq"`` and their full
+    refusal detail.  (The refusal *event* is also journaled at quarantine
+    time, so it survives DLQ rotation; the DLQ join contributes the
+    record body that the bounded journal entry deliberately omits.)
     """
     incident = Incident(device=device, built_at=sim.now)
+
+    # -- dead-letter plane: quarantined (refused) records ------------------
+    if dlq is not None:
+        for item in dlq.for_device(device):
+            incident.timeline.append(
+                {
+                    "at": item["at"],
+                    "seq": 0,  # quarantines carry no journal sequence
+                    "source": "dlq",
+                    "kind": "dlq-quarantine",
+                    "trace_id": None,
+                    "detail": {
+                        "reason": item["reason"],
+                        "host": item["host"],
+                        "alert_kind": item["alert_kind"],
+                        "offset": item["offset"],
+                    },
+                }
+            )
 
     # -- journal plane: durable per-device facts --------------------------
     journal_entries = sim.journal.for_device(device)

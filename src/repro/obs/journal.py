@@ -160,10 +160,21 @@ class Journal:
         segment = self._segments.popleft()
         self.evicted += len(segment)
         if self.spill_path is not None:
+            # Serialize the whole segment *before* touching the file and
+            # append it with a single write: a serialization failure
+            # leaves the spill untouched, and the one-call append keeps
+            # every JSONL line complete -- a reload never sees a record
+            # truncated by a failure mid-eviction.
+            try:
+                blob = "".join(
+                    json.dumps(_raw_as_dict(raw), default=str) + "\n"
+                    for raw in segment
+                )
+            except (TypeError, ValueError):
+                return  # unserializable field: keep the in-memory contract
             try:
                 with open(self.spill_path, "a", encoding="utf-8") as fh:
-                    for raw in segment:
-                        fh.write(json.dumps(_raw_as_dict(raw), default=str) + "\n")
+                    fh.write(blob)
                 self.spilled += len(segment)
             except OSError:
                 pass  # spill is best-effort; retention bounds still hold
@@ -263,6 +274,41 @@ class Journal:
             "segment_size": self.segment_size,
             "max_segments": self.max_segments,
         }
+
+    @staticmethod
+    def load_spill(path: str) -> list[JournalEntry]:
+        """Reload spilled (or exported) JSONL back into entry objects.
+
+        The read half of the spill round-trip: evicted segments written
+        by ``spill_path`` -- or an explicit :meth:`export_jsonl` dump --
+        parse back to :class:`JournalEntry` objects in file order.  Blank
+        lines are skipped; a malformed line raises ``ValueError`` naming
+        its line number, because a corrupt flight recorder should fail
+        loudly at forensics time, not silently truncate the evidence.
+        """
+        entries: list[JournalEntry] = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    entries.append(
+                        JournalEntry(
+                            seq=int(data["seq"]),
+                            at=float(data["at"]),
+                            kind=str(data["kind"]),
+                            device=str(data["device"]),
+                            trace_id=data.get("trace_id"),
+                            fields=dict(data["fields"]),
+                        )
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"corrupt journal spill {path!r} at line {lineno}: {exc}"
+                    ) from exc
+        return entries
 
     def export_jsonl(self, path: str) -> int:
         """Write every retained entry to ``path`` as JSON lines.

@@ -278,6 +278,22 @@ class ControlChannel:
             self.fault_model = FaultModel()
         return self.fault_model.add_partition(start, end, endpoints)
 
+    def reachable(self, to: str) -> bool:
+        """Whether ``to`` is outside every current partition window.
+
+        Partitions are declarative (keyed on simulated time), so a sender
+        can consult this *before* transmitting -- the durable telemetry
+        stream uses it to keep buffering through a multi-hour outage
+        instead of burning events and journal space on doomed sends.
+        Random per-transmission drops are not knowable in advance and are
+        deliberately not reflected here.
+        """
+        model = self.fault_model
+        if model is None:
+            return True
+        now = self.sim.now
+        return not any(window.covers(now, to) for window in model.partitions)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------

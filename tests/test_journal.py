@@ -109,6 +109,82 @@ class TestBoundedRetention:
         assert journal.evicted > 0
         assert len(journal) <= 2 * 2
 
+    def test_spill_lines_are_always_complete_json(self, tmp_path):
+        """Atomicity: every spilled line parses, even mid-run."""
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 0.0, segment_size=3, max_segments=2, spill_path=str(spill)
+        )
+        for i in range(50):
+            journal.record("e", i=i)
+            if spill.exists():
+                for line in spill.read_text().splitlines():
+                    json.loads(line)  # must never raise
+
+    def test_unserializable_segment_skips_spill_keeps_bound(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 0.0, segment_size=2, max_segments=1, spill_path=str(spill)
+        )
+        # default=str covers most objects; a recursive structure defeats it.
+        loop: list = []
+        loop.append(loop)
+        for i in range(8):
+            journal.record("e", payload=loop)
+        assert journal.spilled == 0  # nothing half-written
+        assert journal.evicted > 0  # in-memory contract intact
+        assert not spill.exists() or spill.read_text() == ""
+
+
+class TestSpillRoundTrip:
+    def test_spill_then_reload_recovers_evicted_entries(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 2.5, segment_size=2, max_segments=2, spill_path=str(spill)
+        )
+        for i in range(11):
+            journal.record("e", device=f"d{i % 3}", trace=i, i=i)
+        reloaded = Journal.load_spill(str(spill))
+        assert len(reloaded) == journal.spilled == journal.evicted
+        # Spilled + retained together reconstruct the full record stream:
+        # contiguous seqs from 1, no gaps, no overlap.
+        seqs = [e.seq for e in reloaded] + [e.seq for e in journal]
+        assert seqs == list(range(1, journal.recorded + 1))
+        first = reloaded[0]
+        assert (first.at, first.kind, first.trace_id) == (2.5, "e", 0)
+        assert first.fields == {"i": 0}
+
+    def test_reload_export_jsonl(self, tmp_path):
+        journal = Journal(clock=lambda: 1.0, segment_size=8, max_segments=2)
+        journal.record("alert", device="cam", alert_kind="x")
+        out = tmp_path / "dump.jsonl"
+        journal.export_jsonl(str(out))
+        (entry,) = Journal.load_spill(str(out))
+        assert entry.kind == "alert" and entry.device == "cam"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        path.write_text(
+            '{"seq": 1, "at": 0.0, "kind": "e", "device": "", '
+            '"trace_id": null, "fields": {}}\n\n\n'
+        )
+        assert len(Journal.load_spill(str(path))) == 1
+
+    def test_corrupt_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        path.write_text(
+            '{"seq": 1, "at": 0.0, "kind": "e", "device": "", '
+            '"trace_id": null, "fields": {}}\n{"seq": 2, "at": 0.0, "kind"\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            Journal.load_spill(str(path))
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        path.write_text('{"seq": 1, "at": 0.0}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            Journal.load_spill(str(path))
+
 
 class TestQueries:
     def _populated(self):

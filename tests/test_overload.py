@@ -140,6 +140,43 @@ class TestShedMode:
         assert not q.shedding and q.shed_transitions == 0
 
 
+class TestWouldShed:
+    def test_reflects_shed_state_and_class(self, sim):
+        handled = []
+        q = make_queue(
+            sim, handled, capacity=10, service_time=0.01, high_watermark=0.5
+        )
+        assert not q.would_shed(CLASS_TELEMETRY)
+        for i in range(5):
+            q.offer(CLASS_MONITOR, i)
+        assert q.shedding
+        # Only telemetry is sheddable; higher classes always pass.
+        assert q.would_shed(CLASS_TELEMETRY)
+        assert not q.would_shed(CLASS_MONITOR)
+        assert not q.would_shed(CLASS_ENFORCING)
+        sim.run()
+        assert not q.would_shed(CLASS_TELEMETRY)
+
+    def test_false_when_shedding_disabled(self, sim):
+        handled = []
+        q = make_queue(sim, handled, capacity=2, service_time=1.0, shed=False)
+        q.offer(CLASS_TELEMETRY, "t1")
+        q.offer(CLASS_TELEMETRY, "t2")
+        assert not q.would_shed(CLASS_TELEMETRY)
+
+    def test_offer_uses_the_same_predicate(self, sim):
+        """``offer`` refuses telemetry exactly when ``would_shed`` says so
+        -- the defer-to-buffer consumer relies on this equivalence."""
+        handled = []
+        q = make_queue(
+            sim, handled, capacity=10, service_time=0.01, high_watermark=0.5
+        )
+        for i in range(5):
+            q.offer(CLASS_MONITOR, i)
+        assert q.would_shed(CLASS_TELEMETRY)
+        assert not q.offer(CLASS_TELEMETRY, "t")
+
+
 class TestClear:
     def test_clear_discards_and_cancels_service(self, sim):
         handled = []

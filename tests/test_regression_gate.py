@@ -292,3 +292,75 @@ class TestSurvivabilityGate:
         )
         assert set(baseline["e13"]["failover"]) == {"crash", "standby"}
         assert set(baseline["e13"]["storm"]) == {"fifo", "shed"}
+
+
+def _e14(loss=0, lossy_loss=1812, peak_depth=1803, **overrides):
+    arms = {
+        "lossy": {
+            "emitted": 1923,
+            "received": 111,
+            "telemetry_loss": lossy_loss,
+            "delivered": 0,
+            "peak_depth": 0,
+            "events": 19372,
+        },
+        "durable": {
+            "emitted": 1890,
+            "received": 1890,
+            "telemetry_loss": loss,
+            "delivered": 1890,
+            "peak_depth": peak_depth,
+            "events": 24576,
+        },
+    }
+    arms["durable"].update(overrides)
+    return arms
+
+
+class TestDurabilityGate:
+    def test_threshold_pinned(self, gate):
+        assert gate.E14_PEAK_BUFFER_LIMIT == 2048
+
+    def test_any_durable_loss_fails(self, gate):
+        """Zero loss is absolute: one lost record trips the gate, no
+        baseline delta or drift tolerance applies."""
+        current = _current()
+        current["e14"] = _e14(loss=1)
+        violations = gate.compare(current, _baseline())
+        assert any("lost 1 records" in v for v in violations)
+
+    def test_peak_depth_beyond_ceiling_fails(self, gate):
+        current = _current()
+        current["e14"] = _e14(peak_depth=3000)
+        violations = gate.compare(current, _baseline(), e14_peak_buffer_limit=2048)
+        assert any("memory budget" in v for v in violations)
+
+    def test_lossless_lossy_arm_fails(self, gate):
+        """If the lossy arm stops losing records, the scenario no longer
+        exercises the partition and the durable gate proves nothing."""
+        current = _current()
+        current["e14"] = _e14(lossy_loss=0)
+        violations = gate.compare(current, _baseline())
+        assert any("lossy arm" in v for v in violations)
+
+    def test_within_bounds_passes(self, gate):
+        current = _current()
+        current["e14"] = _e14()
+        baseline = _baseline()
+        baseline["e14"] = _e14()
+        assert gate.compare(current, baseline) == []
+
+    def test_deterministic_counter_drift_fails(self, gate):
+        current = _current()
+        current["e14"] = _e14(delivered=1700)  # durable arm drifted
+        baseline = _baseline()
+        baseline["e14"] = _e14()
+        violations = gate.compare(current, baseline)
+        assert any("e14/durable" in v and "delivered" in v for v in violations)
+
+    def test_committed_e14_baseline_loads(self, gate):
+        baseline = gate.load_baseline()
+        assert set(baseline["e14"]) == {"lossy", "durable"}, (
+            "E14 baseline missing from benchmarks/results/"
+        )
+        assert baseline["e14"]["durable"]["telemetry_loss"] == 0
