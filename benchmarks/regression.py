@@ -34,6 +34,12 @@ but the simulation itself is deterministic:
   shows the loss the durable plane exists to prevent.  The durable arm's
   dead-letter queue is exported to ``results/dlq_sample.jsonl`` as a CI
   artifact.
+- **health/SLO**: two deterministic health-plane runs (sim-time only, no
+  baseline needed) -- the standard seeded run must end all-green (rollup
+  ``ok``, zero SLO breaches) and the chaos plan must trip at least one
+  burn-rate breach *and* journal a matching ``slo-recover`` carrying the
+  breach's trace id.  Both verdicts are written to
+  ``results/health_snapshot.json`` as a CI artifact.
 
 Usage::
 
@@ -91,6 +97,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_TRAJECTORY.json"
 SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
 DLQ_SAMPLE_PATH = RESULTS_DIR / "dlq_sample.jsonl"
+HEALTH_SNAPSHOT_PATH = RESULTS_DIR / "health_snapshot.json"
 
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
 E9_SMALL_BASELINE = RESULTS_DIR / "test_e9_small_core_capacity.json"
@@ -342,6 +349,42 @@ def compare(
                     f"{b} -> {c} (allowed {event_count_drift:.0%}); "
                     "a behavior change must re-record the baselines"
                 )
+
+    # Health/SLO plane: properties of the current run only (both health
+    # scenarios are deterministic sim-time runs, so there is no committed
+    # baseline to drift against).  The standard seeded run must come up
+    # all-green, and the chaos plan must both trip a burn-rate breach and
+    # journal a recovery carrying the same trace id -- if either side
+    # fails, the SLO detectors (or the breach->recover chain the incident
+    # reconstructor walks) regressed.
+    health = current.get("health") or {}
+    steady = health.get("steady") or {}
+    if steady:
+        if steady.get("rollup") != "ok":
+            violations.append(
+                f"health/steady: deployment rollup is "
+                f"{steady.get('rollup')!r} on the standard seeded run "
+                "(must be 'ok' -- a fault-free deployment reports sick)"
+            )
+        if steady.get("slo_breaches", 0) != 0:
+            violations.append(
+                f"health/steady: {steady.get('slo_breaches')} SLO "
+                "breach(es) fired on the standard seeded run (must be 0; "
+                "a burn-rate detector went trigger-happy)"
+            )
+    chaos = health.get("chaos") or {}
+    if chaos:
+        if chaos.get("slo_breaches", 0) < 1:
+            violations.append(
+                "health/chaos: the chaos plan tripped no SLO breach -- "
+                "burn-rate detection went blind to a partition it is "
+                "pinned to catch"
+            )
+        elif chaos.get("matched_recoveries", 0) < 1:
+            violations.append(
+                "health/chaos: no slo-recover shares its breach's trace "
+                "id -- the journaled breach->recover chain is broken"
+            )
     return violations
 
 
@@ -494,10 +537,47 @@ def measure() -> dict[str, Any]:
         row["arm"]: row for row in run_durable_arms(str(DLQ_SAMPLE_PATH))
     }
 
+    # Health/SLO verdicts (also deterministic): the all-green steady run
+    # and the chaos plan with its journaled breach->recover chains.  The
+    # full summaries ship as a CI artifact; the gate reads the compact
+    # verdict fields.
+    from repro.faults.scenario import run_health_scenario
+
+    steady = run_health_scenario("none")
+    chaos = run_health_scenario("standard")
+    current["health"] = {
+        "steady": {
+            k: steady.get(k)
+            for k in (
+                "plan",
+                "rollup",
+                "slo_breaches",
+                "slo_recoveries",
+                "health_transitions",
+                "events",
+            )
+        },
+        "chaos": {
+            k: chaos.get(k)
+            for k in (
+                "plan",
+                "rollup",
+                "slo_breaches",
+                "slo_recoveries",
+                "matched_recoveries",
+                "health_transitions",
+                "events",
+            )
+        },
+    }
+    HEALTH_SNAPSHOT_PATH.write_text(
+        json.dumps({"steady": steady, "chaos": chaos}, indent=2, sort_keys=True)
+        + "\n"
+    )
+
     # CI artifact: a journal sample from the largest E9 run, so every
     # pipeline run leaves an inspectable flight-recorder dump behind.
     if spill_sim is not None:
-        RESULTS_DIR.mkdir(exist_ok=True)
         current["journal_sample_entries"] = spill_sim.journal.export_jsonl(
             str(SPILL_SAMPLE_PATH)
         )
@@ -617,6 +697,15 @@ def main(argv: list[str] | None = None) -> int:
             arm: row["telemetry_loss"] for arm, row in current.get("e14", {}).items()
         },
         "e14_peak_depth": current.get("e14", {}).get("durable", {}).get("peak_depth"),
+        "health_steady_rollup": (
+            current.get("health", {}).get("steady", {}).get("rollup")
+        ),
+        "health_chaos_breaches": (
+            current.get("health", {}).get("chaos", {}).get("slo_breaches")
+        ),
+        "health_chaos_matched": (
+            current.get("health", {}).get("chaos", {}).get("matched_recoveries")
+        ),
         "violations": violations,
     }
     append_trajectory(entry)
@@ -667,6 +756,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"e14 telemetry loss: {loss}; peak buffer depth "
                 f"{durable_row.get('peak_depth')} "
                 f"(dlq sample -> {DLQ_SAMPLE_PATH})"
+            )
+        health = current.get("health") or {}
+        if health:
+            steady_h = health.get("steady") or {}
+            chaos_h = health.get("chaos") or {}
+            print(
+                f"health: steady rollup={steady_h.get('rollup')} "
+                f"(breaches {steady_h.get('slo_breaches')}); chaos "
+                f"breaches={chaos_h.get('slo_breaches')} "
+                f"matched recoveries={chaos_h.get('matched_recoveries')} "
+                f"(snapshot -> {HEALTH_SNAPSHOT_PATH})"
             )
         print(f"trajectory: appended to {TRAJECTORY_PATH}")
         if current.get("journal_sample_entries") is not None:

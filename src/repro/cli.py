@@ -329,9 +329,13 @@ def cmd_policy(args: argparse.Namespace) -> int:
     return 0
 
 
-def _attacked_home():
+def _attacked_home(setup=None):
     """The canned scenario behind ``report``/``metrics``/``trace``: a
-    secured two-device home whose camera gets brute-forced."""
+    secured two-device home whose camera gets brute-forced.
+
+    ``setup(dep)``, when given, runs right before the clock starts --
+    ``metrics --watch`` hooks its periodic re-render there.
+    """
     from repro import SecuredDeployment
     from repro.attacks.exploits import EXPLOITS
     from repro.devices.library import smart_camera, smart_plug
@@ -343,6 +347,8 @@ def _attacked_home():
     dep.finalize()
     dep.enforce_baseline()
     EXPLOITS["brute_force_login"].launch(attacker, "cam", dep.sim)
+    if setup is not None:
+        setup(dep)
     dep.run(until=60.0)
     return dep
 
@@ -357,12 +363,31 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs import to_prometheus
 
-    dep = _attacked_home()
+    setup = None
+    if args.watch is not None:
+        if args.watch <= 0:
+            print("error: --watch period must be positive", file=sys.stderr)
+            return 2
+
+        def setup(dep):
+            def show() -> None:
+                print(f"--- t={dep.sim.now:.1f}s ---")
+                if args.json:
+                    print(json.dumps(dep.sim.metrics.snapshot(), indent=2, sort_keys=True))
+                else:
+                    print(to_prometheus(dep.sim.metrics))
+                print()
+
+            dep.sim.every(args.watch, show)
+
+    dep = _attacked_home(setup=setup) if setup is not None else _attacked_home()
     registry = dep.sim.metrics
     snapshot = registry.snapshot()
     if not registry.enabled or not any(snapshot.values()):
         print("error: metrics registry is empty (observability disabled?)")
         return 1
+    if args.watch is not None:
+        print(f"--- t={dep.sim.now:.1f}s (final) ---")
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
@@ -680,13 +705,65 @@ def cmd_dlq(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    from repro.faults.scenario import HEALTH_PLANS, run_health_scenario
+
+    if args.watch is not None and args.watch <= 0:
+        print("error: --watch period must be positive", file=sys.stderr)
+        return 2
+
+    def setup(dep):
+        if args.watch is None:
+            return
+        plane = dep.health_plane
+
+        def show() -> None:
+            print(f"--- t={dep.sim.now:.1f}s ---")
+            print(plane.render())
+            print()
+
+        dep.sim.every(args.watch, show)
+
+    try:
+        result = run_health_scenario(args.plan, seed=args.seed, keep_dep=True, setup=setup)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    dep = result.pop("dep")
+    plane = dep.health_plane
+    if plane is None or not plane.enabled:
+        print("error: health plane is disabled (observe=False?)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if args.plan != "none":
+        print(f"fault plan: {args.plan}")
+    print(plane.render())
+    if result["breach_events"]:
+        print("\nbreach chains (journaled, trace-linked):")
+        recovered = {r["trace"]: r for r in result["recovery_events"]}
+        for breach in result["breach_events"]:
+            rec = recovered.get(breach["trace"])
+            tail = (
+                f" -> recovered t={rec['at']:.1f}s (after {rec['breach_s']:.1f}s)"
+                if rec is not None
+                else " -> STILL BREACHED"
+            )
+            print(
+                f"  t={breach['at']:>7.1f}s  {breach['slo']}"
+                f" [{breach['severity']}] trace={breach['trace']}{tail}"
+            )
+    return 0
+
+
 def cmd_incident(args: argparse.Namespace) -> int:
     from repro.obs import reconstruct
 
     if args.chaos:
         from repro.faults.scenario import run_resilience_scenario
 
-        dep = run_resilience_scenario(True, keep_dep=True)["dep"]
+        dep = run_resilience_scenario(True, keep_dep=True, health=args.site)["dep"]
     else:
         dep = _attacked_home()
     if args.device not in dep.devices:
@@ -695,7 +772,12 @@ def cmd_incident(args: argparse.Namespace) -> int:
         return 1
     state = dep.controller.pipeline.system_state()
     incident = reconstruct(
-        dep.sim, args.device, policy=dep.policy, state=state, dlq=dep.controller.dlq
+        dep.sim,
+        args.device,
+        policy=dep.policy,
+        state=state,
+        dlq=dep.controller.dlq,
+        site_events=args.site,
     )
     if args.json:
         print(json.dumps(incident.as_dict(), indent=2))
@@ -740,6 +822,12 @@ def main(argv: list[str] | None = None) -> int:
         help="reconstruct from the chaos scenario (partition + µmbox crash)"
         " instead of the canned brute-force home",
     )
+    incident.add_argument(
+        "--site",
+        action="store_true",
+        help="fold site-scoped events (SLO breaches, health transitions,"
+        " stream replays, failovers) into the device timeline",
+    )
     incident.set_defaults(fn=cmd_incident)
 
     report = sub.add_parser("report", help="operator report for a secured home under attack")
@@ -747,7 +835,35 @@ def main(argv: list[str] | None = None) -> int:
 
     metrics = sub.add_parser("metrics", help="export the metrics registry for the report scenario")
     metrics.add_argument("--json", action="store_true", help="raw snapshot instead of Prometheus text")
+    metrics.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="N",
+        help="re-render the snapshot every N simulated seconds while the"
+        " scenario runs (plus one final render)",
+    )
     metrics.set_defaults(fn=cmd_metrics)
+
+    health = sub.add_parser(
+        "health", help="SLO burn rates + subsystem health rollup for a seeded run"
+    )
+    health.add_argument(
+        "--plan",
+        default="none",
+        choices=("none", "standard", "controller", "long-partition"),
+        help="fault plan to drive the run (default: the all-green standard run)",
+    )
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--json", action="store_true", help="summary dict instead of text")
+    health.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="N",
+        help="re-render the health report every N simulated seconds",
+    )
+    health.set_defaults(fn=cmd_health)
 
     trace = sub.add_parser("trace", help="print causal traces (packet -> posture) for one device")
     trace.add_argument("device", nargs="?", default="cam")

@@ -52,6 +52,7 @@ from repro.sdn.channel import ControlChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.learning.repository import CrowdRepository
+    from repro.obs.health import HealthPlane
     from repro.obs.stream import HostStream, StreamConfig
 
 
@@ -119,6 +120,8 @@ class SecuredDeployment:
         heartbeat_period: float = 0.25,
         failover_timeout: float = 1.0,
         ha_seed: int = 0,
+        health: bool = False,
+        health_period: float = 5.0,
     ) -> None:
         self.sim = sim or Simulator()
         #: Resilience knobs: ``reliable_control`` gives the alert and
@@ -152,6 +155,12 @@ class SecuredDeployment:
         self.checkpoint_store: CheckpointStore | None = None
         self.checkpointer: Checkpointer | None = None
         self.standby_controller: StandbyController | None = None
+        #: SLO & health plane (opt-in): online burn-rate evaluation of the
+        #: declared security objectives plus per-subsystem rollups.  Inert
+        #: when the simulator runs with ``observe=False``.
+        self.health_enabled = health
+        self.health_period = health_period
+        self.health_plane: "HealthPlane | None" = None
         self.topology = Topology(self.sim)
         self.with_iotsec = with_iotsec
         self._given_policy = policy
@@ -379,7 +388,23 @@ class SecuredDeployment:
                 seed=self.ha_seed,
                 on_takeover=self._on_takeover,
             )
+        if self.health_enabled:
+            self.attach_health(self.health_period)
         return self
+
+    def attach_health(self, period: float = 5.0) -> "HealthPlane":
+        """Attach (and start) the SLO/health plane.  Idempotent.
+
+        Finalizes the deployment first if needed: the SLO catalog closes
+        over the controller, streams and HA components.
+        """
+        if not self._finalized:
+            self.finalize()
+        if self.health_plane is None:
+            from repro.obs.health import attach_health_plane
+
+            self.health_plane = attach_health_plane(self, period=period)
+        return self.health_plane
 
     def _wire_survivability(self, controller: IoTSecController) -> None:
         """Connect the ingest queue's backpressure to the µmbox host."""

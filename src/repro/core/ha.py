@@ -193,6 +193,11 @@ class CheckpointStore:
     def latest(self) -> Checkpoint | None:
         return self._checkpoints[-1] if self._checkpoints else None
 
+    def latest_at(self) -> float | None:
+        """Sim-time of the newest checkpoint (the staleness SLO's signal)."""
+        latest = self.latest()
+        return latest.at if latest is not None else None
+
     def __len__(self) -> int:
         return len(self._checkpoints)
 

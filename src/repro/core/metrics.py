@@ -54,6 +54,9 @@ class DeploymentReport:
     #: Per-flagged-device incident summaries (device -> compact incident
     #: digest): chains, stage coverage, alert mix.
     incidents: dict[str, Any] = field(default_factory=dict)
+    #: SLO/health-plane verdict ({} when no plane is attached): rollup,
+    #: per-subsystem states, and the tracked SLO statuses.
+    health: dict[str, Any] = field(default_factory=dict)
 
     def compromised_devices(self) -> list[str]:
         return [d.name for d in self.devices if d.compromised_ground_truth]
@@ -94,6 +97,7 @@ class DeploymentReport:
             "metrics": self.metrics,
             "journal": self.journal,
             "incidents": self.incidents,
+            "health": self.health,
         }
 
     def render(self) -> str:
@@ -125,6 +129,17 @@ class DeploymentReport:
             lines.append(
                 f"  controller reactions: p50={self.reaction_p50_ms:.1f}ms"
                 f" max={self.reaction_max_ms:.1f}ms"
+            )
+        if self.health:
+            states = " ".join(
+                f"{name}={info['state']}"
+                for name, info in self.health.get("subsystems", {}).items()
+            )
+            lines.append(
+                f"  health: {str(self.health.get('rollup', '?')).upper()}"
+                f" | {states}"
+                f" | slo breaches: {self.health.get('slo_breaches', 0)}"
+                f" (recovered: {self.health.get('slo_recoveries', 0)})"
             )
         return "\n".join(lines)
 
@@ -234,4 +249,7 @@ def summarize(dep: "SecuredDeployment") -> DeploymentReport:
                 "alerts_by_kind": dict(incident.alerts_by_kind),
                 "applies": incident.applies,
             }
+    plane = getattr(dep, "health_plane", None)
+    if plane is not None and plane.enabled:
+        report.health = plane.snapshot()
     return report

@@ -61,6 +61,8 @@ def run_resilience_scenario(
     jitter: float = 0.0,
     plan: FaultPlan | None = None,
     keep_dep: bool = False,
+    health: bool = False,
+    setup: Any = None,
 ) -> dict[str, Any]:
     """Run one arm of the standard scenario; returns the measurements.
 
@@ -68,7 +70,10 @@ def run_resilience_scenario(
     of the plan's partitions (the chaos CLI exposes them; the bench keeps
     them at zero so the numbers isolate the two injected faults).  With
     ``keep_dep`` the deployment rides along under ``"dep"`` for forensics
-    (``repro incident --chaos``).
+    (``repro incident --chaos``).  ``health`` attaches the SLO/health
+    plane (eval period :data:`HEALTH_PERIOD`) and folds its breach
+    summary into the result.  ``setup(dep)``, when given, runs right
+    before the clock starts (the CLI hooks periodic re-renders there).
     """
     from repro.core.deployment import SecuredDeployment
     from repro.devices import protocol
@@ -80,6 +85,8 @@ def run_resilience_scenario(
         consistent_updates=True,
         reliable_control=resilient,
         health_check_period=HEALTH_PERIOD if resilient else None,
+        health=health,
+        health_period=HEALTH_PERIOD,
     )
     dep.add_device(smart_camera, "cam")
     dep.add_device(smart_plug, "plug", load={"hazard": 1.0})
@@ -122,6 +129,8 @@ def run_resilience_scenario(
         plug_attempts += 1
         t += ATTACK_PLUG_PERIOD
 
+    if setup is not None:
+        setup(dep)
     dep.run(until=horizon)
 
     # -- measurements ---------------------------------------------------
@@ -195,6 +204,154 @@ def run_resilience_scenario(
         "fail_open_passes": dep.cluster.fail_open_passes,
         "events": dep.sim.events_processed,
     }
+    if health and dep.health_plane is not None:
+        result["health"] = health_summary(dep)
     if keep_dep:
         result["dep"] = dep
     return result
+
+
+# ----------------------------------------------------------------------
+# Health-plane scenarios (the `repro health` CLI + the regression gate)
+# ----------------------------------------------------------------------
+
+#: Named fault plans `repro health --plan` understands.
+HEALTH_PLANS = ("none", "standard", "controller", "long-partition")
+CONTROLLER_CRASH_AT = 10.0
+LONG_PARTITION_START = 60.0
+LONG_PARTITION_HOURS = 0.5
+
+
+def health_summary(dep: Any) -> dict[str, Any]:
+    """The health plane's verdict for a finished run, JSON-plain.
+
+    Joins the live snapshot with the journaled ``slo-breach`` /
+    ``slo-recover`` chains; ``matched_recoveries`` counts breaches whose
+    recovery carries the *same trace id* (the causal pair the regression
+    gate asserts on).
+    """
+    plane = dep.health_plane
+    snap = plane.snapshot()
+    if not snap.get("enabled"):
+        return snap
+    journal = dep.sim.journal
+    breaches = [
+        {
+            "at": entry.at,
+            "slo": entry.fields.get("slo"),
+            "subsystem": entry.fields.get("subsystem"),
+            "severity": entry.fields.get("severity"),
+            "trace": entry.trace_id,
+        }
+        for entry in journal.entries(kind="slo-breach")
+    ]
+    recoveries = [
+        {
+            "at": entry.at,
+            "slo": entry.fields.get("slo"),
+            "trace": entry.trace_id,
+            "breach_s": entry.fields.get("breach_s"),
+        }
+        for entry in journal.entries(kind="slo-recover")
+    ]
+    recovered_traces = {r["trace"] for r in recoveries if r["trace"] is not None}
+    matched = sum(1 for b in breaches if b["trace"] in recovered_traces)
+    return {
+        "enabled": True,
+        "rollup": snap["rollup"],
+        "subsystems": {
+            name: info["state"] for name, info in snap["subsystems"].items()
+        },
+        "slo_breaches": snap["slo_breaches"],
+        "slo_recoveries": snap["slo_recoveries"],
+        "matched_recoveries": matched,
+        "breach_events": breaches,
+        "recovery_events": recoveries,
+        "health_transitions": snap["transitions"],
+    }
+
+
+def run_health_scenario(
+    plan: str = "none",
+    seed: int = 7,
+    horizon: float | None = None,
+    keep_dep: bool = False,
+    setup: Any = None,
+) -> dict[str, Any]:
+    """Run one named health scenario and return its summary.
+
+    ``plan`` picks the schedule:
+
+    - ``none`` -- the standard seeded run (attacked two-device home with
+      the full survivability stack), which must end all-green;
+    - ``standard`` -- the resilient arm of the standard chaos scenario
+      (partition + µmbox crash);
+    - ``controller`` -- primary controller crash with a hot standby
+      (failover blind window);
+    - ``long-partition`` -- a :data:`LONG_PARTITION_HOURS`-hour control
+      blackout over the durable telemetry plane.
+
+    The fault plans must drive deterministic, journaled breach->recovery
+    chains; the regression gate asserts exactly that.  ``setup(dep)``,
+    when given, runs right before the clock starts.
+    """
+    from repro.attacks.exploits import EXPLOITS
+    from repro.core.deployment import SecuredDeployment
+    from repro.devices.library import smart_camera, smart_plug
+    from repro.faults.plan import FaultEvent, long_partition_plan
+
+    if plan not in HEALTH_PLANS:
+        raise ValueError(f"unknown health plan {plan!r} (choose from {HEALTH_PLANS})")
+
+    if plan == "standard":
+        result = run_resilience_scenario(
+            resilient=True, seed=seed, horizon=horizon or HORIZON,
+            health=True, keep_dep=keep_dep, setup=setup,
+        )
+        out = dict(result["health"])
+        out["plan"] = plan
+        out["events"] = result["events"]
+        if keep_dep:
+            out["dep"] = result["dep"]
+        return out
+
+    standby = plan == "controller"
+    durable = plan in ("none", "long-partition")
+    if horizon is None:
+        if plan == "long-partition":
+            horizon = LONG_PARTITION_START + LONG_PARTITION_HOURS * 3600.0 + 120.0
+        else:
+            horizon = 60.0
+    dep = SecuredDeployment.build(
+        consistent_updates=True,
+        reliable_control=True,
+        health_check_period=HEALTH_PERIOD,
+        durable_telemetry=durable,
+        checkpointing=True,
+        standby=standby,
+        ha_seed=seed,
+        health=True,
+        health_period=HEALTH_PERIOD,
+    )
+    dep.add_device(smart_camera, "cam")
+    dep.add_device(smart_plug, "plug")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    dep.enforce_baseline()
+    if plan == "none":
+        EXPLOITS["brute_force_login"].launch(attacker, "cam", dep.sim)
+    elif plan == "controller":
+        FaultPlan([FaultEvent(CONTROLLER_CRASH_AT, "controller-crash", "*")]).apply(dep)
+    elif plan == "long-partition":
+        long_partition_plan(
+            start=LONG_PARTITION_START, hours=LONG_PARTITION_HOURS
+        ).apply(dep)
+    if setup is not None:
+        setup(dep)
+    dep.run(until=horizon)
+    out = health_summary(dep)
+    out["plan"] = plan
+    out["events"] = dep.sim.events_processed
+    if keep_dep:
+        out["dep"] = dep
+    return out

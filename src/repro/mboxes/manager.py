@@ -332,6 +332,10 @@ class MboxManager:
     def down_count(self) -> int:
         return sum(1 for mbox in self.host.mboxes.values() if mbox.down)
 
+    def open_outages(self) -> list[OutageRecord]:
+        """Outages not yet restored (the fleet health probe's signal)."""
+        return [record for record in self.outages if record.restored_at is None]
+
     def posture_for(self, device: str) -> Posture | None:
         """The posture the device's µmbox is currently built from."""
         return self._postures.get(device)

@@ -157,6 +157,16 @@ class Simulator:
         self.metrics.gauge("journal_recorded", fn=lambda: self.journal.recorded)
         self.metrics.gauge("journal_retained", fn=lambda: len(self.journal))
         self.metrics.gauge("journal_evicted", fn=lambda: self.journal.evicted)
+        self.metrics.gauge("journal_spilled", fn=lambda: self.journal.spilled)
+        self.metrics.gauge(
+            "journal_spill_rotations", fn=lambda: self.journal.spill_rotations
+        )
+        self.metrics.gauge(
+            "journal_spill_dropped_files", fn=lambda: self.journal.spill_dropped_files
+        )
+        self.metrics.gauge(
+            "journal_spill_dropped_bytes", fn=lambda: self.journal.spill_dropped_bytes
+        )
 
     # ------------------------------------------------------------------
     # Scheduling

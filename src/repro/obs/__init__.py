@@ -29,6 +29,13 @@ offset-tracked, acknowledged, in-order replay across partitions, plus a
 dead-letter queue that quarantines malformed or untrusted records as
 inspectable evidence.
 
+The SLO & health plane (:mod:`repro.obs.slo` / :mod:`repro.obs.health`)
+interprets all of the above online: declared security objectives
+evaluated over sliding windows with fast/slow burn-rate thresholds
+(journaled ``slo-breach``/``slo-recover`` chains carrying trace ids),
+rolled up into per-subsystem ``ok -> degraded -> critical`` health
+states and a deployment-level verdict.
+
 Exporters (:mod:`repro.obs.exporters`) turn a registry into a plain JSON
 snapshot or Prometheus-style text exposition (escaped labels, one
 ``# HELP``/``# TYPE`` per family; :func:`parse_exposition` round-trips).
@@ -41,6 +48,14 @@ bench can measure the cost of instrumentation itself.
 """
 
 from repro.obs.exporters import parse_exposition, to_prometheus, trace_as_dicts
+from repro.obs.health import (
+    HEALTH_CRITICAL,
+    HEALTH_DEGRADED,
+    HEALTH_OK,
+    HealthMonitor,
+    HealthPlane,
+    attach_health_plane,
+)
 from repro.obs.incident import Incident, IncidentChain, reconstruct
 from repro.obs.journal import Journal, JournalEntry
 from repro.obs.registry import (
@@ -51,6 +66,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.slo import SLO, SloMonitor, SloTracker
 from repro.obs.stream import (
     DeadLetterQueue,
     HostStream,
@@ -66,6 +82,11 @@ __all__ = [
     "Counter",
     "DeadLetterQueue",
     "Gauge",
+    "HEALTH_CRITICAL",
+    "HEALTH_DEGRADED",
+    "HEALTH_OK",
+    "HealthMonitor",
+    "HealthPlane",
     "Histogram",
     "HostStream",
     "Incident",
@@ -74,11 +95,15 @@ __all__ = [
     "JournalEntry",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "SLO",
+    "SloMonitor",
+    "SloTracker",
     "Span",
     "StreamConfig",
     "StreamConsumer",
     "StreamRecord",
     "Tracer",
+    "attach_health_plane",
     "parse_exposition",
     "reconstruct",
     "to_prometheus",

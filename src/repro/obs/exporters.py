@@ -39,7 +39,25 @@ HELP_TEXT: dict[str, str] = {
     "journal_recorded": "Audit-journal entries recorded",
     "journal_retained": "Audit-journal entries currently retained in memory",
     "journal_evicted": "Audit-journal entries evicted from the bounded ring",
+    "journal_spilled": "Evicted journal entries appended to the JSONL spill",
+    "journal_spill_rotations": "Journal spill file rotations (byte cap reached)",
+    "journal_spill_dropped_files": "Rotated spill files deleted past the file cap",
+    "journal_spill_dropped_bytes": "Spill bytes deleted past the file cap",
     "epoch_commit_latency": "Two-phase epoch start-to-flip latency",
+    "stream_buffer_depth": "Unacked records buffered, per (host, lane)",
+    "stream_replay_lag": "Records sent but not yet acked, per (host, lane)",
+    "stream_ack_lag_seconds": "Age of the oldest unacked record, per (host, lane)",
+    "stream_peak_depth": "High-water buffered depth, per (host, lane)",
+    "stream_evicted": "Bulk-lane records evicted unacked, per host stream",
+    "stream_batches": "Coalesced batches shipped, per host stream",
+    "dlq_depth": "Records currently quarantined in the dead-letter queue",
+    "dlq_rotated": "Quarantined records rotated out of the bounded DLQ",
+    "dlq_quarantined": "Records ever quarantined, per dead-letter queue",
+    "slo_burn_rate": "Error-budget burn rate, per SLO and window (fast/slow)",
+    "slo_breached": "1 while the SLO is in breach, else 0",
+    "slo_breaches": "Breach events fired, per SLO",
+    "health_state": "Subsystem health level (0=ok 1=degraded 2=critical)",
+    "health_rollup": "Deployment health level (worst subsystem)",
 }
 
 

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.simulator import Simulator
 
-__all__ = ["Incident", "IncidentChain", "reconstruct"]
+__all__ = ["Incident", "IncidentChain", "SITE_EVENT_KINDS", "reconstruct"]
 
 #: Canonical stage order of one detection chain (Figure 2's loop).  Spans
 #: sort by simulated start time first; this index breaks same-instant ties
@@ -44,6 +44,21 @@ STAGE_ORDER = (
     "epoch-commit",
 )
 _STAGE_INDEX = {stage: i for i, stage in enumerate(STAGE_ORDER)}
+
+#: Site-scoped journal kinds (recorded with ``device=""``) that a device
+#: timeline can opt into via ``reconstruct(..., site_events=True)``:
+#: SLO breaches, health transitions and stream replays are deployment
+#: facts, but they frame what happened to every device in the window.
+SITE_EVENT_KINDS = frozenset(
+    {
+        "slo-breach",
+        "slo-recover",
+        "health",
+        "stream-replay",
+        "failover",
+        "failover-complete",
+    }
+)
 
 
 @dataclass
@@ -154,7 +169,12 @@ def _span_sort_key(span) -> tuple[float, int]:
 
 
 def reconstruct(
-    sim: "Simulator", device: str, policy: Any = None, state: Any = None, dlq: Any = None
+    sim: "Simulator",
+    device: str,
+    policy: Any = None,
+    state: Any = None,
+    dlq: Any = None,
+    site_events: bool = False,
 ) -> Incident:
     """Rebuild the incident timeline for ``device`` from ``sim``'s evidence.
 
@@ -171,6 +191,13 @@ def reconstruct(
     refusal detail.  (The refusal *event* is also journaled at quarantine
     time, so it survives DLQ rotation; the DLQ join contributes the
     record body that the bounded journal entry deliberately omits.)
+
+    ``site_events`` folds site-scoped journal entries (SLO breaches and
+    recoveries, health transitions, post-outage stream replays,
+    failovers -- see :data:`SITE_EVENT_KINDS`) into the timeline with
+    ``source="site"``: those records carry no device, yet they explain
+    *why* this device's evidence arrived late or its enforcement
+    stalled.  Off by default so a device timeline stays device-scoped.
     """
     incident = Incident(device=device, built_at=sim.now)
 
@@ -217,6 +244,24 @@ def reconstruct(
             incident.posture = str(entry.fields.get("posture", incident.posture))
         elif entry.kind == "context":
             incident.context = str(entry.fields.get("context", incident.context))
+
+    # -- site plane (opt-in): deployment-scoped events framing the window --
+    if site_events:
+        seen = {e.seq for e in journal_entries}
+        for entry in sim.journal:
+            if entry.kind in SITE_EVENT_KINDS and entry.seq not in seen:
+                incident.timeline.append(
+                    {
+                        "at": entry.at,
+                        "seq": entry.seq,
+                        "source": "site",
+                        "kind": entry.kind,
+                        "trace_id": entry.trace_id,
+                        "detail": dict(entry.fields),
+                    }
+                )
+                if entry.trace_id is not None:
+                    seqs_by_trace.setdefault(entry.trace_id, []).append(entry.seq)
 
     # -- trace plane: causal chains with per-stage simulated latencies ----
     tracer = sim.tracer

@@ -37,6 +37,7 @@ Design constraints (shared with the rest of :mod:`repro.obs`):
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from typing import Any, Callable, Iterator
 
@@ -107,16 +108,32 @@ class Journal:
         segment_size: int = 512,
         max_segments: int = 8,
         spill_path: str | None = None,
+        spill_max_bytes: int | None = None,
+        spill_max_files: int = 4,
     ) -> None:
         if segment_size <= 0:
             raise ValueError(f"segment_size must be positive (got {segment_size})")
         if max_segments <= 0:
             raise ValueError(f"max_segments must be positive (got {max_segments})")
+        if spill_max_files <= 0:
+            raise ValueError(f"spill_max_files must be positive (got {spill_max_files})")
         self.clock = clock
         self.enabled = enabled
         self.segment_size = segment_size
         self.max_segments = max_segments
         self.spill_path = spill_path
+        #: Spill bound: once the active JSONL file reaches
+        #: ``spill_max_bytes`` it is rotated (``path.1`` .. ``path.N``)
+        #: and at most ``spill_max_files`` files (active included) are
+        #: kept -- the oldest rotated file is deleted, its loss counted
+        #: in ``spill_dropped_files``/``spill_dropped_bytes``.  ``None``
+        #: preserves the historical unbounded single-file behavior.
+        self.spill_max_bytes = spill_max_bytes
+        self.spill_max_files = spill_max_files
+        self.spill_rotations = 0
+        self.spill_dropped_files = 0
+        self.spill_dropped_bytes = 0
+        self._spill_size: int | None = None  # lazily sized from disk
         # Segments hold raw ``(seq, at, kind, device, trace_id, fields)``
         # tuples; ``_head`` aliases the open segment so the write path
         # never indexes the deque.  Readers materialize JournalEntry
@@ -178,6 +195,78 @@ class Journal:
                 self.spilled += len(segment)
             except OSError:
                 pass  # spill is best-effort; retention bounds still hold
+            else:
+                if self.spill_max_bytes is not None:
+                    if self._spill_size is None:
+                        self._spill_size = self._size_on_disk(self.spill_path)
+                    else:
+                        self._spill_size += len(blob.encode("utf-8"))
+                    if self._spill_size >= self.spill_max_bytes:
+                        self._rotate_spill()
+
+    @staticmethod
+    def _size_on_disk(path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
+    def _rotate_spill(self) -> None:
+        """Shift ``path -> path.1 -> ... -> path.N``; drop past the cap.
+
+        With ``spill_max_files == 1`` there is nothing to rotate into:
+        the active file itself is discarded (still counted as dropped).
+        """
+        base = self.spill_path
+        assert base is not None
+        keep = self.spill_max_files
+        if keep == 1:
+            self.spill_dropped_bytes += self._size_on_disk(base)
+            try:
+                os.remove(base)
+            except OSError:
+                pass
+            else:
+                self.spill_dropped_files += 1
+            self.spill_rotations += 1
+            self._spill_size = 0
+            return
+        oldest = f"{base}.{keep - 1}"
+        if os.path.exists(oldest):
+            self.spill_dropped_bytes += self._size_on_disk(oldest)
+            try:
+                os.remove(oldest)
+            except OSError:
+                pass
+            else:
+                self.spill_dropped_files += 1
+        for i in range(keep - 2, 0, -1):
+            src = f"{base}.{i}"
+            if os.path.exists(src):
+                try:
+                    os.replace(src, f"{base}.{i + 1}")
+                except OSError:
+                    pass
+        try:
+            os.replace(base, f"{base}.1")
+        except OSError:
+            pass
+        self.spill_rotations += 1
+        self._spill_size = 0
+
+    def spill_files(self) -> list[str]:
+        """Existing spill files, oldest first (rotated tail -> active)."""
+        if self.spill_path is None:
+            return []
+        base = self.spill_path
+        out = []
+        for i in range(self.spill_max_files - 1, 0, -1):
+            path = f"{base}.{i}"
+            if os.path.exists(path):
+                out.append(path)
+        if os.path.exists(base):
+            out.append(base)
+        return out
 
     # ------------------------------------------------------------------
     # Reading
@@ -273,6 +362,11 @@ class Journal:
             "spilled": self.spilled,
             "segment_size": self.segment_size,
             "max_segments": self.max_segments,
+            "spill_max_bytes": self.spill_max_bytes,
+            "spill_max_files": self.spill_max_files,
+            "spill_rotations": self.spill_rotations,
+            "spill_dropped_files": self.spill_dropped_files,
+            "spill_dropped_bytes": self.spill_dropped_bytes,
         }
 
     @staticmethod
@@ -308,6 +402,26 @@ class Journal:
                     raise ValueError(
                         f"corrupt journal spill {path!r} at line {lineno}: {exc}"
                     ) from exc
+        return entries
+
+    @classmethod
+    def load_spill_rotated(cls, path: str) -> list[JournalEntry]:
+        """Reload a rotated spill set (``path.N`` .. ``path.1``, ``path``).
+
+        Returns entries in file order, oldest rotation first -- seq order
+        for anything the journal itself wrote.  Missing files are fine
+        (rotation may have dropped them); a corrupt line still raises.
+        """
+        rotated: list[str] = []
+        i = 1
+        while os.path.exists(f"{path}.{i}"):
+            rotated.append(f"{path}.{i}")
+            i += 1
+        entries: list[JournalEntry] = []
+        for part in reversed(rotated):
+            entries.extend(cls.load_spill(part))
+        if os.path.exists(path):
+            entries.extend(cls.load_spill(path))
         return entries
 
     def export_jsonl(self, path: str) -> int:

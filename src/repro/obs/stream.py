@@ -402,7 +402,9 @@ class HostStream:
         # Acks ride the channel back to the host's own endpoint.
         channel.register(host, self._on_control)
         metrics = sim.metrics
-        self.metric_labels = {"stream": metrics.unique(host)}
+        # ``stream`` (unique) disambiguates multiple streams; ``host`` is
+        # the stable per-host label the exposition promises operators.
+        self.metric_labels = {"stream": metrics.unique(host), "host": host}
         for lane in self.lanes.values():
             labels = dict(self.metric_labels, lane=lane.name)
             metrics.gauge("stream_buffer_depth", fn=lane.depth, **labels)
@@ -410,8 +412,18 @@ class HostStream:
             metrics.gauge(
                 "stream_peak_depth", fn=lambda lane=lane: lane.peak_depth, **labels
             )
+            metrics.gauge(
+                "stream_ack_lag_seconds",
+                fn=lambda lane=lane: self._ack_lag_seconds(lane),
+                **labels,
+            )
         self._c_evicted = metrics.counter("stream_evicted", **self.metric_labels)
         self._c_batches = metrics.counter("stream_batches", **self.metric_labels)
+
+    def _ack_lag_seconds(self, lane: "_Lane") -> float:
+        """Age of the lane's oldest unacked record (0 when fully acked)."""
+        record = lane.oldest_unacked()
+        return 0.0 if record is None else self.sim.now - record.at
 
     # ------------------------------------------------------------------
     def offer(self, kind: str, body: dict[str, Any]) -> StreamRecord:

@@ -253,3 +253,88 @@ class TestSimulatorIntegration:
         assert sim.metrics.value("journal_recorded") == 1
         assert sim.metrics.value("journal_retained") == 1
         assert sim.metrics.value("journal_evicted") == 0
+        assert sim.metrics.value("journal_spill_rotations") == 0
+        assert sim.metrics.value("journal_spill_dropped_files") == 0
+        assert sim.metrics.value("journal_spill_dropped_bytes") == 0
+
+
+class TestSpillRotation:
+    """The bounded spill: rotation, the file/byte caps, and reload."""
+
+    def _rotating(self, tmp_path, max_files=3, max_bytes=256):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 1.0,
+            segment_size=2,
+            max_segments=1,
+            spill_path=str(spill),
+            spill_max_bytes=max_bytes,
+            spill_max_files=max_files,
+        )
+        return journal, spill
+
+    def test_rotation_shifts_files_and_counts(self, tmp_path):
+        journal, spill = self._rotating(tmp_path)
+        for i in range(40):
+            journal.record("alert", device="cam", i=i)
+        assert journal.spill_rotations > 0
+        files = journal.spill_files()
+        # Oldest-first order, active file last, never above the cap.
+        assert files[-1] == str(spill)
+        assert len(files) <= journal.spill_max_files
+        for path in files:
+            for line in open(path, encoding="utf-8"):
+                json.loads(line)  # every retained line is complete JSON
+
+    def test_file_cap_drops_oldest_and_counts_loss(self, tmp_path):
+        journal, spill = self._rotating(tmp_path, max_files=2, max_bytes=128)
+        for i in range(80):
+            journal.record("alert", device="cam", i=i)
+        assert journal.spill_dropped_files > 0
+        assert journal.spill_dropped_bytes > 0
+        assert len(journal.spill_files()) <= 2
+        # The registry (when attached to a simulator) sees the same loss.
+        stats = journal.stats()
+        assert stats["spill_rotations"] == journal.spill_rotations
+        assert stats["spill_dropped_files"] == journal.spill_dropped_files
+        assert stats["spill_dropped_bytes"] == journal.spill_dropped_bytes
+        assert stats["spill_max_files"] == 2
+
+    def test_rotated_reload_is_in_seq_order(self, tmp_path):
+        journal, spill = self._rotating(tmp_path, max_files=4, max_bytes=256)
+        for i in range(40):
+            journal.record("alert", device="cam", i=i)
+        entries = Journal.load_spill_rotated(str(spill))
+        assert entries, "rotation must not lose the surviving spill"
+        seqs = [e.seq for e in entries]
+        assert seqs == sorted(seqs)
+        # Contiguous across the file boundary: rotation never tears a
+        # segment, so the surviving seqs form one gap-free run.
+        assert seqs == list(range(seqs[0], seqs[-1] + 1))
+        assert entries[-1].fields["i"] == seqs[-1] - 1
+
+    def test_single_file_cap_discards_active_file(self, tmp_path):
+        journal, spill = self._rotating(tmp_path, max_files=1, max_bytes=128)
+        for i in range(40):
+            journal.record("alert", device="cam", i=i)
+        assert journal.spill_rotations > 0
+        assert journal.spill_dropped_files == journal.spill_rotations
+        assert journal.spill_files() in ([], [str(spill)])
+
+    def test_unbounded_spill_never_rotates(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 1.0,
+            segment_size=2,
+            max_segments=1,
+            spill_path=str(spill),
+        )
+        for i in range(80):
+            journal.record("alert", device="cam", i=i)
+        assert journal.spill_rotations == 0
+        assert journal.spill_files() == [str(spill)]
+        assert len(Journal.load_spill(str(spill))) == journal.spilled
+
+    def test_bad_caps_rejected(self):
+        with pytest.raises(ValueError):
+            Journal(clock=lambda: 0.0, spill_max_files=0)

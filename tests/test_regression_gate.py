@@ -364,3 +364,59 @@ class TestDurabilityGate:
             "E14 baseline missing from benchmarks/results/"
         )
         assert baseline["e14"]["durable"]["telemetry_loss"] == 0
+
+
+class TestHealthGate:
+    """The SLO/health verdicts: steady must be green, chaos must breach
+    AND recover (matched by trace id)."""
+
+    def _health(self, steady=None, chaos=None):
+        current = _current()
+        current["health"] = {
+            "steady": steady
+            if steady is not None
+            else {"plan": "none", "rollup": "ok", "slo_breaches": 0},
+            "chaos": chaos
+            if chaos is not None
+            else {
+                "plan": "standard",
+                "rollup": "ok",
+                "slo_breaches": 2,
+                "matched_recoveries": 2,
+            },
+        }
+        return current
+
+    def test_green_steady_and_breaching_chaos_pass(self, gate):
+        assert gate.compare(self._health(), _baseline()) == []
+
+    def test_degraded_steady_rollup_fails(self, gate):
+        current = self._health(
+            steady={"plan": "none", "rollup": "degraded", "slo_breaches": 0}
+        )
+        violations = gate.compare(current, _baseline())
+        assert any("health/steady" in v and "rollup" in v for v in violations)
+
+    def test_steady_breach_fails(self, gate):
+        current = self._health(
+            steady={"plan": "none", "rollup": "ok", "slo_breaches": 3}
+        )
+        violations = gate.compare(current, _baseline())
+        assert any("health/steady" in v and "breach" in v for v in violations)
+
+    def test_blind_chaos_plan_fails(self, gate):
+        current = self._health(
+            chaos={"plan": "standard", "slo_breaches": 0, "matched_recoveries": 0}
+        )
+        violations = gate.compare(current, _baseline())
+        assert any("health/chaos" in v and "no SLO breach" in v for v in violations)
+
+    def test_unmatched_recovery_fails(self, gate):
+        current = self._health(
+            chaos={"plan": "standard", "slo_breaches": 1, "matched_recoveries": 0}
+        )
+        violations = gate.compare(current, _baseline())
+        assert any("health/chaos" in v and "trace id" in v for v in violations)
+
+    def test_missing_health_section_is_not_a_violation(self, gate):
+        assert gate.compare(_current(), _baseline()) == []

@@ -427,13 +427,9 @@ class TestEndToEnd:
         rig.channel.partition(0.0, 50.0)
         rig.stream.offer("telemetry", body(0, kind="telemetry"))
         sim.run(until=1.0)
-        label = rig.stream.metric_labels["stream"]
-        assert (
-            sim.metrics.value("stream_buffer_depth", stream=label, lane=LANE_BULK) == 1
-        )
-        assert (
-            sim.metrics.value("stream_replay_lag", stream=label, lane=LANE_BULK) == 1
-        )
+        labels = dict(rig.stream.metric_labels, lane=LANE_BULK)
+        assert sim.metrics.value("stream_buffer_depth", **labels) == 1
+        assert sim.metrics.value("stream_replay_lag", **labels) == 1
         assert sim.metrics.value("dlq_depth", dlq=rig.dlq.metric_labels["dlq"]) == 0
 
 
@@ -496,3 +492,45 @@ class TestDeploymentIntegration:
         dep.finalize()
         assert dep.host_stream is None
         assert dep.controller.stream is None and dep.controller.dlq is None
+
+
+class TestStreamGauges:
+    """Per-(host, lane) exposition: depth, replay lag, and ack lag."""
+
+    def test_labels_carry_stable_host_and_lane(self, sim):
+        rig = Rig(sim)
+        assert rig.stream.metric_labels["host"] == "host"
+        for lane in (LANE_URGENT, LANE_BULK):
+            for name in (
+                "stream_buffer_depth",
+                "stream_replay_lag",
+                "stream_ack_lag_seconds",
+            ):
+                assert (
+                    sim.metrics.value(name, lane=lane, **rig.stream.metric_labels)
+                    == 0.0
+                )
+
+    def test_ack_lag_ages_under_partition_and_clears_on_ack(self, sim):
+        rig = Rig(sim)
+        rig.channel.partition(0.0, 20.0)
+        rig.stream.offer("port-scan", body(1))
+        sim.run(until=15.0)
+        labels = dict(rig.stream.metric_labels, lane=LANE_URGENT)
+        lag = sim.metrics.value("stream_ack_lag_seconds", **labels)
+        # The record was born at t=0 and is still unacked at t=15.
+        assert lag == pytest.approx(15.0)
+        assert sim.metrics.value("stream_replay_lag", **labels) == 1
+        sim.run(until=30.0)  # heal: batch ships, ack returns
+        assert sim.metrics.value("stream_ack_lag_seconds", **labels) == 0.0
+        assert sim.metrics.value("stream_replay_lag", **labels) == 0
+
+    def test_dlq_size_and_quarantine_counters_exported(self, sim):
+        rig = Rig(sim)
+        rig.stream.offer("port-scan", body(1, kind="x" * 65))
+        rig.stream.offer("port-scan", body(2))
+        sim.run(until=5.0)
+        labels = rig.dlq.metric_labels
+        assert sim.metrics.value("dlq_depth", **labels) == 1
+        assert sim.metrics.value("dlq_quarantined", **labels) == 1
+        assert rig.bodies() and rig.bodies()[0]["detail"]["i"] == 2
