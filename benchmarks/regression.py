@@ -40,6 +40,14 @@ but the simulation itself is deterministic:
   burn-rate breach *and* journal a matching ``slo-recover`` carrying the
   breach's trace id.  Both verdicts are written to
   ``results/health_snapshot.json`` as a CI artifact.
+- **federation (E15)**: the gate pair (one fleet run single-site vs
+  sharded across ``E15_SITES`` federated sites) must keep a
+  >= ``E15_MIN_SPEEDUP`` aggregate-throughput edge, and the seeded
+  coordinator-blackout scenario must show **zero enforcement gaps** (a
+  hard property, like E14's zero loss), in-order replay, convergence
+  and the poisoned report quarantined -- plus determinism drift on its
+  counters.  The full federation run is exported to
+  ``results/federation_snapshot.json`` as a CI artifact.
 
 Usage::
 
@@ -77,6 +85,9 @@ RESILIENCE_REGRESSION = 0.20   # max fractional growth of E12's exposure window
 FAILOVER_BLIND_RATIO = 0.20    # max standby blind window / crash blind window
 STORM_MIN_ENFORCING_FRAC = 0.90  # min enforcing-alert fraction under shedding
 E14_PEAK_BUFFER_LIMIT = 2048   # max stream-buffer records held during the outage
+E15_MIN_SPEEDUP = 1.5          # min federated/single aggregate-throughput ratio
+E15_GATE_DEVICES = 2000        # fleet size of the gate's single-vs-federated pair
+E15_SITES = 4                  # federated sites (and worker processes) in the gate
 OBS_PROFILE_FRAC = 0.10        # max share of hot-loop time in any obs frame
 SWEEP = (10, 40, 80)           # E9 device counts measured by the gate
 REPEATS = 5                    # best-of-N wall-clock estimator per data point
@@ -91,6 +102,18 @@ E14_DETERMINISTIC_KEYS = (
     "peak_depth",
     "events",
 )
+E15_DETERMINISTIC_KEYS = (
+    "events",
+    "attacks_launched",
+    "attacks_blocked",
+    "enforcement_gaps",
+    "signatures_propagated",
+    "dlq_quarantined",
+    "autonomy_enters",
+    "autonomy_exits",
+    "out_of_order",
+    "pending_after",
+)
 
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
@@ -98,6 +121,7 @@ TRAJECTORY_PATH = BENCH_DIR.parent / "BENCH_TRAJECTORY.json"
 SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
 DLQ_SAMPLE_PATH = RESULTS_DIR / "dlq_sample.jsonl"
 HEALTH_SNAPSHOT_PATH = RESULTS_DIR / "health_snapshot.json"
+FEDERATION_SNAPSHOT_PATH = RESULTS_DIR / "federation_snapshot.json"
 
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
 E9_SMALL_BASELINE = RESULTS_DIR / "test_e9_small_core_capacity.json"
@@ -105,6 +129,7 @@ OVERHEAD_BASELINE = RESULTS_DIR / "test_obs_overhead.json"
 E12_BASELINE = RESULTS_DIR / "test_e12_resilience.json"
 E13_BASELINE = RESULTS_DIR / "test_e13_controller_ha.json"
 E14_BASELINE = RESULTS_DIR / "test_e14_durable_telemetry.json"
+E15_BASELINE = RESULTS_DIR / "test_e15_federation.json"
 
 
 def _threshold(env: str, default: float) -> float:
@@ -125,6 +150,7 @@ def compare(
     storm_min_enforcing_frac: float | None = None,
     obs_profile_frac: float | None = None,
     e14_peak_buffer_limit: float | None = None,
+    e15_min_speedup: float | None = None,
 ) -> list[str]:
     """Return the list of violations of ``current`` against ``baseline``.
 
@@ -166,6 +192,8 @@ def compare(
         e14_peak_buffer_limit = _threshold(
             "REPRO_E14_PEAK_BUFFER", E14_PEAK_BUFFER_LIMIT
         )
+    if e15_min_speedup is None:
+        e15_min_speedup = _threshold("REPRO_E15_GATE_SPEEDUP", E15_MIN_SPEEDUP)
 
     violations: list[str] = []
     base_rows = {row["devices"]: row for row in baseline.get("e9", ())}
@@ -350,6 +378,63 @@ def compare(
                     "a behavior change must re-record the baselines"
                 )
 
+    # E15: the federated control plane.  The gate pair's speedup is a
+    # pinned ratio of two same-machine wall clocks, so it gates without a
+    # committed baseline; the blackout scenario's properties are absolute
+    # (zero enforcement gaps is the federation's E14-style hard gate) and
+    # its counters are sim-deterministic, so they drift-check against the
+    # committed bench results.
+    e15 = current.get("e15") or {}
+    e15_base = baseline.get("e15") or {}
+    pair = e15.get("pair")
+    if pair:
+        if pair.get("speedup", 0.0) < e15_min_speedup:
+            violations.append(
+                f"e15: federated aggregate throughput is only "
+                f"{pair.get('speedup', 0.0):.2f}x the single-site arm at "
+                f"{pair.get('devices')} devices (floor {e15_min_speedup}x)"
+            )
+        if pair.get("compromised", 0) != 0:
+            violations.append(
+                f"e15: {pair['compromised']} device(s) compromised in the "
+                "scale pair (must be 0 -- sharding broke enforcement)"
+            )
+    blackout = e15.get("blackout")
+    if blackout:
+        if blackout.get("enforcement_gaps", 1) != 0:
+            violations.append(
+                f"e15: {blackout.get('enforcement_gaps')} enforcement gap(s) "
+                "during the coordinator blackout (must be exactly 0 -- sites "
+                "stopped enforcing on cached policy): "
+                f"{blackout.get('gap_details', '')}"
+            )
+        if not blackout.get("converged", False):
+            violations.append(
+                "e15: the federation did not reconverge after the blackout "
+                "heal -- a site's replay cursor is wedged"
+            )
+        if blackout.get("out_of_order", 1) != 0:
+            violations.append(
+                f"e15: {blackout.get('out_of_order')} out-of-order signature "
+                "update(s) observed (the versioned replay contract is broken)"
+            )
+        if blackout.get("dlq_quarantined", 0) < 1:
+            violations.append(
+                "e15: the poisoned signature report was not quarantined -- "
+                "repository validation regressed"
+            )
+        committed = e15_base.get("blackout") or {}
+        for key in E15_DETERMINISTIC_KEYS:
+            if key not in committed or key not in blackout:
+                continue
+            b, c = committed[key], blackout[key]
+            if abs(c - b) > event_count_drift * max(abs(b), 1):
+                violations.append(
+                    f"e15/blackout: deterministic counter {key} drifted "
+                    f"{b} -> {c} (allowed {event_count_drift:.0%}); "
+                    "a behavior change must re-record the baselines"
+                )
+
     # Health/SLO plane: properties of the current run only (both health
     # scenarios are deterministic sim-time runs, so there is no committed
     # baseline to drift against).  The standard seeded run must come up
@@ -415,6 +500,7 @@ def load_baseline() -> dict[str, Any]:
         "e12": {},
         "e13": {},
         "e14": {},
+        "e15": {},
     }
     if E9_BASELINE.exists():
         baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
@@ -429,6 +515,9 @@ def load_baseline() -> dict[str, Any]:
         baseline["e13"] = json.loads(E13_BASELINE.read_text()).get("arms", {})
     if E14_BASELINE.exists():
         baseline["e14"] = json.loads(E14_BASELINE.read_text()).get("arms", {})
+    if E15_BASELINE.exists():
+        data = json.loads(E15_BASELINE.read_text())
+        baseline["e15"] = {"blackout": data.get("blackout") or {}}
     return baseline
 
 
@@ -575,6 +664,20 @@ def measure() -> dict[str, Any]:
         + "\n"
     )
 
+    # E15: the federation gate pair (small fleet, same definition as the
+    # full bench) plus the deterministic coordinator-blackout scenario.
+    # The whole section ships as a CI artifact.
+    from bench_e15_federation import run_pair
+    from repro.faults.scenario import run_federation_blackout_scenario
+
+    current["e15"] = {
+        "pair": run_pair(E15_GATE_DEVICES, sites=E15_SITES, workers=E15_SITES),
+        "blackout": run_federation_blackout_scenario(sites=E15_SITES),
+    }
+    FEDERATION_SNAPSHOT_PATH.write_text(
+        json.dumps(current["e15"], indent=2, sort_keys=True) + "\n"
+    )
+
     # CI artifact: a journal sample from the largest E9 run, so every
     # pipeline run leaves an inspectable flight-recorder dump behind.
     if spill_sim is not None:
@@ -697,6 +800,16 @@ def main(argv: list[str] | None = None) -> int:
             arm: row["telemetry_loss"] for arm, row in current.get("e14", {}).items()
         },
         "e14_peak_depth": current.get("e14", {}).get("durable", {}).get("peak_depth"),
+        "e15_speedup": current.get("e15", {}).get("pair", {}).get("speedup"),
+        "e15_enforcement_gaps": (
+            current.get("e15", {}).get("blackout", {}).get("enforcement_gaps")
+        ),
+        "e15_signatures_propagated": (
+            current.get("e15", {}).get("blackout", {}).get("signatures_propagated")
+        ),
+        "e15_propagation_lag_s": (
+            current.get("e15", {}).get("blackout", {}).get("propagation_lag_v1")
+        ),
         "health_steady_rollup": (
             current.get("health", {}).get("steady", {}).get("rollup")
         ),
@@ -756,6 +869,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"e14 telemetry loss: {loss}; peak buffer depth "
                 f"{durable_row.get('peak_depth')} "
                 f"(dlq sample -> {DLQ_SAMPLE_PATH})"
+            )
+        e15 = current.get("e15") or {}
+        if e15:
+            pair = e15.get("pair") or {}
+            blackout = e15.get("blackout") or {}
+            print(
+                f"e15 federation: {pair.get('speedup', 0.0):.2f}x aggregate "
+                f"speedup at {pair.get('devices')} devices ({pair.get('mode')}); "
+                f"blackout gaps={blackout.get('enforcement_gaps')} "
+                f"lag={blackout.get('propagation_lag_v1')}s "
+                f"(snapshot -> {FEDERATION_SNAPSHOT_PATH})"
             )
         health = current.get("health") or {}
         if health:

@@ -315,6 +315,62 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federation(args: argparse.Namespace) -> int:
+    """The multi-site control plane: blackout drill or parallel scale run."""
+    if args.scale:
+        from repro.federation import run_federation, shard_fleet
+
+        out = run_federation(
+            shard_fleet(args.scale, args.sites), workers=args.workers
+        )
+        print(
+            f"{out['devices']:,} devices across {out['sites']} sites "
+            f"({out['mode']}): {out['events']:,} sim events in "
+            f"{out['wall_s']:.1f}s = {out['aggregate_events_per_s']:,.0f} "
+            "events/s aggregate"
+        )
+        for row in out["per_site"]:
+            print(
+                f"  {row['site']}: {row['devices']} devices, "
+                f"{row['events']:,} events, build {row['build_s']:.1f}s, "
+                f"run {row['run_s']:.1f}s, blocked "
+                f"{row['attacks_blocked']}/{row['attacks_launched']}"
+            )
+        print(
+            f"compromised: {out['compromised']} "
+            f"(blocked {out['attacks_blocked']}/{out['attacks_launched']})"
+        )
+        return 0
+
+    from repro.faults.scenario import (
+        FEDERATION_BLACKOUT_END,
+        FEDERATION_BLACKOUT_START,
+        run_federation_blackout_scenario,
+    )
+
+    out = run_federation_blackout_scenario(sites=args.sites)
+    window = f"t={FEDERATION_BLACKOUT_START:.0f}..{FEDERATION_BLACKOUT_END:.0f}s"
+    print(f"coordinator blackout drill: {args.sites} sites, WAN dark {window}\n")
+    print(f"  patient zero compromised pre-signature: "
+          f"{'yes' if out['patient_zero_compromised'] else 'no'}")
+    print(f"  mid-blackout attacks blocked on cached policy: "
+          f"{out['attacks_blocked']}/{out['attacks_launched'] - 1}")
+    print(f"  enforcement gaps during blackout: {out['enforcement_gaps']}")
+    print(f"  signatures versioned fleet-wide: {out['signatures_propagated']} "
+          f"(propagation lag {out['propagation_lag_v1']:.3f}s)")
+    print(f"  autonomy spells journaled: {out['autonomy_enters']} enter / "
+          f"{out['autonomy_exits']} exit ({out['offline_s']:.0f} site-seconds)")
+    print(f"  out-of-order updates on heal: {out['out_of_order']}")
+    print(f"  poisoned reports quarantined to DLQ: {out['dlq_quarantined']}")
+    print(f"  reconverged after heal: {'yes' if out['converged'] else 'NO'}")
+    if out["enforcement_gaps"]:
+        for detail in out["gap_details"]:
+            print(f"    GAP: {detail}")
+        return 1
+    print("\nevery site kept enforcing on cached policy for the whole outage")
+    return 0
+
+
 def cmd_policy(args: argparse.Namespace) -> int:
     """Export a sample home's default policy as reviewable JSON."""
     from repro import SecuredDeployment
@@ -872,6 +928,27 @@ def main(argv: list[str] | None = None) -> int:
 
     policy = sub.add_parser("policy", help="export a sample default policy as JSON")
     policy.set_defaults(fn=cmd_policy)
+
+    federation = sub.add_parser(
+        "federation",
+        help="multi-site control plane: coordinator-blackout drill or "
+        "parallel scale run",
+    )
+    federation.add_argument(
+        "--sites", type=int, default=4, help="number of federated sites"
+    )
+    federation.add_argument(
+        "--scale",
+        type=int,
+        default=0,
+        metavar="N",
+        help="instead of the blackout drill, shard an N-device fleet "
+        "across the sites in parallel worker processes",
+    )
+    federation.add_argument(
+        "--workers", type=int, default=None, help="worker processes for --scale"
+    )
+    federation.set_defaults(fn=cmd_federation)
 
     fleet = sub.add_parser("fleet", help="federated-signature story across N sites")
     fleet.add_argument("--sites", type=int, default=6)

@@ -23,6 +23,7 @@ co-occur in a rule can safely live under different local controllers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -70,8 +71,15 @@ class ControllerQueue:
         self.busy_time = 0.0
 
     def submit(self, emitted_at: float) -> float:
-        """Feed one event; returns the simulated completion time."""
-        arrival = self.sim.now + self.channel_latency
+        """Feed one event; returns the simulated completion time.
+
+        ``emitted_at`` is when the event *left its source* -- the device
+        for a first hop, the local controller's completion time for a
+        forwarded hop -- so a chained submission starts its channel
+        crossing then, not at whatever ``sim.now`` happens to be when the
+        caller runs.
+        """
+        arrival = emitted_at + self.channel_latency
         start = max(arrival, self.busy_until)
         done = start + self.service_time
         self.busy_until = done
@@ -95,8 +103,14 @@ def partition_by_independence(policy: PolicyFSM) -> dict[str, int]:
         for key in group:
             if key.startswith("ctx:"):
                 assignment[key[4:]] = index
-    for device in policy.devices:  # devices with no rules: own the last bucket
-        assignment.setdefault(device, len(groups))
+    # Devices with no rules interact with nothing, so each owns an
+    # isolated singleton partition -- lumping them into one shared bucket
+    # would serialize unrelated devices behind a single local controller.
+    next_free = len(groups)
+    for device in sorted(policy.devices):
+        if device not in assignment:
+            assignment[device] = next_free
+            next_free += 1
     return assignment
 
 
@@ -201,10 +215,14 @@ class HierarchicalControl:
         part = self.partition.get(device)
         escalate = device in self.crossing or part is None
         if escalate:
-            # The local controller triages, then forwards up.
+            # The local controller triages, then forwards up: the global
+            # hop's channel crossing starts when local triage *completes*,
+            # not at emission time -- otherwise escalation latency hides
+            # the entire local stage.
+            forwarded_at = self.sim.now
             if part is not None:
-                self.locals[part].submit(self.sim.now)
-            done = self.global_controller.submit(self.sim.now)
+                forwarded_at = self.locals[part].submit(self.sim.now)
+            done = self.global_controller.submit(forwarded_at)
             handled_by = "global"
         else:
             done = self.locals[part].submit(self.sim.now)
@@ -234,7 +252,11 @@ def latency_percentiles(records: list[HandledEvent]) -> dict[str, float]:
     latencies = sorted(r.latency for r in records)
 
     def pct(p: float) -> float:
-        index = min(len(latencies) - 1, int(p * len(latencies)))
+        # Nearest-rank: the smallest value with at least p*n observations
+        # at or below it is element ceil(p*n) (1-based).  ``int(p*n)``
+        # is off by one -- it makes p99 equal max at n=100 and biases p50
+        # high on even-length samples.
+        index = min(len(latencies) - 1, max(0, math.ceil(p * len(latencies)) - 1))
         return latencies[index]
 
     return {"p50": pct(0.50), "p99": pct(0.99), "max": latencies[-1]}

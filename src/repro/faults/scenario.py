@@ -42,6 +42,14 @@ ATTACK_PLUG_PERIOD = 0.25
 HORIZON = 30.0
 HEALTH_PERIOD = 0.5
 
+#: The federation blackout schedule: first sync and one cross-site
+#: signature propagate cleanly, then the coordinator WAN goes dark for a
+#: minute while every site is attacked on cached policy.
+FEDERATION_BLACKOUT_START = 30.0
+FEDERATION_BLACKOUT_END = 90.0
+FEDERATION_HORIZON = 120.0
+FEDERATION_SYNC_PERIOD = 5.0
+
 
 def standard_fault_plan() -> FaultPlan:
     """Partition the whole control channel, then crash the plug's µmbox."""
@@ -354,4 +362,138 @@ def run_health_scenario(
     out["events"] = dep.sim.events_processed
     if keep_dep:
         out["dep"] = dep
+    return out
+
+
+def run_federation_blackout_scenario(
+    sites: int = 4,
+    seed: int = 7,
+    horizon: float = FEDERATION_HORIZON,
+    keep_fed: bool = False,
+) -> dict[str, Any]:
+    """The seeded coordinator-blackout scenario (federation tentpole).
+
+    Timeline (all simulated seconds, deterministic):
+
+    - ``t=5``   site0's camera is hit before any signature exists -- the
+      one expected compromise, the fleet's patient zero;
+    - ``t=10``  site0 mines the credential signature and reports it; the
+      coordinator versions it and pushes it fleet-wide (one WAN hop);
+    - ``t=30``  the whole coordinator WAN partitions for 60 s; every
+      site journals ``site-autonomy-enter`` and keeps enforcing on its
+      cached signature set;
+    - mid-blackout every *other* site's camera is attacked with the same
+      exploit -- each must be blocked by the cached signature
+      (``enforcement_gaps`` counts any that is not);
+    - ``t=50``  site1 mines a backdoor signature offline: enforced
+      locally at once, the report queues for the heal;
+    - ``t=90``  heal: sync ticks flush the pending report, the
+      coordinator versions it, every site replays in order and journals
+      ``site-autonomy-exit``;
+    - ``t=100`` a compromised site ships a poisoned report (a posture no
+      recipe can build); the coordinator quarantines it to the
+      federation DLQ and it never consumes a version.
+    """
+    from repro.attacks.exploits import EXPLOITS
+    from repro.federation import Federation
+    from repro.learning.signatures import (
+        backdoor_signature,
+        default_credential_signature,
+    )
+    from repro.devices.library import smart_camera
+    from repro.policy.posture import MboxSpec, Posture
+
+    if sites < 2:
+        raise ValueError(f"need at least 2 sites (got {sites})")
+
+    fed = Federation(sync_period=FEDERATION_SYNC_PERIOD)
+    attackers: dict[str, Any] = {}
+
+    def populate(dep: Any) -> None:
+        dep.add_device(smart_camera, "cam")
+
+    for i in range(sites):
+        site = fed.add_site(f"site{i}", populate=populate)
+        attackers[site.name] = site.dep.add_attacker()
+    sku = fed.sites["site0"].dep.devices["cam"].sku
+    posture = Posture.make(
+        "forensic-monitor",
+        MboxSpec.make("packet_logger", capture=True),
+        MboxSpec.make("signature_ids", sku=sku),
+    )
+    for site in fed.sites.values():
+        site.dep.secure("cam", posture)
+    fed.attach_health(period=1.0)
+    fed.start()
+    fed.blackout(FEDERATION_BLACKOUT_START, FEDERATION_BLACKOUT_END)
+
+    results: dict[str, Any] = {}
+    gaps: list[str] = []
+
+    def attack(name: str) -> None:
+        results[name] = EXPLOITS["default_credential_hijack"].launch(
+            attackers[name], "cam", fed.sim, resource="image"
+        )
+
+    def blackout_attack(name: str) -> None:
+        site = fed.sites[name]
+        if not site.enforcing:
+            gaps.append(f"{name}: not enforcing mid-blackout")
+        attack(name)
+
+    # Patient zero, then the mined signature fans out pre-blackout.
+    fed.sim.schedule(5.0, attack, "site0")
+    fed.sim.schedule(
+        10.0,
+        lambda: fed.sites["site0"].mined(default_credential_signature(sku).to_dict()),
+    )
+    # Mid-blackout: every other site attacked on cached policy only.
+    for i in range(1, sites):
+        fed.sim.schedule(45.0 + i, blackout_attack, f"site{i}")
+    # Offline discovery queues for the heal.
+    fed.sim.schedule(
+        50.0, lambda: fed.sites["site1"].mined(backdoor_signature(sku, 49153).to_dict())
+    )
+
+    # Post-heal poisoning attempt: a recipe no orchestrator can build.
+    def poison() -> None:
+        wire = default_credential_signature(sku).to_dict()
+        wire["recommended_posture"] = "open_all_ports"
+        wire["flaw_class"] = "poisoned-bait"
+        fed.wan.send(
+            fed.sites["site2" if sites > 2 else "site1"].endpoint,
+            fed.coordinator.NAME,
+            "sig-report",
+            {"signature": wire},
+        )
+
+    fed.sim.schedule(100.0, poison)
+    fed.run(until=horizon)
+
+    for i in range(1, sites):
+        name = f"site{i}"
+        if attackers[name].loot_from("cam"):
+            gaps.append(f"{name}: blackout attack compromised the camera")
+
+    repo = fed.coordinator.repository
+    out = {
+        "sites": sites,
+        "events": fed.sim.events_processed,
+        "attacks_launched": len(results),
+        "attacks_blocked": sum(1 for r in results.values() if not r.succeeded),
+        "patient_zero_compromised": bool(attackers["site0"].loot_from("cam")),
+        "enforcement_gaps": len(gaps),
+        "gap_details": gaps,
+        "signatures_propagated": repo.version,
+        "dlq_quarantined": repo.dlq.quarantined,
+        "converged": fed.coordinator.converged(),
+        "out_of_order": sum(s.out_of_order for s in fed.sites.values()),
+        "pending_after": sum(len(s.pending_reports) for s in fed.sites.values()),
+        "autonomy_enters": len(fed.sim.journal.entries(kind="site-autonomy-enter")),
+        "autonomy_exits": len(fed.sim.journal.entries(kind="site-autonomy-exit")),
+        "offline_s": round(sum(s.offline_s for s in fed.sites.values()), 3),
+        "propagation_lag_v1": fed.propagation_lag(1),
+    }
+    if keep_fed:
+        out["fed"] = fed
     return out

@@ -1,0 +1,33 @@
+"""Federated multi-site control plane (ROADMAP item: scaling §5.1 out).
+
+One :class:`GlobalCoordinator` owns the versioned cross-site
+:class:`SignatureRepository` and the cross-site policy bundle; each
+:class:`FederatedSite` wraps a full :class:`SecuredDeployment` slice with
+its own local signature cache, syncing over a WAN control channel that
+can partition.  Sites require one successful first sync, then enforce
+autonomously on cached policy for as long as the coordinator stays
+unreachable -- the E11 fleet-immunity story at deployment scale.
+
+:class:`Federation` composes the pieces on one shared simulator (the
+semantics harness: propagation lag, partitions, autonomy transitions);
+:mod:`repro.federation.runner` shards a fleet into per-site worker
+processes for E9-class load beyond one core (bench E15).
+"""
+
+from repro.federation.coordinator import GlobalCoordinator
+from repro.federation.federation import Federation
+from repro.federation.repository import SignatureRepository, SignatureUpdate
+from repro.federation.runner import SiteSpec, run_federation, run_site_worker, shard_fleet
+from repro.federation.site import FederatedSite
+
+__all__ = [
+    "Federation",
+    "FederatedSite",
+    "GlobalCoordinator",
+    "SignatureRepository",
+    "SignatureUpdate",
+    "SiteSpec",
+    "run_federation",
+    "run_site_worker",
+    "shard_fleet",
+]

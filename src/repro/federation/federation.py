@@ -1,0 +1,151 @@
+"""The in-process federation harness: N sites, one coordinator, one sim.
+
+This is the *semantics* half of the federation (the scale half is
+:mod:`repro.federation.runner`): every site's deployment shares one
+simulator and one WAN control channel, so cross-site effects -- signature
+propagation lag, coordinator blackouts, autonomy spells, in-order
+catch-up -- play out in a single deterministic event order that tests
+and the E15 bench can assert on exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.federation.coordinator import GlobalCoordinator
+from repro.federation.site import FederatedSite
+from repro.netsim.simulator import Simulator
+from repro.sdn.channel import ControlChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.health import HealthPlane
+
+#: A federation WAN hop is tens of milliseconds -- the paper's cloud
+#: controller distance, an order above the on-premise control channel.
+WAN_LATENCY = 0.040
+
+
+class Federation:
+    """Builder/owner of coordinator + sites on one shared simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        wan_latency: float = WAN_LATENCY,
+        sync_period: float = 5.0,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.sync_period = sync_period
+        self.wan = ControlChannel(self.sim, latency=wan_latency)
+        self.coordinator = GlobalCoordinator(self.sim, self.wan)
+        self.sites: dict[str, FederatedSite] = {}
+        self.health_plane: "HealthPlane | None" = None
+
+    # ------------------------------------------------------------------
+    def add_site(
+        self,
+        name: str,
+        populate: Callable[[Any], None] | None = None,
+        **deployment_kwargs: Any,
+    ) -> FederatedSite:
+        """Create one site on the shared sim; ``populate(dep)`` adds its
+        devices/attackers before the deployment is finalized."""
+        from repro.core.deployment import SecuredDeployment
+
+        if name in self.sites:
+            raise ValueError(f"duplicate site name {name!r}")
+        dep = SecuredDeployment.build(sim=self.sim, **deployment_kwargs)
+        if populate is not None:
+            populate(dep)
+        dep.finalize()
+        site = FederatedSite(
+            self.sim,
+            name,
+            dep,
+            self.wan,
+            coordinator=self.coordinator.NAME,
+            sync_period=self.sync_period,
+        )
+        self.sites[name] = site
+        return site
+
+    def start(self) -> None:
+        """Register every site with the coordinator and start sync loops."""
+        for site in self.sites.values():
+            self.coordinator.register_site(site)
+            site.start()
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def blackout(self, start: float, end: float) -> None:
+        """Partition the whole WAN (coordinator unreachable from every
+        site, and vice versa) for ``[start, end)`` simulated seconds."""
+        self.wan.partition(start, end)
+
+    # ------------------------------------------------------------------
+    # Health integration (PR-8 plane)
+    # ------------------------------------------------------------------
+    def attach_health(self, period: float = 1.0) -> "HealthPlane":
+        """Start a health plane with the federation subsystem probe.
+
+        Degraded while any site runs autonomously on cached policy;
+        critical while any started site still awaits its first sync
+        (that is the one state with a real enforcement gap)."""
+        from repro.obs.health import (
+            HEALTH_CRITICAL,
+            HEALTH_DEGRADED,
+            HealthPlane,
+        )
+
+        plane = HealthPlane(self.sim, period=period)
+        if plane.enabled:
+            plane.health.register("federation")
+
+            def probe() -> tuple[str, str] | None:
+                unsynced = sum(1 for s in self.sites.values() if not s.first_synced)
+                if unsynced:
+                    return (
+                        HEALTH_CRITICAL,
+                        f"{unsynced} site(s) awaiting first sync",
+                    )
+                offline = sum(1 for s in self.sites.values() if s.autonomous)
+                if offline:
+                    return (
+                        HEALTH_DEGRADED,
+                        f"{offline} site(s) autonomous on cached policy",
+                    )
+                return None
+
+            plane.health.probe("federation", probe)
+            plane.start()
+        self.health_plane = plane
+        return plane
+
+    # ------------------------------------------------------------------
+    def propagation_lag(self, version: int) -> float | None:
+        """Worst-case sim-time from publication of ``version`` to its
+        application at the last site; ``None`` until fully propagated."""
+        update = None
+        for entry in self.coordinator.repository.log:
+            if entry.version == version:
+                update = entry
+                break
+        if update is None:
+            return None
+        applied = []
+        for site in self.sites.values():
+            at = site.applied_at.get(version)
+            if at is None:
+                return None
+            applied.append(at)
+        return max(applied) - update.published_at
+
+    def run(self, until: float | None = None) -> None:
+        self.sim.run(until=until)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "coordinator": self.coordinator.snapshot(),
+            "sites": [site.snapshot() for site in self.sites.values()],
+        }

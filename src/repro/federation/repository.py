@@ -1,0 +1,162 @@
+"""The coordinator's versioned signature repository.
+
+The E11 crowdsourced repository (:class:`~repro.learning.repository.
+CrowdRepository`) answers *who may publish and who hears about it* for one
+administrative domain.  Federation adds a second question: *in what order
+does the fleet converge?*  Every accepted publication gets a global,
+monotonically increasing **version**; a site that was partitioned away
+replays ``updates_since(its last version)`` and is guaranteed to apply
+the exact sequence every other site applied -- in-order catch-up is what
+makes indefinite offline enforcement safe to heal from.
+
+Poisoning resistance rides the PR-7 dead-letter machinery: a publication
+that fails validation (unparseable wire, out-of-range confidence, a
+recommended posture that names no known recipe) is quarantined to the
+federation DLQ -- journaled, bounded, inspectable -- instead of entering
+the version log.  A poisoned update therefore never consumes a version
+number, so it can never wedge a site's replay cursor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.learning.signatures import AttackSignature
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.simulator import Simulator
+    from repro.obs.stream import DeadLetterQueue
+
+#: The mitigation names :func:`repro.core.orchestrator.
+#: build_recommended_posture` can materialize.  A signature recommending
+#: anything else is either garbage or an attempt to make every site
+#: actuate an attacker-chosen posture -- both are quarantined.
+KNOWN_POSTURES = frozenset(
+    {
+        "password_proxy",
+        "stateful_firewall",
+        "command_whitelist",
+        "dns_guard",
+        "quarantine",
+        "monitor",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SignatureUpdate:
+    """One versioned entry of the global signature log."""
+
+    version: int
+    origin: str
+    published_at: float
+    signature: Mapping[str, Any] = field(hash=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "origin": self.origin,
+            "published_at": self.published_at,
+            "signature": dict(self.signature),
+        }
+
+
+class SignatureRepository:
+    """Append-only, versioned log of fleet-wide attack signatures."""
+
+    def __init__(self, sim: "Simulator", dlq: "DeadLetterQueue | None" = None) -> None:
+        from repro.obs.stream import DeadLetterQueue
+
+        self.sim = sim
+        self.dlq = dlq or DeadLetterQueue(sim, name="federation")
+        self.log: list[SignatureUpdate] = []
+        self._seen_keys: dict[tuple, int] = {}
+        self.accepted = 0
+        self.rejected = 0
+        self.duplicates = 0
+
+    @property
+    def version(self) -> int:
+        """The latest assigned version (0 = empty log)."""
+        return self.log[-1].version if self.log else 0
+
+    # ------------------------------------------------------------------
+    # Publish (validated)
+    # ------------------------------------------------------------------
+    def validate(self, wire: Any) -> str | None:
+        """Why ``wire`` must not enter the log, or ``None`` when clean."""
+        if not isinstance(wire, Mapping):
+            return "malformed: not a mapping"
+        sku = wire.get("sku")
+        if not isinstance(sku, str) or not sku:
+            return "malformed: missing sku"
+        try:
+            signature = AttackSignature.from_dict(wire)
+        except (KeyError, TypeError, ValueError) as exc:
+            return f"malformed: {exc}"
+        if not 0.0 <= signature.confidence <= 1.0:
+            return f"poisoned: confidence {signature.confidence} outside [0, 1]"
+        if signature.recommended_posture not in KNOWN_POSTURES:
+            return (
+                f"poisoned: unknown recommended posture "
+                f"{signature.recommended_posture!r}"
+            )
+        return None
+
+    def publish(self, wire: Any, origin: str) -> SignatureUpdate | None:
+        """Validate and version one publication from ``origin``.
+
+        Returns the new log entry, or ``None`` when the wire was
+        quarantined (invalid) or deduplicated (the same sku/flaw/match
+        was already versioned -- re-discovery at a second site must not
+        re-broadcast).
+        """
+        reason = self.validate(wire)
+        if reason is not None:
+            self.rejected += 1
+            body = wire if isinstance(wire, Mapping) else {"raw": repr(wire)}
+            self.dlq.quarantine(
+                {"body": {"device": "", "kind": "signature", **dict(body)}},
+                reason=reason,
+                host=origin,
+            )
+            return None
+        signature = AttackSignature.from_dict(wire)
+        key = signature.key()
+        if key in self._seen_keys:
+            self.duplicates += 1
+            return None
+        version = self.version + 1
+        update = SignatureUpdate(
+            version=version,
+            origin=origin,
+            published_at=self.sim.now,
+            signature=dict(wire),
+        )
+        self._seen_keys[key] = version
+        self.log.append(update)
+        self.accepted += 1
+        return update
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def updates_since(self, version: int) -> list[SignatureUpdate]:
+        """All entries with a version strictly above ``version``, in order.
+
+        The log is append-only with contiguous versions, so the slice
+        starts at index ``version`` (entry i holds version i+1).
+        """
+        if version >= self.version:
+            return []
+        return self.log[max(0, version):]
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "version": self.version,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "duplicates": self.duplicates,
+            "quarantined": self.dlq.quarantined,
+        }

@@ -1,0 +1,184 @@
+"""Parallel site workers: E9-class load sharded across processes.
+
+The shared-sim :class:`Federation` nails the cross-site *semantics*; this
+module is the *throughput* half of the tentpole.  A fleet is sharded into
+:class:`SiteSpec` slices, each worker process builds and runs one full
+site deployment on its own simulator, and the parent aggregates.  Two
+things make the sharding pay:
+
+- **per-site cost is flat**: a single flat deployment's per-event cost
+  grows super-linearly with fleet size (the context view, policy domain
+  scans and posture bookkeeping all walk structures proportional to the
+  device count -- exactly the §5.1 motivation for hierarchy), so four
+  quarter-size sites do strictly less total work than one 4x site even
+  on one core;
+- **cores multiply**: workers are separate processes (fork when the
+  platform has it), so a multi-core box overlaps the site runs on top of
+  the algorithmic win.
+
+Fleet immunity rides into every worker: the specs carry the coordinator's
+current signature log (plain wire dicts -- picklable), each site seeds
+its local cache from it before the clock starts, mirroring a first sync.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One worker's slice of the fleet (picklable)."""
+
+    name: str
+    devices: int
+    horizon: float = 120.0
+    telemetry_period: float = 20.0
+    attack: bool = True
+    #: Coordinator signature log at launch (wire dicts), the site's
+    #: cached global state -- applied before the clock starts.
+    signatures: tuple = field(default_factory=tuple)
+
+
+def shard_fleet(
+    total_devices: int,
+    sites: int,
+    horizon: float = 120.0,
+    signatures: Sequence[dict] = (),
+    **kwargs: Any,
+) -> list[SiteSpec]:
+    """Split ``total_devices`` into ``sites`` near-equal site specs."""
+    if sites <= 0:
+        raise ValueError(f"sites must be positive (got {sites})")
+    base, extra = divmod(total_devices, sites)
+    specs = []
+    for i in range(sites):
+        n = base + (1 if i < extra else 0)
+        specs.append(
+            SiteSpec(
+                name=f"site{i}",
+                devices=n,
+                horizon=horizon,
+                signatures=tuple(dict(w) for w in signatures),
+                **kwargs,
+            )
+        )
+    return specs
+
+
+def run_site_worker(spec: SiteSpec) -> dict[str, Any]:
+    """Build and run one site end to end; returns picklable stats.
+
+    Top-level by design: multiprocessing pickles the function reference
+    and the spec, nothing else.  The site is the E9 fleet shape (the
+    four-device factory cycle, everyone telemetering, first camera and
+    first plug attacked) so single-site and federated arms of bench E15
+    run the identical per-device workload.
+    """
+    from repro.attacks.exploits import EXPLOITS
+    from repro.core.deployment import SecuredDeployment
+    from repro.core.orchestrator import build_recommended_posture
+    from repro.devices.library import smart_bulb, smart_camera, smart_plug, thermostat
+    from repro.learning.repository import CrowdRepository
+    from repro.learning.signatures import AttackSignature
+
+    factory_cycle = (smart_camera, smart_plug, thermostat, smart_bulb)
+    build_start = time.perf_counter()
+    dep = SecuredDeployment.build()
+    dep.manager.capacity = max(256, spec.devices + 8)
+    trusted = (dep.HUB, dep.CONTROLLER)
+    for i in range(spec.devices):
+        factory = factory_cycle[i % len(factory_cycle)]
+        device = dep.add_device(
+            factory, f"dev{i}", report_to="hub", telemetry_period=spec.telemetry_period
+        )
+        device.start_telemetry()
+    attacker = dep.add_attacker() if spec.attack else None
+    dep.finalize()
+    if spec.signatures:
+        cache = CrowdRepository(dep.sim, free_rider_delay=0.0, base_delay=0.0)
+        for wire in spec.signatures:
+            cache.publish(AttackSignature.from_dict(wire), reporter="coordinator")
+        dep.attach_repository(cache)
+    for i in range(spec.devices):
+        name = f"dev{i}"
+        device = dep.devices[name]
+        if "exposed-credentials" in device.firmware.flaw_classes():
+            posture = build_recommended_posture("password_proxy", name)
+        elif device.firmware.flaw_classes() & {"backdoor", "exposed-access"}:
+            posture = build_recommended_posture(
+                "stateful_firewall", name, trusted_sources=trusted
+            )
+        else:
+            posture = build_recommended_posture("monitor", name, sku=device.sku)
+        dep.secure(name, posture)
+    build_s = time.perf_counter() - build_start
+
+    results = []
+    if attacker is not None and spec.devices >= 2:
+        results = [
+            EXPLOITS["default_credential_hijack"].launch(attacker, "dev0", dep.sim),
+            EXPLOITS["backdoor_command"].launch(
+                attacker, "dev1", dep.sim, backdoor_port=49153, command="on"
+            ),
+        ]
+    run_start = time.perf_counter()
+    dep.run(until=spec.horizon)
+    run_s = time.perf_counter() - run_start
+    events = dep.sim.events_processed
+    return {
+        "site": spec.name,
+        "devices": spec.devices,
+        "build_s": build_s,
+        "run_s": run_s,
+        "wall_s": build_s + run_s,
+        "events": events,
+        "events_per_s": events / max(run_s, 1e-9),
+        "attacks_launched": len(results),
+        "attacks_blocked": sum(1 for r in results if not r.succeeded),
+        "compromised": sum(1 for d in dep.devices.values() if d.is_compromised()),
+        "cached_signatures": len(spec.signatures),
+    }
+
+
+def run_federation(
+    specs: Sequence[SiteSpec], workers: int | None = None
+) -> dict[str, Any]:
+    """Run every site spec, in parallel worker processes when possible.
+
+    ``workers`` <= 1 runs serially in-process (deterministic, debuggable
+    and the honest baseline for the aggregate-throughput comparison on a
+    single-core box).  The aggregate throughput is total simulated events
+    over the *end-to-end* wall clock -- build included, because sharding
+    wins on build cost too and hiding that would flatter the single-site
+    arm."""
+    start = time.perf_counter()
+    if workers is None:
+        workers = len(specs)
+    if workers <= 1 or len(specs) <= 1:
+        per_site = [run_site_worker(spec) for spec in specs]
+        mode = "serial"
+    else:
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        with ctx.Pool(processes=min(workers, len(specs))) as pool:
+            per_site = pool.map(run_site_worker, list(specs))
+        mode = f"{method}:{min(workers, len(specs))}"
+    wall_s = time.perf_counter() - start
+    events = sum(r["events"] for r in per_site)
+    return {
+        "mode": mode,
+        "sites": len(per_site),
+        "devices": sum(r["devices"] for r in per_site),
+        "wall_s": wall_s,
+        "events": events,
+        "aggregate_events_per_s": events / max(wall_s, 1e-9),
+        "attacks_blocked": sum(r["attacks_blocked"] for r in per_site),
+        "attacks_launched": sum(r["attacks_launched"] for r in per_site),
+        "compromised": sum(r["compromised"] for r in per_site),
+        "per_site": per_site,
+    }

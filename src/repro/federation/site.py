@@ -1,0 +1,243 @@
+"""One federated site: a full deployment slice plus a sync state machine.
+
+A site wraps a :class:`~repro.core.deployment.SecuredDeployment` (which
+may itself run PR-5 hot-standby HA and PR-7 durable streams -- the site
+does not care) and adds the federation contract:
+
+- a **local signature cache** (a private :class:`CrowdRepository` wired
+  into the site's IDS µmboxes via ``attach_repository``), fed only by
+  versioned coordinator updates and the site's own discoveries;
+- a **sync loop** that pulls ``updates_since(version)`` from the
+  coordinator over the WAN channel every ``sync_period`` seconds and
+  flushes locally mined signatures that queued up while offline;
+- the **autonomy state machine**: first sync required, then the site
+  keeps enforcing on cached policy for as long as the coordinator is
+  unreachable.  Transitions are journaled (``site-autonomy-enter`` /
+  ``site-autonomy-exit``) so the PR-8 health plane and the incident
+  reconstructor see every offline spell.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.learning.repository import CrowdRepository
+from repro.learning.signatures import AttackSignature
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deployment import SecuredDeployment
+    from repro.federation.repository import SignatureUpdate
+    from repro.netsim.simulator import Simulator
+    from repro.sdn.channel import ControlChannel, ControlMessage
+
+
+class FederatedSite:
+    """A per-site controller slice under the global coordinator."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        deployment: "SecuredDeployment",
+        wan: "ControlChannel",
+        coordinator: str = "coordinator",
+        sync_period: float = 5.0,
+    ) -> None:
+        if sync_period <= 0:
+            raise ValueError(f"sync_period must be positive (got {sync_period})")
+        self.sim = sim
+        self.name = name
+        self.dep = deployment
+        self.wan = wan
+        self.coordinator = coordinator
+        self.sync_period = sync_period
+        #: Local signature cache: the site's IDS µmboxes subscribe to it.
+        #: Within one administrative site there are no free riders and no
+        #: extra distribution delay -- those model the *global* repository
+        #: (E11); the WAN latency/partition model covers the federation.
+        self.cache = CrowdRepository(sim, free_rider_delay=0.0, base_delay=0.0)
+        deployment.attach_repository(self.cache)
+
+        #: Replay cursor: the highest global version applied here.
+        self.version = 0
+        self.first_synced = False
+        self.first_synced_at: float | None = None
+        self.autonomous = False
+        self._autonomy_entered_at = 0.0
+        #: Locally mined signatures awaiting a reachable coordinator.
+        self.pending_reports: list[dict[str, Any]] = []
+        #: Version -> simulated apply time (propagation-lag measurement).
+        self.applied_at: dict[int, float] = {}
+        self.applied = 0
+        self.duplicates = 0
+        self.out_of_order = 0
+        self.autonomy_spells = 0
+        self.offline_s = 0.0
+        self._started = False
+
+        wan.register(self.endpoint, self._on_message)
+
+    @property
+    def endpoint(self) -> str:
+        """This site's address on the WAN control channel."""
+        return f"site:{self.name}"
+
+    # ------------------------------------------------------------------
+    # Applying coordinator updates
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Iterable[Mapping[str, Any]]) -> int:
+        """Apply a batch of versioned updates; returns how many were new.
+
+        The coordinator always sends a contiguous ascending slice of the
+        global log, so versions at or below the cursor are duplicates
+        (at-least-once WAN delivery) and a version that *regresses*
+        within the batch counts as ``out_of_order`` -- zero under the
+        in-order replay contract, so tests pin it.
+        """
+        fresh = 0
+        last_seen = None
+        for update in updates:
+            version = int(update.get("version", 0))
+            if last_seen is not None and version <= last_seen:
+                self.out_of_order += 1
+            last_seen = version
+            if version <= self.version:
+                self.duplicates += 1
+                continue
+            wire = update.get("signature") or {}
+            self.cache.publish(
+                AttackSignature.from_dict(wire),
+                reporter=str(update.get("origin", self.coordinator)),
+            )
+            self.version = version
+            self.applied_at[version] = self.sim.now
+            self.applied += 1
+            fresh += 1
+        return fresh
+
+    def _on_message(self, message: "ControlMessage") -> None:
+        if message.kind == "sync-updates":
+            from_version = int(message.body.get("since", 0))
+            fresh = self.apply_updates(message.body.get("updates", ()))
+            if not self.first_synced:
+                self.first_synced = True
+                self.first_synced_at = self.sim.now
+            if fresh or from_version < self.version:
+                self.sim.journal.record(
+                    "signature-sync",
+                    site=self.name,
+                    from_version=from_version,
+                    to_version=self.version,
+                    applied=fresh,
+                )
+            if self.autonomous:
+                self._exit_autonomy()
+        elif message.kind == "sig-push":
+            # Live broadcast of one accepted publication.
+            self.apply_updates([message.body])
+
+    # ------------------------------------------------------------------
+    # Local discovery
+    # ------------------------------------------------------------------
+    def mined(self, wire: Mapping[str, Any]) -> None:
+        """The site learned a signature locally: enforce it here *now*,
+        report it to the coordinator when (and only when) reachable.
+
+        Local enforcement never waits on the WAN -- during a coordinator
+        blackout the discovery protects this site immediately and the
+        report queues for the heal."""
+        self.cache.publish(AttackSignature.from_dict(wire), reporter=self.name)
+        if self.wan.reachable(self.coordinator) and self.first_synced:
+            self.wan.send(self.endpoint, self.coordinator, "sig-report", {"signature": dict(wire)})
+        else:
+            self.pending_reports.append(dict(wire))
+
+    def flush_pending(self) -> int:
+        """Ship reports queued during an offline spell; returns the count."""
+        flushed = 0
+        while self.pending_reports:
+            wire = self.pending_reports.pop(0)
+            self.wan.send(self.endpoint, self.coordinator, "sig-report", {"signature": wire})
+            flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------
+    # The sync loop & autonomy
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic coordinator sync (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.every(self.sync_period, self.sync_tick)
+
+    def sync_tick(self) -> None:
+        if not self.wan.reachable(self.coordinator):
+            # Declarative partition: don't burn doomed sends, just note
+            # the offline spell.  A site that never completed its first
+            # sync cannot enter autonomy -- it has no cached policy yet.
+            if self.first_synced and not self.autonomous:
+                self._enter_autonomy()
+            return
+        if self.pending_reports:
+            self.flush_pending()
+        self.wan.send(
+            self.endpoint,
+            self.coordinator,
+            "sync-request",
+            {"site": self.name, "version": self.version},
+        )
+
+    def _enter_autonomy(self) -> None:
+        self.autonomous = True
+        self._autonomy_entered_at = self.sim.now
+        self.autonomy_spells += 1
+        self.sim.journal.record(
+            "site-autonomy-enter",
+            site=self.name,
+            version=self.version,
+            cached_signatures=len(self.cache.signatures),
+        )
+
+    def _exit_autonomy(self) -> None:
+        spell = self.sim.now - self._autonomy_entered_at
+        self.autonomous = False
+        self.offline_s += spell
+        self.sim.journal.record(
+            "site-autonomy-exit",
+            site=self.name,
+            version=self.version,
+            offline_s=round(spell, 6),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def enforcing(self) -> bool:
+        """Whether this site's control loop is live on (cached) policy.
+
+        True from the first successful sync onward, through any number
+        of coordinator partitions, for as long as the site controller is
+        up -- the partition-tolerance property bench E15 asserts."""
+        controller = self.dep.controller
+        return (
+            self.first_synced
+            and controller is not None
+            and not getattr(controller, "crashed", False)
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "site": self.name,
+            "version": self.version,
+            "first_synced": self.first_synced,
+            "autonomous": self.autonomous,
+            "enforcing": self.enforcing,
+            "applied": self.applied,
+            "duplicates": self.duplicates,
+            "out_of_order": self.out_of_order,
+            "autonomy_spells": self.autonomy_spells,
+            "offline_s": round(self.offline_s, 6),
+            "pending_reports": len(self.pending_reports),
+            "cached_signatures": len(self.cache.signatures),
+            "devices": len(self.dep.devices),
+        }

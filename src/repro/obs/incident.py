@@ -57,6 +57,9 @@ SITE_EVENT_KINDS = frozenset(
         "stream-replay",
         "failover",
         "failover-complete",
+        "site-autonomy-enter",
+        "site-autonomy-exit",
+        "signature-sync",
     }
 )
 

@@ -1,0 +1,369 @@
+"""Tests for the federated control plane (:mod:`repro.federation`).
+
+Covers the versioned signature repository (contiguous versions, dedup,
+poisoning quarantine through the DLQ), the site sync state machine
+(first-sync requirement, autonomy journaling, in-order catch-up after a
+WAN heal), the coordinator push/pull propagation paths, the federation
+health probe, the parallel site runner, and the seeded coordinator
+blackout scenario's zero-enforcement-gap guarantee.
+"""
+
+import pytest
+
+from repro.devices.library import smart_camera, smart_plug
+from repro.faults.scenario import run_federation_blackout_scenario
+from repro.federation import Federation, SiteSpec, run_federation, shard_fleet
+from repro.federation.repository import SignatureRepository
+from repro.learning.signatures import (
+    backdoor_signature,
+    default_credential_signature,
+)
+from repro.netsim.simulator import Simulator
+from repro.obs.health import HEALTH_CRITICAL, HEALTH_DEGRADED
+
+SKU = "dlink:DCS-930L:1.0"
+
+
+def make_federation(sites=2, sync_period=5.0, devices=("cam", "plug")):
+    fed = Federation(sync_period=sync_period)
+
+    def populate(dep):
+        if "cam" in devices:
+            dep.add_device(smart_camera, "cam", report_to="hub")
+        if "plug" in devices:
+            dep.add_device(smart_plug, "plug", report_to="hub")
+
+    for i in range(sites):
+        fed.add_site(f"site{i}", populate=populate)
+    return fed
+
+
+# ---------------------------------------------------------------------------
+# SignatureRepository
+# ---------------------------------------------------------------------------
+
+
+class TestSignatureRepository:
+    def test_versions_are_contiguous_from_one(self):
+        repo = SignatureRepository(Simulator())
+        u1 = repo.publish(default_credential_signature(SKU).to_dict(), origin="a")
+        u2 = repo.publish(backdoor_signature(SKU, 4000).to_dict(), origin="b")
+        assert (u1.version, u2.version) == (1, 2)
+        assert repo.version == 2
+        assert [u.version for u in repo.log] == [1, 2]
+
+    def test_rediscovery_dedups_without_consuming_a_version(self):
+        repo = SignatureRepository(Simulator())
+        wire = default_credential_signature(SKU).to_dict()
+        assert repo.publish(wire, origin="east") is not None
+        assert repo.publish(wire, origin="west") is None
+        assert repo.version == 1
+        assert repo.duplicates == 1
+
+    @pytest.mark.parametrize(
+        "wire, reason_prefix",
+        [
+            ("not-a-dict", "malformed"),
+            ({}, "malformed"),
+            ({"sku": ""}, "malformed"),
+        ],
+    )
+    def test_malformed_wires_are_quarantined(self, wire, reason_prefix):
+        repo = SignatureRepository(Simulator())
+        assert repo.publish(wire, origin="evil") is None
+        assert repo.version == 0
+        assert repo.dlq.quarantined == 1
+        assert any(r.startswith(reason_prefix) for r in repo.dlq.by_reason)
+
+    def test_poisoned_posture_never_enters_the_log(self):
+        repo = SignatureRepository(Simulator())
+        wire = default_credential_signature(SKU).to_dict()
+        wire["recommended_posture"] = "open_all_ports"
+        assert repo.publish(wire, origin="evil") is None
+        assert repo.version == 0
+        assert repo.rejected == 1
+        assert any("poisoned" in r for r in repo.dlq.by_reason)
+
+    def test_out_of_range_confidence_is_poisoned(self):
+        repo = SignatureRepository(Simulator())
+        wire = default_credential_signature(SKU).to_dict()
+        wire["confidence"] = 5.0
+        assert repo.publish(wire, origin="evil") is None
+        assert repo.version == 0
+
+    def test_updates_since_replays_the_exact_suffix(self):
+        repo = SignatureRepository(Simulator())
+        repo.publish(default_credential_signature(SKU).to_dict(), origin="a")
+        repo.publish(backdoor_signature(SKU, 4000).to_dict(), origin="a")
+        repo.publish(backdoor_signature(SKU, 4001).to_dict(), origin="a")
+        assert [u.version for u in repo.updates_since(0)] == [1, 2, 3]
+        assert [u.version for u in repo.updates_since(2)] == [3]
+        assert repo.updates_since(3) == []
+        assert repo.updates_since(99) == []
+
+    def test_poisoned_update_cannot_wedge_a_replay_cursor(self):
+        """A rejected wire consumes no version, so the suffix a site pulls
+        after the poison attempt is exactly the clean log."""
+        repo = SignatureRepository(Simulator())
+        repo.publish(default_credential_signature(SKU).to_dict(), origin="a")
+        bad = default_credential_signature(SKU).to_dict()
+        bad["recommended_posture"] = "root_shell"
+        bad["flaw_class"] = "bait"
+        repo.publish(bad, origin="evil")
+        update = repo.publish(backdoor_signature(SKU, 4000).to_dict(), origin="b")
+        assert update.version == 2
+        assert [u.version for u in repo.updates_since(1)] == [2]
+
+
+# ---------------------------------------------------------------------------
+# Sites + coordinator on the shared sim
+# ---------------------------------------------------------------------------
+
+
+class TestFederationSync:
+    def test_mined_signature_reaches_every_site_in_one_wan_hop(self):
+        fed = make_federation(sites=3)
+        fed.start()
+        sku = fed.sites["site0"].dep.devices["cam"].sku
+        fed.sim.schedule(
+            10.0,
+            lambda: fed.sites["site0"].mined(
+                default_credential_signature(sku).to_dict()
+            ),
+        )
+        fed.run(until=20.0)
+        assert fed.coordinator.repository.version == 1
+        assert fed.coordinator.converged()
+        assert all(s.version == 1 for s in fed.sites.values())
+        # report hop + push hop, each one WAN latency
+        assert fed.propagation_lag(1) == pytest.approx(0.040, abs=1e-6)
+
+    def test_first_sync_required_before_autonomy(self):
+        """A site partitioned from birth never completes its first sync,
+        so it cannot claim autonomous enforcement -- it has no cached
+        policy to enforce."""
+        fed = make_federation(sites=2)
+        fed.blackout(0.0, 30.0)
+        fed.start()
+        fed.run(until=20.0)
+        site = fed.sites["site0"]
+        assert not site.first_synced
+        assert not site.autonomous
+        assert not site.enforcing
+        assert fed.sim.journal.entries(kind="site-autonomy-enter") == []
+
+    def test_first_sync_completes_after_heal(self):
+        fed = make_federation(sites=2)
+        fed.blackout(0.0, 30.0)
+        fed.start()
+        fed.run(until=40.0)
+        assert all(s.first_synced for s in fed.sites.values())
+
+    def test_mined_while_presync_queues_until_first_sync(self):
+        fed = make_federation(sites=2)
+        fed.blackout(0.0, 30.0)
+        fed.start()
+        sku = fed.sites["site0"].dep.devices["cam"].sku
+        fed.sim.schedule(
+            5.0,
+            lambda: fed.sites["site0"].mined(
+                default_credential_signature(sku).to_dict()
+            ),
+        )
+        fed.run(until=25.0)
+        assert len(fed.sites["site0"].pending_reports) == 1
+        assert fed.coordinator.repository.version == 0
+        fed.run(until=45.0)
+        assert fed.sites["site0"].pending_reports == []
+        assert fed.coordinator.repository.version == 1
+        assert fed.coordinator.converged()
+
+    def test_autonomy_spell_is_journaled_with_duration(self):
+        fed = make_federation(sites=2)
+        fed.start()
+        fed.blackout(20.0, 40.0)
+        fed.run(until=60.0)
+        enters = fed.sim.journal.entries(kind="site-autonomy-enter")
+        exits = fed.sim.journal.entries(kind="site-autonomy-exit")
+        assert len(enters) == 2 and len(exits) == 2
+        for entry in exits:
+            assert entry.fields["offline_s"] == pytest.approx(20.0, abs=1.0)
+        assert all(s.autonomy_spells == 1 for s in fed.sites.values())
+        assert all(not s.autonomous for s in fed.sites.values())
+
+    def test_sites_keep_enforcing_during_blackout(self):
+        fed = make_federation(sites=2)
+        fed.start()
+        fed.blackout(10.0, 50.0)
+        seen = {}
+        fed.sim.schedule(
+            30.0,
+            lambda: seen.update(
+                {name: site.enforcing for name, site in fed.sites.items()}
+            ),
+        )
+        fed.run(until=40.0)
+        assert seen and all(seen.values())
+
+    def test_heal_replays_missed_updates_in_order(self):
+        """Updates published while a site is dark arrive on the first
+        post-heal sync as a strictly ascending version suffix."""
+        fed = make_federation(sites=2)
+        fed.start()
+        sku = fed.sites["site0"].dep.devices["cam"].sku
+        # site1 alone goes dark; site0 keeps publishing.
+        fed.wan.partition(10.0, 40.0, endpoints=[fed.sites["site1"].endpoint])
+        wires = [
+            default_credential_signature(sku).to_dict(),
+            backdoor_signature(sku, 4000).to_dict(),
+            backdoor_signature(sku, 4001).to_dict(),
+        ]
+        for i, wire in enumerate(wires):
+            fed.sim.schedule(15.0 + 5.0 * i, fed.sites["site0"].mined, wire)
+        fed.run(until=60.0)
+        site1 = fed.sites["site1"]
+        assert site1.version == 3
+        assert site1.out_of_order == 0
+        assert fed.coordinator.converged()
+        syncs = [
+            e
+            for e in fed.sim.journal.entries(kind="signature-sync")
+            if e.fields["site"] == "site1" and e.fields["applied"]
+        ]
+        assert syncs, "the catch-up sync must be journaled"
+        assert syncs[-1].fields["to_version"] == 3
+
+    def test_duplicate_site_name_rejected(self):
+        fed = make_federation(sites=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            fed.add_site("site0")
+
+
+class TestFederationHealth:
+    def test_probe_critical_until_first_sync(self):
+        fed = make_federation(sites=2)
+        fed.blackout(0.0, 30.0)
+        fed.attach_health(period=1.0)
+        fed.start()
+        fed.run(until=10.0)
+        assert fed.health_plane.health.state_of("federation") == HEALTH_CRITICAL
+
+    def test_probe_degraded_during_autonomy_then_recovers(self):
+        fed = make_federation(sites=2)
+        fed.attach_health(period=1.0)
+        fed.start()
+        fed.blackout(20.0, 40.0)
+        states = {}
+        fed.sim.schedule(
+            30.0,
+            lambda: states.update(
+                mid=fed.health_plane.health.state_of("federation")
+            ),
+        )
+        fed.run(until=60.0)
+        assert states["mid"] == HEALTH_DEGRADED
+        assert fed.health_plane.health.state_of("federation") == "ok"
+        transitions = [
+            e.fields
+            for e in fed.sim.journal.entries(kind="health")
+            if e.fields.get("subsystem") == "federation"
+        ]
+        assert any(t["to_state"] == "degraded" for t in transitions)
+        assert any(t["to_state"] == "ok" for t in transitions)
+
+
+# ---------------------------------------------------------------------------
+# The parallel runner
+# ---------------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_shard_fleet_splits_near_equal(self):
+        specs = shard_fleet(10, 4, horizon=30.0)
+        assert [s.devices for s in specs] == [3, 3, 2, 2]
+        assert [s.name for s in specs] == ["site0", "site1", "site2", "site3"]
+        assert sum(s.devices for s in specs) == 10
+
+    def test_shard_fleet_rejects_zero_sites(self):
+        with pytest.raises(ValueError):
+            shard_fleet(10, 0)
+
+    def test_serial_federation_aggregates_per_site_results(self):
+        out = run_federation(shard_fleet(12, 3, horizon=30.0), workers=1)
+        assert out["mode"] == "serial"
+        assert out["sites"] == 3
+        assert out["devices"] == 12
+        assert out["events"] == sum(r["events"] for r in out["per_site"])
+        assert out["attacks_launched"] == 6
+        assert out["attacks_blocked"] == 6
+        assert out["compromised"] == 0
+
+    def test_parallel_workers_match_serial_results(self):
+        specs = shard_fleet(8, 2, horizon=30.0)
+        serial = run_federation(specs, workers=1)
+        parallel = run_federation(specs, workers=2)
+        assert parallel["mode"] != "serial"
+        assert parallel["events"] == serial["events"]
+        assert parallel["attacks_blocked"] == serial["attacks_blocked"]
+        assert parallel["compromised"] == serial["compromised"]
+
+    def test_seeded_signatures_ride_into_workers(self):
+        wire = default_credential_signature(SKU).to_dict()
+        specs = shard_fleet(4, 2, horizon=10.0, signatures=[wire])
+        out = run_federation(specs, workers=1)
+        assert all(r["cached_signatures"] == 1 for r in out["per_site"])
+
+
+# ---------------------------------------------------------------------------
+# The seeded coordinator-blackout scenario (satellite 5)
+# ---------------------------------------------------------------------------
+
+
+class TestBlackoutScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return run_federation_blackout_scenario(sites=4)
+
+    def test_zero_enforcement_gaps_during_blackout(self, scenario):
+        assert scenario["enforcement_gaps"] == 0, scenario["gap_details"]
+
+    def test_only_patient_zero_is_compromised(self, scenario):
+        assert scenario["patient_zero_compromised"]
+        assert scenario["attacks_launched"] == 4
+        assert scenario["attacks_blocked"] == 3
+
+    def test_signature_updates_replay_in_order_on_heal(self, scenario):
+        assert scenario["out_of_order"] == 0
+        assert scenario["pending_after"] == 0
+        assert scenario["converged"]
+        assert scenario["signatures_propagated"] == 2
+
+    def test_poisoned_report_is_quarantined_not_versioned(self, scenario):
+        assert scenario["dlq_quarantined"] == 1
+        assert scenario["signatures_propagated"] == 2
+
+    def test_every_site_journals_its_autonomy_spell(self, scenario):
+        assert scenario["autonomy_enters"] == 4
+        assert scenario["autonomy_exits"] == 4
+        assert scenario["offline_s"] == pytest.approx(240.0, abs=2.0)
+
+    def test_propagation_lag_is_two_wan_hops(self, scenario):
+        assert scenario["propagation_lag_v1"] == pytest.approx(0.040, abs=1e-6)
+
+    def test_scenario_is_deterministic(self, scenario):
+        again = run_federation_blackout_scenario(sites=4)
+        for key in (
+            "events",
+            "attacks_blocked",
+            "enforcement_gaps",
+            "signatures_propagated",
+            "dlq_quarantined",
+            "autonomy_enters",
+            "autonomy_exits",
+            "offline_s",
+        ):
+            assert again[key] == scenario[key], key
+
+    def test_rejects_single_site(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            run_federation_blackout_scenario(sites=1)
