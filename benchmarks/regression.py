@@ -34,6 +34,15 @@ but the simulation itself is deterministic:
   shows the loss the durable plane exists to prevent.  The durable arm's
   dead-letter queue is exported to ``results/dlq_sample.jsonl`` as a CI
   artifact.
+- **campaigns (E16)**: the full adversarial campaign corpus, per class
+  (sim-time, fully seeded).  Hard gates: the *enforcing* classes
+  (single-flaw, lateral-movement, automation-abuse) must end with **zero
+  containment misses**, and the fabric-degradation class must produce
+  real degradation evidence (sinkholed/bypassed packets, µmbox outages,
+  re-pins, and at least one campaign-containment burn-rate breach) while
+  still containing by horizon.  Per-class recall drift-checks against
+  the committed bench results.  The full scorecard is exported to
+  ``results/campaign_scorecard.json`` as a CI artifact.
 - **health/SLO**: two deterministic health-plane runs (sim-time only, no
   baseline needed) -- the standard seeded run must end all-green (rollup
   ``ok``, zero SLO breaches) and the chaos plan must trip at least one
@@ -102,6 +111,7 @@ E14_DETERMINISTIC_KEYS = (
     "peak_depth",
     "events",
 )
+E16_DETERMINISTIC_KEYS = ("campaigns", "recall", "containment_breaches")
 E15_DETERMINISTIC_KEYS = (
     "events",
     "attacks_launched",
@@ -122,6 +132,7 @@ SPILL_SAMPLE_PATH = RESULTS_DIR / "journal_spill_sample.jsonl"
 DLQ_SAMPLE_PATH = RESULTS_DIR / "dlq_sample.jsonl"
 HEALTH_SNAPSHOT_PATH = RESULTS_DIR / "health_snapshot.json"
 FEDERATION_SNAPSHOT_PATH = RESULTS_DIR / "federation_snapshot.json"
+CAMPAIGN_SCORECARD_PATH = RESULTS_DIR / "campaign_scorecard.json"
 
 E9_BASELINE = RESULTS_DIR / "test_e9_whole_stack_scale.json"
 E9_SMALL_BASELINE = RESULTS_DIR / "test_e9_small_core_capacity.json"
@@ -130,6 +141,7 @@ E12_BASELINE = RESULTS_DIR / "test_e12_resilience.json"
 E13_BASELINE = RESULTS_DIR / "test_e13_controller_ha.json"
 E14_BASELINE = RESULTS_DIR / "test_e14_durable_telemetry.json"
 E15_BASELINE = RESULTS_DIR / "test_e15_federation.json"
+E16_BASELINE = RESULTS_DIR / "test_e16_campaign_scorecard.json"
 
 
 def _threshold(env: str, default: float) -> float:
@@ -435,6 +447,56 @@ def compare(
                     "a behavior change must re-record the baselines"
                 )
 
+    # E16: the adversarial campaign corpus.  Containment on the enforcing
+    # classes is an absolute property (like E14's zero loss): a campaign
+    # the defense is pinned to contain that ends uncontained is a bug,
+    # not a drift.  The fabric-degradation class is gated on *evidence*
+    # that the degradation really happened (stolen packets, outages,
+    # re-pins, a burn-rate breach) -- a fabric campaign that stops
+    # degrading anything is a scenario regression.  Per-class recall
+    # drift-checks against the committed bench numbers.
+    e16 = current.get("e16") or {}
+    e16_base = baseline.get("e16") or {}
+    e16_summary = e16.get("summary") or {}
+    if e16_summary:
+        missed = e16_summary.get("enforcing_misses", [])
+        if missed:
+            violations.append(
+                f"e16: enforcing-class campaign(s) left {', '.join(missed)} "
+                "uncontained (must be zero containment misses)"
+            )
+        evidence = e16_summary.get("fabric_evidence") or {}
+        if not evidence.get("fabric_degraded", False):
+            violations.append(
+                "e16: no fabric-degradation campaign stole any packets -- "
+                "the compromised-switch scenarios stopped degrading the fabric"
+            )
+        if evidence.get("outages", 0) < 1 or evidence.get("repins", 0) < 1:
+            violations.append(
+                f"e16: fabric class shows {evidence.get('outages', 0)} "
+                f"outage(s) / {evidence.get('repins', 0)} re-pin(s) "
+                "(needs >= 1 of each -- the µmbox-outage campaign went inert)"
+            )
+        if evidence.get("containment_breaches", 0) < 1:
+            violations.append(
+                "e16: no campaign-containment burn-rate breach fired -- a "
+                "degraded-fabric miss would be silent (SLO fold-in regressed)"
+            )
+    for name, committed_cls in (e16_base.get("classes") or {}).items():
+        cur_cls = (e16.get("classes") or {}).get(name)
+        if not cur_cls:
+            continue
+        for key in E16_DETERMINISTIC_KEYS:
+            if key not in committed_cls or key not in cur_cls:
+                continue
+            b, c = committed_cls[key], cur_cls[key]
+            if abs(c - b) > event_count_drift * max(abs(b), 1):
+                violations.append(
+                    f"e16/{name}: deterministic counter {key} drifted "
+                    f"{b} -> {c} (allowed {event_count_drift:.0%}); "
+                    "a behavior change must re-record the baselines"
+                )
+
     # Health/SLO plane: properties of the current run only (both health
     # scenarios are deterministic sim-time runs, so there is no committed
     # baseline to drift against).  The standard seeded run must come up
@@ -501,6 +563,7 @@ def load_baseline() -> dict[str, Any]:
         "e13": {},
         "e14": {},
         "e15": {},
+        "e16": {},
     }
     if E9_BASELINE.exists():
         baseline["e9"] = json.loads(E9_BASELINE.read_text()).get("sweep", [])
@@ -518,6 +581,8 @@ def load_baseline() -> dict[str, Any]:
     if E15_BASELINE.exists():
         data = json.loads(E15_BASELINE.read_text())
         baseline["e15"] = {"blackout": data.get("blackout") or {}}
+    if E16_BASELINE.exists():
+        baseline["e16"] = json.loads(E16_BASELINE.read_text()).get("scorecard", {})
     return baseline
 
 
@@ -662,6 +727,17 @@ def measure() -> dict[str, Any]:
     HEALTH_SNAPSHOT_PATH.write_text(
         json.dumps({"steady": steady, "chaos": chaos}, indent=2, sort_keys=True)
         + "\n"
+    )
+
+    # E16: the campaign corpus (also deterministic sim-time).  The gate
+    # reads the compact per-class rollups; the full scorecard -- every
+    # per-campaign result, digests included -- ships as a CI artifact.
+    from bench_e16_campaigns import compact, run_scorecard
+
+    scorecard = run_scorecard()
+    current["e16"] = compact(scorecard)
+    CAMPAIGN_SCORECARD_PATH.write_text(
+        json.dumps(scorecard, indent=2, sort_keys=True, default=str) + "\n"
     )
 
     # E15: the federation gate pair (small fleet, same definition as the
@@ -810,6 +886,16 @@ def main(argv: list[str] | None = None) -> int:
         "e15_propagation_lag_s": (
             current.get("e15", {}).get("blackout", {}).get("propagation_lag_v1")
         ),
+        "e16_campaigns": (
+            current.get("e16", {}).get("summary", {}).get("campaigns")
+        ),
+        "e16_enforcing_misses": (
+            current.get("e16", {}).get("summary", {}).get("enforcing_misses")
+        ),
+        "e16_recall": {
+            name: rollup.get("recall")
+            for name, rollup in current.get("e16", {}).get("classes", {}).items()
+        },
         "health_steady_rollup": (
             current.get("health", {}).get("steady", {}).get("rollup")
         ),
@@ -880,6 +966,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"blackout gaps={blackout.get('enforcement_gaps')} "
                 f"lag={blackout.get('propagation_lag_v1')}s "
                 f"(snapshot -> {FEDERATION_SNAPSHOT_PATH})"
+            )
+        e16 = current.get("e16") or {}
+        if e16:
+            summary = e16.get("summary") or {}
+            evidence = summary.get("fabric_evidence") or {}
+            recalls = ", ".join(
+                f"{name}={rollup.get('recall'):.2f}"
+                for name, rollup in (e16.get("classes") or {}).items()
+            )
+            print(
+                f"e16 campaigns: {summary.get('campaigns')} run, enforcing "
+                f"misses={summary.get('enforcing_misses')}; fabric outages="
+                f"{evidence.get('outages')} repins={evidence.get('repins')} "
+                f"breaches={evidence.get('containment_breaches')}; recall "
+                f"{recalls} (scorecard -> {CAMPAIGN_SCORECARD_PATH})"
             )
         health = current.get("health") or {}
         if health:

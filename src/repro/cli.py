@@ -653,6 +653,95 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_summary(score: dict) -> list[tuple]:
+    ttc = score["time_to_containment_s"]
+    return [
+        ("class", score["class"]),
+        ("stages ok", f"{score['stages_ok']}/{score['stages']}"),
+        ("attacked", ", ".join(score["attacked"]) or "-"),
+        ("alerted", ", ".join(score["alerted"]) or "-"),
+        ("detection precision", f"{score['detection_precision']:.2f}"),
+        ("detection recall", f"{score['detection_recall']:.2f}"),
+        (
+            "time to containment",
+            ", ".join(f"{d}={t:.2f}s" for d, t in ttc.items()) or "-",
+        ),
+        ("exposure total", f"{score['total_exposure_s']:.2f}s"),
+        ("containment misses", ", ".join(score["containment_misses"]) or "none"),
+        ("containment SLO breaches", score["containment_breaches"]),
+        ("fabric degraded", score["fabric_degraded"]),
+        ("graceful degradation", "ok" if score["graceful_degradation"]["ok"] else "VIOLATED"),
+        ("journal digest", score["journal_digest"][:16]),
+    ]
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run adversarial campaigns against the standard home and score them.
+
+    ``--list`` prints the shipped corpus; ``--name`` runs one campaign,
+    ``--class`` a whole class, ``--file`` a campaign JSON document.  A
+    malformed campaign file is a usage error: one line on stderr, exit
+    status 2 (mirroring ``chaos --plan``).
+    """
+    from repro.faults.campaign import Campaign
+    from repro.faults.campaign_library import (
+        CAMPAIGNS,
+        campaigns_by_class,
+        run_campaign,
+    )
+
+    if args.file:
+        try:
+            text = open(args.file, encoding="utf-8").read()
+        except OSError as exc:
+            print(f"error: cannot read campaign {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            selected = [Campaign.from_json(text)]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.name:
+        if args.name not in CAMPAIGNS:
+            print(
+                f"error: no campaign named {args.name!r} (see --list)",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [CAMPAIGNS[args.name]]
+    elif args.campaign_class:
+        selected = campaigns_by_class(args.campaign_class)
+    else:
+        selected = []
+
+    if args.list or not selected:
+        if args.json:
+            print(json.dumps([c.as_dict() for c in CAMPAIGNS.values()], indent=2))
+            return 0
+        print(f"{'campaign':<28}{'class':<20}{'stages':>7}  expect contained")
+        for c in CAMPAIGNS.values():
+            print(
+                f"{c.name:<28}{c.campaign_class:<20}{len(c.stages):>7}  "
+                f"{', '.join(c.expect_contained) or '-'}"
+            )
+        return 0
+
+    scores = [run_campaign(c, seed=args.seed) for c in selected]
+    if args.json:
+        print(json.dumps(scores, indent=2, default=str))
+        return 0
+    for score in scores:
+        print(f"\ncampaign: {score['campaign']}  (seed {score['seed']})")
+        for label, value in _campaign_summary(score):
+            print(f"  {label:<26}{value}")
+    missed = sorted({m for s in scores for m in s["containment_misses"]})
+    if missed:
+        print(f"\nCONTAINMENT MISSED: {', '.join(missed)}")
+        return 1
+    print(f"\nall {len(scores)} campaign(s) fully contained")
+    return 0
+
+
 def _durable_home():
     """The canned durable-telemetry scenario behind ``dlq``: a secured
     home whose alerts ride the store-and-forward stream, with a rogue
@@ -953,6 +1042,31 @@ def main(argv: list[str] | None = None) -> int:
     fleet = sub.add_parser("fleet", help="federated-signature story across N sites")
     fleet.add_argument("--sites", type=int, default=6)
     fleet.set_defaults(fn=cmd_fleet)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run adversarial multi-stage campaigns and print per-class "
+        "containment scorecards",
+    )
+    campaign.add_argument("--list", action="store_true", help="list the shipped corpus")
+    campaign.add_argument("--name", default=None, help="run one named campaign")
+    campaign.add_argument(
+        "--class",
+        dest="campaign_class",
+        default=None,
+        choices=("single-flaw", "lateral-movement", "fabric-degradation", "automation-abuse"),
+        help="run every campaign of one class",
+    )
+    campaign.add_argument(
+        "--file", default=None, help="run a campaign from a JSON document"
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=None, help="override the campaign's baked-in seed"
+    )
+    campaign.add_argument(
+        "--json", action="store_true", help="scorecard dicts instead of text"
+    )
+    campaign.set_defaults(fn=cmd_campaign)
 
     chaos = sub.add_parser(
         "chaos", help="inject faults (partition, µmbox crash) and compare arms"

@@ -147,6 +147,23 @@ class CrowdRepository:
     def is_revoked(self, sig_id: int) -> bool:
         return sig_id in self._revoked
 
+    def reconsider(self, reporter: str) -> int:
+        """Re-check acceptance of everything ``reporter`` published.
+
+        Called when out-of-band evidence (e.g. quarantined telemetry --
+        see :mod:`repro.learning.evidence`) degrades a contributor's
+        reputation after their signatures were already accepted.  Returns
+        how many live signatures were revoked.
+        """
+        revoked = 0
+        for sig_id, signature in self.signatures.items():
+            if sig_id in self._revoked or signature.reporter != reporter:
+                continue
+            if not self.reputation.accepted(sig_id, signature.reporter):
+                self._revoked.add(sig_id)
+                revoked += 1
+        return revoked
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

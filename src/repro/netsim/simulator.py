@@ -167,6 +167,9 @@ class Simulator:
         self.metrics.gauge(
             "journal_spill_dropped_bytes", fn=lambda: self.journal.spill_dropped_bytes
         )
+        self.metrics.gauge(
+            "journal_spill_errors", fn=lambda: self.journal.spill_errors
+        )
 
     # ------------------------------------------------------------------
     # Scheduling

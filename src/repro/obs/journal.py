@@ -133,6 +133,12 @@ class Journal:
         self.spill_rotations = 0
         self.spill_dropped_files = 0
         self.spill_dropped_bytes = 0
+        #: Spill *write* failures: segments evicted but never persisted
+        #: (serialization error or OSError on append).  Each failure is
+        #: also journaled as a ``spill-error`` entry so the loss shows up
+        #: in the incident timeline, not just a counter nobody reads.
+        self.spill_errors = 0
+        self._in_spill_error = False  # reentrancy guard for the record
         self._spill_size: int | None = None  # lazily sized from disk
         # Segments hold raw ``(seq, at, kind, device, trace_id, fields)``
         # tuples; ``_head`` aliases the open segment so the write path
@@ -187,14 +193,19 @@ class Journal:
                     json.dumps(_raw_as_dict(raw), default=str) + "\n"
                     for raw in segment
                 )
-            except (TypeError, ValueError):
-                return  # unserializable field: keep the in-memory contract
+            except (TypeError, ValueError) as exc:
+                # Unserializable field: keep the in-memory contract, but
+                # account for the segment the spill just lost.
+                self._note_spill_error("serialize", len(segment), exc)
+                return
             try:
                 with open(self.spill_path, "a", encoding="utf-8") as fh:
                     fh.write(blob)
                 self.spilled += len(segment)
-            except OSError:
-                pass  # spill is best-effort; retention bounds still hold
+            except OSError as exc:
+                # Spill stays best-effort (retention bounds still hold),
+                # but the failure is counted and journaled, not swallowed.
+                self._note_spill_error("write", len(segment), exc)
             else:
                 if self.spill_max_bytes is not None:
                     if self._spill_size is None:
@@ -203,6 +214,27 @@ class Journal:
                         self._spill_size += len(blob.encode("utf-8"))
                     if self._spill_size >= self.spill_max_bytes:
                         self._rotate_spill()
+
+    def _note_spill_error(self, reason: str, lost: int, exc: Exception) -> None:
+        """Count a failed segment spill and journal the loss itself.
+
+        The guard prevents recursion: the ``spill-error`` record can roll
+        a segment and trigger another eviction, whose own failure would
+        otherwise re-enter this method.
+        """
+        self.spill_errors += 1
+        if self._in_spill_error:
+            return
+        self._in_spill_error = True
+        try:
+            self.record(
+                "spill-error",
+                reason=reason,
+                lost_entries=lost,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self._in_spill_error = False
 
     @staticmethod
     def _size_on_disk(path: str) -> int:
@@ -367,6 +399,7 @@ class Journal:
             "spill_rotations": self.spill_rotations,
             "spill_dropped_files": self.spill_dropped_files,
             "spill_dropped_bytes": self.spill_dropped_bytes,
+            "spill_errors": self.spill_errors,
         }
 
     @staticmethod

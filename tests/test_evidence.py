@@ -1,0 +1,146 @@
+"""Tests for the DLQ -> reputation poisoning-evidence loop
+(:mod:`repro.learning.evidence`)."""
+
+import pytest
+
+from repro.learning.anonymize import pseudonym
+from repro.learning.evidence import DlqEvidenceBridge, attach_dlq_evidence
+from repro.learning.repository import CrowdRepository
+from repro.learning.signatures import default_credential_signature
+from repro.obs.stream import DeadLetterQueue
+
+
+def wire(offset=1, device="cam", kind="port-scan"):
+    return {
+        "offset": offset,
+        "at": 0.0,
+        "body": {"device": device, "kind": kind, "mbox": "m1", "detail": {}, "trace": None},
+    }
+
+
+def _rig(sim, period=1.0, **kw):
+    dlq = DeadLetterQueue(sim, name="edge")
+    repo = CrowdRepository(sim)
+    bridge = attach_dlq_evidence(dlq, repo, period=period, **kw)
+    return dlq, repo, bridge
+
+
+class TestSweep:
+    def test_flooding_host_loses_its_published_signatures(self, sim):
+        """The E3 closed loop: quarantined telemetry from a host is
+        evidence against that host's crowdsourced signatures."""
+        dlq, repo, bridge = _rig(sim)
+        sig_id = repo.publish(
+            default_credential_signature("dlink:cam:1.0"), reporter="evil-host"
+        )
+        sim.run(until=0.5)
+        reporter = repo.signatures[sig_id].reporter
+        assert repo.reputation.accepted(sig_id, reporter)
+        assert len(repo.signatures_for("dlink:cam:1.0")) == 1
+
+        for i in range(6):
+            dlq.quarantine(wire(offset=i + 1), "bad-kind", "evil-host")
+        sim.run(until=1.5)
+
+        assert bridge.swept == 6
+        assert bridge.revoked_total == 1
+        assert repo.is_revoked(sig_id)
+        assert repo.signatures_for("dlink:cam:1.0") == []
+        # Score sank well below the 0.4 accept threshold.
+        assert repo.reputation.score_of(reporter) < 0.4
+
+    def test_evidence_journaled_per_quarantine(self, sim):
+        dlq, repo, bridge = _rig(sim)
+        for i in range(3):
+            dlq.quarantine(wire(offset=i + 1, device="plug"), "reputation", "h1")
+        sim.run(until=1.5)
+        entries = sim.journal.entries(kind="poison-evidence")
+        assert len(entries) == 3
+        first = entries[0].fields
+        assert first["host"] == "h1"
+        assert first["reason"] == "reputation"
+        assert first["reporter"] == pseudonym("h1", repo.anonymizer.salt)
+        assert entries[0].device == "plug"
+
+    def test_cursor_only_processes_new_quarantines(self, sim):
+        dlq, repo, bridge = _rig(sim)
+        dlq.quarantine(wire(offset=1), "bad-kind", "h1")
+        sim.run(until=1.5)
+        assert bridge.sweep() == 0  # nothing new since the scheduled sweep
+        dlq.quarantine(wire(offset=2), "bad-kind", "h1")
+        assert bridge.sweep() == 1
+        assert bridge.swept == 2
+
+    def test_rotated_flood_still_counts_retained_mix(self, sim):
+        dlq = DeadLetterQueue(sim, name="edge", max_records=4)
+        repo = CrowdRepository(sim)
+        bridge = DlqEvidenceBridge(dlq, repo, period=10.0)
+        for i in range(9):
+            dlq.quarantine(wire(offset=i + 1), "bad-kind", "flooder")
+        # 9 quarantined but only 4 retained: the sweep processes what the
+        # ring still holds and advances the cursor past all 9.
+        assert bridge.sweep() == 4
+        assert bridge.swept == 9
+        assert bridge.sweep() == 0
+
+    def test_reporter_of_override_maps_to_site_identity(self, sim):
+        dlq = DeadLetterQueue(sim, name="edge")
+        repo = CrowdRepository(sim)
+        bridge = attach_dlq_evidence(
+            dlq, repo, period=1.0, reporter_of=lambda host: "site-shared"
+        )
+        dlq.quarantine(wire(), "bad-kind", "mbox-1")
+        dlq.quarantine(wire(offset=2), "bad-kind", "mbox-2")
+        sim.run(until=1.5)
+        assert bridge.evidence_by_reporter == {"site-shared": 2}
+
+
+class TestKnobsAndStats:
+    def test_rejects_bad_period(self, sim):
+        dlq = DeadLetterQueue(sim, name="edge")
+        repo = CrowdRepository(sim)
+        with pytest.raises(ValueError, match="period"):
+            DlqEvidenceBridge(dlq, repo, period=0)
+
+    def test_stats_shape(self, sim):
+        dlq, repo, bridge = _rig(sim)
+        dlq.quarantine(wire(), "bad-kind", "h1")
+        sim.run(until=1.5)
+        stats = bridge.stats()
+        assert stats["swept"] == 1
+        assert stats["revoked_total"] == 0
+        assert list(stats["reporters"].values()) == [1]
+
+    def test_metrics_exported(self, sim):
+        dlq, repo, bridge = _rig(sim)
+        dlq.quarantine(wire(), "bad-kind", "h1")
+        sim.run(until=1.5)
+        snapshot = sim.metrics.snapshot()
+        counters = set(snapshot["counters"])
+        gauges = set(snapshot["gauges"])
+        assert any(n.startswith("dlq_poison_evidence") for n in counters)
+        assert any(n.startswith("dlq_evidence_reporters") for n in gauges)
+
+
+class TestReconsider:
+    def test_reconsider_only_revokes_below_threshold(self, sim):
+        repo = CrowdRepository(sim)
+        sig_id = repo.publish(
+            default_credential_signature("dlink:cam:1.0"), reporter="site-a"
+        )
+        sim.run()
+        reporter = repo.signatures[sig_id].reporter
+        assert repo.reconsider(reporter) == 0  # fresh 0.5 is above 0.4
+        for _ in range(6):
+            repo.reputation.feedback(reporter, validated=False)
+        assert repo.reconsider(reporter) == 1
+        assert repo.reconsider(reporter) == 0  # already revoked
+
+    def test_reconsider_ignores_other_reporters(self, sim):
+        repo = CrowdRepository(sim)
+        sig_id = repo.publish(
+            default_credential_signature("dlink:cam:1.0"), reporter="site-a"
+        )
+        sim.run()
+        assert repo.reconsider("someone-else") == 0
+        assert not repo.is_revoked(sig_id)

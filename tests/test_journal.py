@@ -338,3 +338,71 @@ class TestSpillRotation:
     def test_bad_caps_rejected(self):
         with pytest.raises(ValueError):
             Journal(clock=lambda: 0.0, spill_max_files=0)
+
+
+class TestSpillErrors:
+    """Spill write failures are counted and journaled, not swallowed."""
+
+    def test_write_failure_counts_and_journals(self):
+        journal = Journal(
+            clock=lambda: 3.0,
+            segment_size=4,
+            max_segments=1,
+            spill_path="/nonexistent-dir/never/spill.jsonl",
+        )
+        for i in range(12):
+            journal.record("e", i=i)
+        assert journal.spill_errors > 0
+        assert journal.stats()["spill_errors"] == journal.spill_errors
+        errors = journal.entries(kind="spill-error")
+        assert errors, "each failed spill must leave a spill-error entry"
+        entry = errors[-1]
+        assert entry.fields["reason"] == "write"
+        assert entry.fields["lost_entries"] == 4
+        assert "OSError" in entry.fields["error"] or "Error" in entry.fields["error"]
+
+    def test_serialize_failure_counts_with_reason(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 0.0, segment_size=4, max_segments=8, spill_path=str(spill)
+        )
+        loop: list = []
+        loop.append(loop)  # defeats json.dumps(default=str)
+        journal.record("bad", payload=loop)
+        for i in range(40):
+            journal.record("e", i=i)
+        assert journal.spill_errors >= 1
+        reasons = {e.fields["reason"] for e in journal.entries(kind="spill-error")}
+        assert "serialize" in reasons
+        # Later, healthy segments still spill.
+        assert journal.spilled > 0
+
+    def test_spill_error_record_does_not_recurse(self):
+        # Tiny segments: the spill-error record itself rolls segments and
+        # re-triggers eviction, whose failure must not re-enter the
+        # journaling path (one counter bump per failed segment is enough).
+        journal = Journal(
+            clock=lambda: 0.0,
+            segment_size=1,
+            max_segments=1,
+            spill_path="/nonexistent-dir/never/spill.jsonl",
+        )
+        for i in range(50):
+            journal.record("e", i=i)
+        assert journal.spill_errors > 0
+        assert journal.recorded < 200  # no runaway self-feeding
+
+    def test_healthy_spill_has_no_errors(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        journal = Journal(
+            clock=lambda: 0.0, segment_size=2, max_segments=1, spill_path=str(spill)
+        )
+        for i in range(20):
+            journal.record("e", i=i)
+        assert journal.spill_errors == 0
+        assert journal.entries(kind="spill-error") == []
+
+    def test_simulator_exports_spill_error_gauge(self):
+        sim = Simulator()
+        snapshot = sim.metrics.snapshot()
+        assert "journal_spill_errors" in snapshot["gauges"]

@@ -1,0 +1,185 @@
+"""Unit tests for the compromised-switch layer
+(:mod:`repro.netsim.routing_attacks`)."""
+
+import pytest
+
+from repro.core.deployment import SecuredDeployment
+from repro.devices.library import smart_camera
+from repro.netsim.routing_attacks import ROUTING_ATTACK_KINDS, RoutingAttack
+from repro.devices.protocol import login
+
+
+def _home():
+    dep = SecuredDeployment.build()
+    dep.add_device(smart_camera, "cam")
+    attacker = dep.add_attacker()
+    dep.finalize()
+    dep.enforce_baseline()
+    return dep, attacker
+
+
+def _alerts(dep):
+    return [e for e in dep.sim.journal.entries(kind="alert") if e.device == "cam"]
+
+
+class TestValidation:
+    def test_rejects_unknown_mode(self):
+        dep, _ = _home()
+        with pytest.raises(ValueError, match="mode"):
+            RoutingAttack(dep.edge, "wormhole")
+
+    def test_rejects_bad_drop_prob(self):
+        dep, _ = _home()
+        with pytest.raises(ValueError, match="drop_prob"):
+            RoutingAttack(dep.edge, "selective-forward", drop_prob=1.5)
+
+    def test_kinds_registry(self):
+        assert ROUTING_ATTACK_KINDS == ("sinkhole", "selective-forward")
+
+
+class TestSinkhole:
+    def test_sinkhole_blinds_the_mboxes(self):
+        """While engaged, tunnel-bound traffic never reaches inspection:
+        a login storm that normally alerts produces nothing."""
+        dep, attacker = _home()
+        attack = RoutingAttack(dep.edge, "sinkhole")
+        attack.engage()
+
+        def storm():
+            for i in range(6):
+                dep.sim.schedule(
+                    i * 0.2,
+                    attacker.fire_and_forget,
+                    login(attacker.name, "cam", "admin", "wrong"),
+                )
+
+        dep.sim.schedule(1.0, storm)
+        dep.run(until=5.0)
+        assert attack.sinkholed > 0
+        assert _alerts(dep) == []
+
+    def test_disengage_restores_the_data_path(self):
+        dep, attacker = _home()
+        attack = RoutingAttack(dep.edge, "sinkhole")
+        attack.engage()
+        attack.disengage()
+        # The instance shadow is gone: the class method is live again.
+        assert "_apply" not in dep.edge.__dict__
+
+        def storm():
+            for i in range(6):
+                dep.sim.schedule(
+                    i * 0.2,
+                    attacker.fire_and_forget,
+                    login(attacker.name, "cam", "admin", "wrong"),
+                )
+
+        dep.sim.schedule(1.0, storm)
+        dep.run(until=5.0)
+        assert attack.sinkholed == 0
+        assert len(_alerts(dep)) > 0
+
+    def test_engage_and_disengage_are_journaled(self):
+        dep, _ = _home()
+        attack = RoutingAttack(dep.edge, "sinkhole", target="cam")
+        attack.engage()
+        attack.disengage()
+        phases = [
+            e.fields["phase"] for e in dep.sim.journal.entries(kind="routing-attack")
+        ]
+        assert phases == ["engage", "disengage"]
+
+    def test_engage_twice_is_idempotent(self):
+        dep, _ = _home()
+        attack = RoutingAttack(dep.edge, "sinkhole")
+        attack.engage()
+        attack.engage()
+        attack.disengage()
+        assert "_apply" not in dep.edge.__dict__
+
+
+class TestSelectiveForward:
+    def test_diverted_packets_bypass_inspection(self):
+        """Dropped-from-tunnel packets go straight to the device port:
+        the device still hears them, the µmbox never does."""
+        dep, attacker = _home()
+        att = dep.orchestrator.attachments["cam"]
+        attack = RoutingAttack(
+            dep.edge,
+            "selective-forward",
+            seed=5,
+            drop_prob=1.0,
+            target="cam",
+            direct_ports={"cam": att.device_port},
+        )
+        attack.engage()
+
+        def storm():
+            for i in range(6):
+                dep.sim.schedule(
+                    i * 0.2,
+                    attacker.fire_and_forget,
+                    login(attacker.name, "cam", "admin", "wrong"),
+                )
+
+        dep.sim.schedule(1.0, storm)
+        dep.run(until=5.0)
+        assert attack.bypassed > 0
+        assert _alerts(dep) == []  # nothing was inspected
+        # The device itself saw the smuggled logins.
+        assert len(dep.devices["cam"].login_log) > 0
+
+    def test_without_direct_port_diversion_degrades_to_sinkhole(self):
+        dep, attacker = _home()
+        attack = RoutingAttack(
+            dep.edge, "selective-forward", seed=5, drop_prob=1.0, target="cam"
+        )
+        attack.engage()
+        dep.sim.schedule(
+            1.0, attacker.fire_and_forget, login(attacker.name, "cam", "a", "b")
+        )
+        dep.run(until=3.0)
+        assert attack.bypassed == 0
+        assert attack.sinkholed > 0
+
+    def test_seeded_diversion_is_deterministic(self):
+        counts = []
+        for _ in range(2):
+            dep, attacker = _home()
+            att = dep.orchestrator.attachments["cam"]
+            attack = RoutingAttack(
+                dep.edge,
+                "selective-forward",
+                seed=11,
+                drop_prob=0.5,
+                target="cam",
+                direct_ports={"cam": att.device_port},
+            )
+            attack.engage()
+
+            def storm(attacker=attacker, dep=dep):
+                for i in range(10):
+                    dep.sim.schedule(
+                        i * 0.2,
+                        attacker.fire_and_forget,
+                        login(attacker.name, "cam", "admin", "wrong"),
+                    )
+
+            dep.sim.schedule(1.0, storm)
+            dep.run(until=6.0)
+            counts.append((attack.sinkholed, attack.bypassed))
+        assert counts[0] == counts[1]
+
+
+class TestStats:
+    def test_stats_shape(self):
+        dep, _ = _home()
+        attack = RoutingAttack(dep.edge, "sinkhole", target="cam")
+        attack.engage()
+        stats = attack.stats()
+        assert stats["mode"] == "sinkhole"
+        assert stats["target"] == "cam"
+        assert stats["engaged"] is True
+        assert stats["engaged_at"] == 0.0
+        attack.disengage()
+        assert attack.stats()["engaged"] is False
